@@ -1,0 +1,225 @@
+//! Criterion microbenches for the hot paths of the library stack:
+//! datatype flattening (the OCIO view machinery), the TCIO segment-mapping
+//! equations, extent-set maintenance, file-view range mapping, FTT record
+//! generation, and the PFS lock table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_datatype_flatten(c: &mut Criterion) {
+    use mpisim::{Datatype, Named};
+    let mut g = c.benchmark_group("datatype");
+    g.bench_function("commit_vector_1k_blocks", |b| {
+        let etype = Datatype::contiguous(12, Datatype::named(Named::Byte));
+        b.iter(|| {
+            let v = Datatype::vector(1024, 1, 64, etype.clone());
+            black_box(v.commit())
+        })
+    });
+    g.bench_function("pack_vector_1k_ints", |b| {
+        let t = Datatype::vector(1024, 1, 2, Datatype::named(Named::Int)).commit();
+        let src = vec![7u8; t.extent()];
+        b.iter(|| black_box(t.pack(&src, 1).unwrap()))
+    });
+    g.bench_function("commit_indexed_256", |b| {
+        let lens: Vec<usize> = (0..256).map(|i| 1 + i % 7).collect();
+        let displs: Vec<isize> = (0..256).map(|i| (i * 16) as isize).collect();
+        b.iter(|| {
+            let t = Datatype::indexed(lens.clone(), displs.clone(), Datatype::named(Named::Byte))
+                .unwrap();
+            black_box(t.commit())
+        })
+    });
+    g.finish();
+}
+
+fn bench_segment_map(c: &mut Criterion) {
+    use tcio::SegmentMap;
+    let m = SegmentMap::new(1 << 20, 1024);
+    c.bench_function("segment_locate_equations_1_to_3", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = off.wrapping_add(0x9E3779B9) & ((1 << 40) - 1);
+            black_box(m.locate(off))
+        })
+    });
+}
+
+fn bench_extent_set(c: &mut Criterion) {
+    use mpiio::ExtentSet;
+    let mut g = c.benchmark_group("extent_set");
+    g.bench_function("insert_1k_sequential", |b| {
+        b.iter_batched(
+            ExtentSet::new,
+            |mut s| {
+                for i in 0..1024u64 {
+                    s.insert(i * 16, 16);
+                }
+                black_box(s)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_1k_interleaved_then_merge", |b| {
+        b.iter_batched(
+            ExtentSet::new,
+            |mut s| {
+                for i in 0..512u64 {
+                    s.insert(i * 32, 8);
+                }
+                for i in 0..512u64 {
+                    s.insert(i * 32 + 8, 24);
+                }
+                black_box(s.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_file_view(c: &mut Criterion) {
+    use mpisim::{Datatype, Named};
+    use mpiio::FileView;
+    let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+    let ftype = Datatype::vector(4096, 1, 64, etype.datatype().clone()).commit();
+    let view = FileView::new(0, &etype, &ftype).unwrap();
+    c.bench_function("view_map_range_64_blocks", |b| {
+        let mut pos = 0u64;
+        b.iter(|| {
+            pos = (pos + 12 * 64) % (12 * 4096 - 12 * 64);
+            black_box(view.map_range(pos, 12 * 64))
+        })
+    });
+}
+
+fn bench_ftt(c: &mut Criterion) {
+    use workloads::art::{FttConfig, FttTree};
+    let cfg = FttConfig::default();
+    let mut g = c.benchmark_group("ftt");
+    g.bench_function("generate_tree", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(FttTree::generate(id, &cfg))
+        })
+    });
+    g.bench_function("serialize_record", |b| {
+        let t = FttTree::generate(42, &cfg);
+        b.iter(|| black_box(t.record(2)))
+    });
+    g.finish();
+}
+
+fn bench_normal(c: &mut Criterion) {
+    use workloads::Normal;
+    c.bench_function("normal_1024_segment_lengths", |b| {
+        b.iter(|| black_box(Normal::new(2048.0, 128.0, 5).sample_lengths(1024)))
+    });
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    use pfs::{LockManager, LockMode};
+    c.bench_function("lock_ping_pong_1k", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                let mut transfers = 0u32;
+                for i in 0..1024u64 {
+                    if lm.acquire(1, i % 8, (i % 3) as usize, LockMode::Write) {
+                        transfers += 1;
+                    }
+                }
+                black_box(transfers)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    use mpisim::timeline::Timeline;
+    let mut g = c.benchmark_group("timeline");
+    g.bench_function("fifo_reserve_1k", |b| {
+        b.iter_batched(
+            Timeline::new,
+            |mut t| {
+                for _ in 0..1024 {
+                    t.reserve(0.0, 1.0e-6);
+                }
+                black_box(t.segments())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("backfill_reserve_1k_scattered", |b| {
+        b.iter_batched(
+            || {
+                let mut t = Timeline::new();
+                for i in 0..1024 {
+                    t.reserve(i as f64 * 1.0e-3, 1.0e-6);
+                }
+                t
+            },
+            |mut t| {
+                for i in 0..1024 {
+                    black_box(t.reserve((i % 7) as f64 * 1.0e-4, 5.0e-7));
+                }
+                t.segments()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pfs_ops(c: &mut Criterion) {
+    use pfs::{Pfs, PfsConfig};
+    let mut g = c.benchmark_group("pfs");
+    g.bench_function("write_1mb_striped", |b| {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/bench").unwrap();
+        let data = vec![0u8; 1 << 20];
+        let mut t = 0.0;
+        b.iter(|| {
+            t = p.write_at(id, 0, 0, &data, t).unwrap();
+            black_box(t)
+        })
+    });
+    g.bench_function("small_write_cost_model", |b| {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/small").unwrap();
+        let mut t = 0.0;
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 64) % (1 << 16);
+            t = p.write_at(id, 0, off, &[0u8; 64], t).unwrap();
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sieve(c: &mut Criterion) {
+    use mpiio::SieveConfig;
+    let extents: Vec<(u64, u64)> = (0..256).map(|i| (i * 32, 16)).collect();
+    c.bench_function("sieve_decision_256_extents", |b| {
+        let cfg = SieveConfig::default();
+        b.iter(|| black_box(cfg.should_sieve(&extents)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_datatype_flatten,
+    bench_segment_map,
+    bench_extent_set,
+    bench_file_view,
+    bench_ftt,
+    bench_normal,
+    bench_lock_manager,
+    bench_timeline,
+    bench_pfs_ops,
+    bench_sieve
+);
+criterion_main!(benches);

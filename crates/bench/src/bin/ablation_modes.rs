@@ -1,0 +1,80 @@
+//! Ablation: the §IV.A design choices inside TCIO.
+//!
+//! * **level-1 combining** (`use_l1`): with it, each window flush is one
+//!   gathered put (the `MPI_Type_indexed` trick); without it, every block
+//!   is its own lock/put/unlock epoch — "a large number of network
+//!   connections, which would in turn degrade the performance".
+//! * **lock/unlock vs fence**: `MPI_Win_fence` is collective, forcing all
+//!   ranks to synchronize on every flush epoch (only even runnable on
+//!   symmetric workloads like this one).
+//! * **lazy vs eager reads**: lazy loading coalesces the reads of a window
+//!   into one gathered get.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_modes [-- --procs 16 --scale 256]`
+
+use bench::{mbs, Args, Calib, Table};
+use pfs::Pfs;
+use tcio::{ReadMode, SyncMode, TcioConfig};
+use workloads::synthetic::{self, SynthParams};
+use workloads::WlError;
+
+fn run_variant(
+    calib: &Calib,
+    nprocs: usize,
+    p: &SynthParams,
+    mutate: impl Fn(&mut TcioConfig) + Sync,
+) -> (f64, f64) {
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).unwrap();
+    let bytes = p.file_size(nprocs);
+    let seg = calib.segment_size;
+    let p2 = p.clone();
+    let mutate = &mutate;
+    // Write then read inside one simulation so phase timings share one
+    // consistent set of resource timelines.
+    let rep = mpisim::run(nprocs, calib.sim_config_unbudgeted(), move |rk| {
+        let mut tcfg =
+            TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
+        mutate(&mut tcfg);
+        let w = synthetic::write_tcio(rk, &fs, &p2, "/v", Some(tcfg.clone()))
+            .map_err(WlError::into_mpi)?;
+        let r = synthetic::read_tcio(rk, &fs, &p2, "/v", Some(tcfg)).map_err(WlError::into_mpi)?;
+        Ok((w.elapsed, r.elapsed))
+    })
+    .expect("variant run");
+    let (w, r) = rep.results[0];
+    (
+        calib.throughput_mbs(bytes, w),
+        calib.throughput_mbs(bytes, r),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let nprocs = args.get_usize("procs", 16);
+    let len_virtual = args.get_usize("len", 1 << 20);
+    let calib = Calib::paper(scale);
+    let len_real = (len_virtual as u64 / scale).max(1) as usize;
+    let p = SynthParams::with_types("i,d", len_real, 1).unwrap();
+
+    println!("Ablation — TCIO design choices (P={nprocs}, synthetic workload)\n");
+    let mut t = Table::new(vec!["variant", "write MB/s", "read MB/s"]);
+    type Variant = (&'static str, Box<dyn Fn(&mut TcioConfig) + Sync>);
+    let variants: Vec<Variant> = vec![
+        ("default (L1 + lock/unlock + lazy)", Box::new(|_c: &mut TcioConfig| {})),
+        ("no level-1 combining", Box::new(|c: &mut TcioConfig| c.use_l1 = false)),
+        ("fence synchronization", Box::new(|c: &mut TcioConfig| c.sync = SyncMode::Fence)),
+        ("eager reads", Box::new(|c: &mut TcioConfig| c.read_mode = ReadMode::Eager)),
+    ];
+    for (name, mutate) in &variants {
+        let (w, r) = run_variant(&calib, nprocs, &p, mutate);
+        t.row(vec![name.to_string(), mbs(w), mbs(r)]);
+        eprintln!("  {name}: w={} r={}", mbs(w), mbs(r));
+    }
+    t.print();
+    match t.write_csv("ablation_modes.csv") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!("\nexpected shape: the default wins; no-L1 collapses on writes; fence pays collective synchronization; eager reads lose coalescing");
+}

@@ -1,0 +1,31 @@
+//! Diagnostic: cost of one pairwise-exchange all-to-all vs process count,
+//! isolating the collective-wall noise term. Calibration aid.
+
+use bench::{Args, Calib};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let per_rank_virtual = args.get_u64("bytes", 48 << 20); // 48 MB/rank
+    let calib = Calib::paper(scale);
+    let per_rank_real = (per_rank_virtual / scale).max(1) as usize;
+    for p in args.get_list("procs", &[64, 256, 1024]) {
+        let msg = per_rank_real / p;
+        let rep = mpisim::run(p, calib.sim_config_unbudgeted(), move |rk| {
+            rk.barrier()?;
+            let t0 = rk.now();
+            let data: Vec<Vec<u8>> = (0..rk.nprocs()).map(|_| vec![0u8; msg]).collect();
+            rk.alltoallv(data)?;
+            rk.barrier()?;
+            Ok(rk.now() - t0)
+        })
+        .expect("run");
+        let t = rep.results[0];
+        println!(
+            "P={p}: alltoallv of {}B/rank → {:.3}s ({:.2} ms/round)",
+            per_rank_real,
+            t,
+            t / (p - 1) as f64 * 1e3
+        );
+    }
+}

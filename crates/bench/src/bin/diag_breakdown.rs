@@ -1,0 +1,106 @@
+//! Diagnostic: virtual-time breakdown of one synthetic run per method.
+//! Not a paper figure — used to calibrate the cost model (EXPERIMENTS.md
+//! documents the resulting constants).
+//!
+//! Usage: `cargo run --release -p bench --bin diag_breakdown [-- --procs 64 --scale 256 --len 4194304]`
+
+use bench::{Args, Calib};
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::TcioConfig;
+use workloads::synthetic::{self, Method, SynthParams};
+use workloads::WlError;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let nprocs = args.get_usize("procs", 64);
+    let len_virtual = args.get_usize("len", 4 << 20);
+    let calib = Calib::paper(scale);
+    let len_real = (len_virtual as u64 / scale).max(1) as usize;
+    let p = SynthParams::with_types("i,d", len_real, 1).unwrap();
+    let bytes_real = p.file_size(nprocs);
+    println!(
+        "P={nprocs}, LEN_real={len_real}, file_real={} B (virtual {}), segment_real={} B",
+        bytes_real,
+        calib.fmt_virtual(bytes_real),
+        calib.segment_size
+    );
+
+    for method in [Method::Tcio, Method::Ocio] {
+        for phase in ["write", "read"] {
+            let fs = Pfs::new(nprocs, calib.pfs.clone()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let p2 = p.clone();
+            let seg = calib.segment_size;
+            // Always write first (so reads have data); time only `phase`.
+            let rep = mpisim::run(nprocs, calib.sim_config_unbudgeted(), move |rk| {
+                let tcfg = TcioConfig::for_file_size_with_segment(
+                    p2.file_size(rk.nprocs()),
+                    rk.nprocs(),
+                    seg,
+                );
+                let tcfg = move || tcfg.clone();
+                let w = match method {
+                    Method::Tcio => synthetic::write_tcio(rk, &fs2, &p2, "/d", Some(tcfg())),
+                    Method::Ocio => synthetic::write_ocio(
+                        rk,
+                        &fs2,
+                        &p2,
+                        "/d",
+                        &mpiio::CollectiveConfig::default(),
+                    ),
+                    Method::Vanilla => unreachable!(),
+                }
+                .map_err(WlError::into_mpi)?;
+                if phase == "write" {
+                    return Ok(w.elapsed);
+                }
+                let r = match method {
+                    Method::Tcio => synthetic::read_tcio(rk, &fs2, &p2, "/d", Some(tcfg())),
+                    Method::Ocio => synthetic::read_ocio(
+                        rk,
+                        &fs2,
+                        &p2,
+                        "/d",
+                        &mpiio::CollectiveConfig::default(),
+                    ),
+                    Method::Vanilla => unreachable!(),
+                }
+                .map_err(WlError::into_mpi)?;
+                Ok(r.elapsed)
+            })
+            .expect("run");
+            let elapsed = rep.results[0];
+            let agg = rep.aggregate_stats();
+            let fstats = rep.fabric;
+            let pstats = fs.stats.snapshot();
+            println!(
+                "\n{} {phase}: {:.3}s virtual → {:.0} MB/s (paper-equivalent)",
+                method.label(),
+                elapsed,
+                calib.throughput_mbs(bytes_real, elapsed)
+            );
+            println!(
+                "  net: {} msgs / {} B, {} conn misses, {} congested",
+                fstats.messages, fstats.bytes, fstats.conn_misses, fstats.congested_transfers
+            );
+            println!(
+                "  rma: {} epochs, {} puts / {} B, {} gets / {} B",
+                agg.rma_epochs, agg.puts, agg.put_bytes, agg.gets, agg.get_bytes
+            );
+            println!(
+                "  pfs: {} wr-rpcs / {} B, {} rd-rpcs / {} B, {} lock transfers",
+                pstats.write_rpcs,
+                pstats.bytes_written,
+                pstats.read_rpcs,
+                pstats.bytes_read,
+                pstats.lock_transfers
+            );
+            println!(
+                "  collectives: {}, total collective wait {:.3}s",
+                agg.collectives, agg.collective_wait
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Diagnostic: phase timestamps inside one TCIO write/read, to locate
+//! where virtual time accumulates. Calibration aid, not a paper figure.
+
+use bench::{Args, Calib};
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+use workloads::WlError;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let nprocs = args.get_usize("procs", 64);
+    let len = args.get_usize("len", (4 << 20) / scale as usize);
+    let calib = Calib::paper(scale);
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let seg = calib.segment_size;
+    let block = 12usize;
+    let file_size = (len * block * nprocs) as u64;
+
+    let rep = mpisim::run(nprocs, calib.sim_config_unbudgeted(), move |rk| {
+        let tcfg = TcioConfig::for_file_size_with_segment(file_size, rk.nprocs(), seg);
+        rk.barrier()?;
+        let t0 = rk.now();
+        let mut f = TcioFile::open(rk, &fs2, "/p", TcioMode::Write, tcfg)
+            .map_err(WlError::from)
+            .map_err(WlError::into_mpi)?;
+        let t_open = rk.now();
+        let data = vec![rk.rank() as u8; block];
+        for i in 0..len {
+            let off = ((i * rk.nprocs() + rk.rank()) * block) as u64;
+            f.write_at(rk, off, &data)
+                .map_err(WlError::from)
+                .map_err(WlError::into_mpi)?;
+        }
+        let t_loop = rk.now();
+        let stats = f
+            .close(rk)
+            .map_err(WlError::from)
+            .map_err(WlError::into_mpi)?;
+        let t_close = rk.now();
+        Ok((
+            t_open - t0,
+            t_loop - t_open,
+            t_close - t_loop,
+            stats.flushes,
+        ))
+    })
+    .unwrap();
+    let (open, mut lp, mut close, mut flushes) = (rep.results[0].0, 0.0f64, 0.0f64, 0u64);
+    let mut lp_min = f64::MAX;
+    for &(_, l, c, fl) in &rep.results {
+        lp = lp.max(l);
+        lp_min = lp_min.min(l);
+        close = close.max(c);
+        flushes = flushes.max(fl);
+    }
+    println!(
+        "open {:.4}s | write-loop max {:.4}s (min {:.4}s) | close {:.4}s | flushes/rank {}",
+        open, lp, lp_min, close, flushes
+    );
+    println!(
+        "per-flush cost (loop/flushes): {:.1} us",
+        lp / flushes as f64 * 1e6
+    );
+}

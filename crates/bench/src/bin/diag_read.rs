@@ -1,0 +1,81 @@
+//! Diagnostic: clock progression through a TCIO lazy-read loop.
+//! Calibration aid, not a paper figure.
+
+use bench::{Args, Calib};
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+use workloads::synthetic::{self, SynthParams};
+use workloads::WlError;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let nprocs = args.get_usize("procs", 64);
+    let len_virtual = args.get_usize("len", 4 << 20);
+    let calib = Calib::paper(scale);
+    let len = (len_virtual as u64 / scale).max(1) as usize;
+    let p = SynthParams::with_types("i,d", len, 1).unwrap();
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let seg = calib.segment_size;
+
+    let rep = mpisim::run(nprocs, calib.sim_config_unbudgeted(), move |rk| {
+        let tcfg =
+            TcioConfig::for_file_size_with_segment(p.file_size(rk.nprocs()), rk.nprocs(), seg);
+        synthetic::write_tcio(rk, &fs2, &p, "/r", Some(tcfg.clone())).map_err(WlError::into_mpi)?;
+        rk.barrier()?;
+        let t0 = rk.now();
+        let block = p.block_size();
+        let me = rk.rank();
+        let n = p.accesses();
+        let mut buf = vec![0u8; n * block];
+        let mut marks = Vec::new();
+        {
+            let mut f = TcioFile::open(rk, &fs2, "/r", TcioMode::Read, tcfg)
+                .map_err(WlError::from)
+                .map_err(WlError::into_mpi)?;
+            let t_open = rk.now();
+            let mut rest = buf.as_mut_slice();
+            for i in 0..n {
+                let off = ((i * rk.nprocs() + me) * block) as u64;
+                let (piece, tail) = rest.split_at_mut(block);
+                rest = tail;
+                f.read_at(rk, off, piece)
+                    .map_err(WlError::from)
+                    .map_err(WlError::into_mpi)?;
+                if me == 0 && (i < 16 || i % (n / 8).max(1) == 0) {
+                    marks.push((i, rk.now() - t_open));
+                }
+            }
+            let t_loop = rk.now();
+            f.fetch(rk)
+                .map_err(WlError::from)
+                .map_err(WlError::into_mpi)?;
+            let t_fetch = rk.now();
+            let stats = f
+                .close(rk)
+                .map_err(WlError::from)
+                .map_err(WlError::into_mpi)?;
+            let t_close = rk.now();
+            if me == 0 {
+                eprintln!("rank0 marks (access, loop seconds): {marks:?}");
+                eprintln!(
+                    "rank0: open {:.4}s loop {:.4}s fetch {:.4}s close {:.4}s | loads {} reqs {}",
+                    t_open - t0,
+                    t_loop - t_open,
+                    t_fetch - t_loop,
+                    t_close - t_fetch,
+                    stats.loads,
+                    stats.read_requests
+                );
+            }
+            Ok((t_loop - t_open, stats.loads))
+        }
+    })
+    .unwrap();
+    let max_loop = rep.results.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    let min_loop = rep.results.iter().map(|r| r.0).fold(f64::MAX, f64::min);
+    let loads: u64 = rep.results.iter().map(|r| r.1).sum();
+    println!("read loop max {max_loop:.4}s min {min_loop:.4}s | total loads {loads}");
+}

@@ -1,0 +1,77 @@
+//! Figure 5: synthetic-benchmark throughput vs number of processes.
+//!
+//! Table II configuration: two arrays (int, double) of LEN = 4M elements
+//! per process, SIZE_access = 1, P swept 64 → 1024 (weak scaling in data).
+//! The paper's findings this binary reproduces:
+//!
+//! * writes: OCIO wins at small scale (≤256), TCIO wins at ≥512 — the
+//!   all-to-all exchange burst and per-pair connection growth catch up
+//!   with OCIO;
+//! * reads: TCIO wins throughout and the gap widens with scale.
+//!
+//! Usage: `cargo run --release -p bench --bin fig5_scale [-- --procs 64,128,256,512,1024 --scale 256 --len 4194304 --size-access 1]`
+
+use bench::{mbs, sparkline, Args, Calib, Table};
+use workloads::synthetic::Method;
+
+fn main() {
+    let args = Args::parse();
+    let ps = args.get_list("procs", &[64, 128, 256, 512, 1024]);
+    let scale = args.get_u64("scale", 256);
+    let len_virtual = args.get_usize("len", 4 << 20);
+    let size_access = args.get_usize("size-access", 1);
+    let calib = Calib::paper(scale);
+
+    println!(
+        "Fig. 5 — synthetic benchmark, LEN={} elements/proc (scaled 1/{scale}), SIZE_access={size_access}",
+        len_virtual
+    );
+    println!("(throughputs in paper-equivalent MB/s)\n");
+
+    let mut table = Table::new(vec![
+        "procs",
+        "TCIO write",
+        "OCIO write",
+        "TCIO read",
+        "OCIO read",
+    ]);
+    let mut series: [Vec<f64>; 4] = Default::default();
+    for &p in &ps {
+        let (tw, tr) = bench::run_synth(&calib, p, len_virtual, size_access, Method::Tcio, false);
+        let (ow, or) = bench::run_synth(&calib, p, len_virtual, size_access, Method::Ocio, false);
+        for (k, o) in [&tw, &ow, &tr, &or].iter().enumerate() {
+            series[k].push(o.throughput().unwrap_or(0.0));
+        }
+        table.row(vec![
+            p.to_string(),
+            tw.cell(),
+            ow.cell(),
+            tr.cell(),
+            or.cell(),
+        ]);
+        eprintln!(
+            "  P={p}: TCIO w={} o-w={} r={} o-r={}",
+            tw.cell(),
+            ow.cell(),
+            tr.cell(),
+            or.cell()
+        );
+    }
+    table.print();
+    println!(
+        "
+shape:  TCIO write {}   OCIO write {}   TCIO read {}   OCIO read {}",
+        sparkline(&series[0]),
+        sparkline(&series[1]),
+        sparkline(&series[2]),
+        sparkline(&series[3])
+    );
+    match table.write_csv("fig5.csv") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    // Shape summary (the claims the paper makes about this figure).
+    println!("\nexpected shape: OCIO ahead on writes at small P; TCIO ahead at large P; TCIO ahead on all reads");
+    let _ = mbs(0.0);
+}

@@ -1,0 +1,59 @@
+//! Figures 6 and 7: throughput vs file size at a fixed 64 processes.
+//!
+//! Table II configuration with LEN swept 1M → 64M elements per process,
+//! i.e. file sizes 768 MB → 48 GB. Ranks run under the Lonestar memory
+//! budget (24 GB/node ÷ 12 cores = 2 GB/process, scaled with the data):
+//! at 48 GB, OCIO must combine 0.75 GB in the application buffer *and*
+//! hold a 0.75 GB collective buffer on top of the 0.75 GB arrays — over
+//! budget, so the run fails with a simulated out-of-memory, exactly the
+//! missing OCIO bar of the paper's Figs. 6/7. TCIO needs only its level-2
+//! share plus one 1 MB level-1 buffer and survives.
+//!
+//! Usage: `cargo run --release -p bench --bin fig6_7_filesize [-- --scale 256 --procs 64]`
+
+use bench::{fmt_bytes, Args, Calib, Table};
+use workloads::synthetic::Method;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let nprocs = args.get_usize("procs", 64);
+    // LEN_array = 1M, 4M, 16M, 64M → file sizes 768MB, 3GB, 12GB, 48GB.
+    let lens: Vec<usize> = args.get_list("lens", &[1 << 20, 1 << 22, 1 << 24, 1 << 26]);
+    let calib = Calib::paper(scale);
+
+    println!("Figs. 6/7 — file-size sweep at P={nprocs} (scaled 1/{scale}), Lonestar memory budget enforced\n");
+    let mut table = Table::new(vec![
+        "file size",
+        "TCIO write",
+        "OCIO write",
+        "TCIO read",
+        "OCIO read",
+    ]);
+    for &len in &lens {
+        let file_virtual = (len as u64) * 12 * nprocs as u64;
+        let (tw, tr) = bench::run_synth(&calib, nprocs, len, 1, Method::Tcio, true);
+        let (ow, or) = bench::run_synth(&calib, nprocs, len, 1, Method::Ocio, true);
+        table.row(vec![
+            fmt_bytes(file_virtual),
+            tw.cell(),
+            ow.cell(),
+            tr.cell(),
+            or.cell(),
+        ]);
+        eprintln!(
+            "  {}: TCIO w={} OCIO w={} TCIO r={} OCIO r={}",
+            fmt_bytes(file_virtual),
+            tw.cell(),
+            ow.cell(),
+            tr.cell(),
+            or.cell()
+        );
+    }
+    table.print();
+    match table.write_csv("fig6_7.csv") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!("\nexpected shape: OCIO fails with OOM at 48GB on both write and read; TCIO completes everywhere");
+}

@@ -1,0 +1,77 @@
+//! Sensitivity analysis: how the Fig. 5 endpoints respond to the three
+//! calibration constants that carry the paper's story —
+//!
+//! * `match_overhead` (the burst/unexpected-queue cost that degrades
+//!   OCIO's exchange quadratically with P),
+//! * `rma_lock_cost` (TCIO's per-epoch one-sided overhead),
+//! * `noise_mean` (the collective-wall jitter on synchronized rounds).
+//!
+//! For each constant we sweep ×0, ×0.5, ×1, ×2 around the calibrated value
+//! and report the OCIO/TCIO write ratio at the smallest and largest scale
+//! points. A robust reproduction should keep its *ordering* (OCIO ≥ TCIO at
+//! small P, TCIO > OCIO at large P) across moderate perturbations.
+//!
+//! Usage: `cargo run --release -p bench --bin sensitivity [-- --scale 256 --small 64 --large 512]`
+
+use bench::{Args, Calib, Table};
+use workloads::synthetic::Method;
+
+fn ratio_at(calib: &Calib, p: usize, len: usize) -> f64 {
+    let (tw, _) = bench::run_synth(calib, p, len, 1, Method::Tcio, false);
+    let (ow, _) = bench::run_synth(calib, p, len, 1, Method::Ocio, false);
+    match (ow.throughput(), tw.throughput()) {
+        (Some(o), Some(t)) if t > 0.0 => o / t,
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 256);
+    let small = args.get_usize("small", 64);
+    let large = args.get_usize("large", 512);
+    let len = args.get_usize("len", 4 << 20);
+    let base = Calib::paper(scale);
+
+    println!(
+        "Sensitivity of the Fig. 5 write ordering (OCIO/TCIO ratio; >1 = OCIO ahead)\n\
+         calibrated: match_overhead={:.0}us rma_lock={:.0}us noise={:.2}ms\n",
+        base.net.match_overhead * 1e6,
+        base.net.rma_lock_cost * 1e6,
+        base.net.noise_mean * 1e3
+    );
+
+    let mut t = Table::new(vec![
+        "constant",
+        "multiplier",
+        &format!("OCIO/TCIO @P={small}"),
+        &format!("OCIO/TCIO @P={large}"),
+    ]);
+    type Knob = (&'static str, fn(&mut Calib, f64));
+    let knobs: [Knob; 3] = [
+        ("match_overhead", |c, m| c.net.match_overhead *= m),
+        ("rma_lock_cost", |c, m| c.net.rma_lock_cost *= m),
+        ("noise_mean", |c, m| c.net.noise_mean *= m),
+    ];
+    for (name, apply) in knobs {
+        for mult in [0.0, 0.5, 1.0, 2.0] {
+            let mut c = Calib::paper(scale);
+            apply(&mut c, mult);
+            let rs = ratio_at(&c, small, len);
+            let rl = ratio_at(&c, large, len);
+            t.row(vec![
+                name.to_string(),
+                format!("x{mult}"),
+                format!("{rs:.2}"),
+                format!("{rl:.2}"),
+            ]);
+            eprintln!("  {name} x{mult}: small {rs:.2}, large {rl:.2}");
+        }
+    }
+    t.print();
+    match t.write_csv("sensitivity.csv") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!("\nexpected shape: the large-P ratio drops below 1 as match_overhead grows; the small-P ratio is insensitive");
+}

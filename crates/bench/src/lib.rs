@@ -1,0 +1,24 @@
+//! # bench — the experiment harness
+//!
+//! One binary per figure/table of the paper's evaluation (see the
+//! per-experiment index in `DESIGN.md`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig5_scale` | Fig. 5: synthetic write/read throughput vs process count |
+//! | `fig6_7_filesize` | Figs. 6–7: throughput vs file size at P=64, incl. the OCIO OOM at 48 GB |
+//! | `fig9_10_art` | Figs. 9–10: ART dump/restart, TCIO vs vanilla MPI-IO |
+//! | `table3_effort` | Table III + Programs 2/3: programming effort and memory comparison |
+//! | `ablation_segment_size` | §IV.A: segment size vs the PFS lock granularity |
+//! | `ablation_modes` | §IV.A design choices: L1 combining, lock/unlock vs fence, lazy vs eager reads |
+//! | `ablation_cb` | OCIO hints: unchunked vs cb_buffer-chunked exchange, aggregator counts |
+//!
+//! Criterion microbenches for hot paths live in `benches/micro.rs`.
+
+pub mod calib;
+pub mod report;
+pub mod runner;
+
+pub use calib::{fmt_bytes, Calib};
+pub use report::{mbs, sparkline, Args, Table};
+pub use runner::{run_art, run_synth, Outcome};

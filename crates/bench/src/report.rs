@@ -1,0 +1,202 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple fixed-width table that mirrors the paper's figure data.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV under `bench_results/`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("bench_results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Minimal `--key value` argument parsing for the experiment binaries.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --{key}");
+                    std::process::exit(2);
+                });
+                pairs.push((key.to_string(), val));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { pairs, positional }
+    }
+
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_u64(key, default as u64) as usize
+    }
+
+    /// Comma-separated usize list.
+    pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("--{key}: bad entry {s:?}")))
+                .collect(),
+        }
+    }
+}
+
+/// Render a series as a one-line unicode sparkline (quick shape check in
+/// the terminal; the CSVs carry the real numbers).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let max = values.iter().cloned().fold(f64::NAN, f64::max);
+    let min = values.iter().cloned().fold(f64::NAN, f64::min);
+    if values.is_empty() || !max.is_finite() {
+        return String::new();
+    }
+    let range = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - min) / range * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[t]
+        })
+        .collect()
+}
+
+/// Format a throughput cell like the paper's axes (MB/s).
+pub fn mbs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["P", "TCIO", "OCIO"]);
+        t.row(vec!["64", "123.4", "200"]);
+        t.row(vec!["1024", "999", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('P'));
+        assert!(lines[2].ends_with("200"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars[0] < chars[3], "rising series must rise");
+        assert_eq!(sparkline(&[]), "");
+        // Flat series doesn't panic or divide by zero.
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 3);
+    }
+
+    #[test]
+    fn mbs_formatting() {
+        assert_eq!(mbs(1234.6), "1235");
+        assert_eq!(mbs(12.34), "12.3");
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared experiment runners used by the figure binaries.
+
+use crate::calib::Calib;
+use mpisim::SimError;
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::TcioConfig;
+use workloads::art::{ArtConfig, ArtMethod};
+use workloads::synthetic::{self, Method, SynthParams};
+use workloads::WlError;
+
+/// Result of one (method, scale-point) synthetic run.
+#[derive(Debug, Clone, Copy)]
+pub enum Outcome {
+    /// Paper-equivalent MB/s.
+    Throughput(f64),
+    /// The run died with a simulated out-of-memory (Fig. 6/7's OCIO@48GB).
+    Oom,
+}
+
+impl Outcome {
+    pub fn cell(&self) -> String {
+        match self {
+            Outcome::Throughput(t) => crate::report::mbs(*t),
+            Outcome::Oom => "FAIL(OOM)".to_string(),
+        }
+    }
+
+    pub fn throughput(&self) -> Option<f64> {
+        match self {
+            Outcome::Throughput(t) => Some(*t),
+            Outcome::Oom => None,
+        }
+    }
+}
+
+fn classify(err: SimError) -> Outcome {
+    match err {
+        SimError::RankFailed {
+            error: mpisim::MpiError::OutOfMemory { .. },
+            ..
+        } => Outcome::Oom,
+        other => panic!("experiment failed unexpectedly: {other}"),
+    }
+}
+
+/// Table II workload at a given scale point: returns (write, read) outcomes.
+///
+/// `len_virtual` is the paper's LEN_array; the real array length is divided
+/// by the calibration's scale factor. When `enforce_budget` is set, ranks
+/// run under the scaled Lonestar memory budget, so over-consuming
+/// implementations fail with a simulated OOM instead of producing a number.
+pub fn run_synth(
+    calib: &Calib,
+    nprocs: usize,
+    len_virtual: usize,
+    size_access: usize,
+    method: Method,
+    enforce_budget: bool,
+) -> (Outcome, Outcome) {
+    let len_real = (len_virtual as u64 / calib.scale_inv).max(1) as usize;
+    // Keep LEN a multiple of SIZE_access after scaling.
+    let len_real = len_real.div_ceil(size_access) * size_access;
+    let p = SynthParams::with_types("i,d", len_real, size_access).expect("valid params");
+    let sim = if enforce_budget {
+        calib.sim_config()
+    } else {
+        calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    let bytes_real = p.file_size(nprocs);
+    let seg = calib.segment_size;
+
+    // Write then read inside one simulation (the dump-then-restart pattern
+    // of the paper's runs), timing each phase between its own barriers.
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let run = mpisim::run(nprocs, sim, move |rk| {
+        let base_tcfg =
+            TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
+        let tcfg = move || base_tcfg.clone();
+        let ccfg = mpiio::CollectiveConfig::default;
+        let w = match method {
+            Method::Tcio => synthetic::write_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
+            Method::Ocio => synthetic::write_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
+            Method::Vanilla => synthetic::write_vanilla(rk, &fs2, &p2, "/synth"),
+        }
+        .map_err(WlError::into_mpi)?;
+        let r = match method {
+            Method::Tcio => synthetic::read_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
+            Method::Ocio => synthetic::read_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
+            Method::Vanilla => synthetic::read_vanilla(rk, &fs2, &p2, "/synth"),
+        }
+        .map_err(WlError::into_mpi)?;
+        Ok((w.elapsed, r.elapsed))
+    });
+    match run {
+        Ok(rep) => {
+            let (w, r) = rep.results[0];
+            (
+                Outcome::Throughput(calib.throughput_mbs(bytes_real, w)),
+                Outcome::Throughput(calib.throughput_mbs(bytes_real, r)),
+            )
+        }
+        Err(e) => {
+            let o = classify(e);
+            (o, Outcome::Oom)
+        }
+    }
+}
+
+/// ART dump + restart at `nprocs`: returns (write MB/s, read MB/s, bytes).
+pub fn run_art(calib: &Calib, nprocs: usize, cfg: &ArtConfig, method: ArtMethod) -> (f64, f64, u64) {
+    assert_eq!(calib.scale_inv, 1, "ART runs unscaled; reduce mu instead");
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    let sim = calib.sim_config_unbudgeted();
+    let fs_w = Arc::clone(&fs);
+    let cfg_w = cfg.clone();
+    let wrep = mpisim::run(nprocs, sim.clone(), move |rk| {
+        workloads::art::dump(rk, &fs_w, &cfg_w, method, "/art").map_err(WlError::into_mpi)
+    })
+    .expect("art dump");
+    let bytes: u64 = wrep.results.iter().map(|m| m.bytes).sum();
+    let write_mbs = bytes as f64 / 1.0e6 / wrep.results[0].elapsed;
+
+    let fs_r = Arc::clone(&fs);
+    let cfg_r = cfg.clone();
+    let rrep = mpisim::run(nprocs, sim, move |rk| {
+        workloads::art::restart(rk, &fs_r, &cfg_r, method, "/art").map_err(WlError::into_mpi)
+    })
+    .expect("art restart");
+    let read_mbs = bytes as f64 / 1.0e6 / rrep.results[0].elapsed;
+    (write_mbs, read_mbs, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_runner_produces_throughput() {
+        let calib = Calib::paper(1024);
+        let (w, r) = run_synth(&calib, 4, 1 << 14, 1, Method::Tcio, false);
+        assert!(w.throughput().unwrap() > 0.0);
+        assert!(r.throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn art_runner_produces_throughput() {
+        let calib = Calib::unscaled();
+        let cfg = ArtConfig {
+            num_segments: 8,
+            mu: 4.0,
+            sigma: 1.0,
+            ..ArtConfig::default()
+        };
+        let (w, r, bytes) = run_art(&calib, 2, &cfg, ArtMethod::Tcio);
+        assert!(w > 0.0 && r > 0.0 && bytes > 0);
+    }
+}

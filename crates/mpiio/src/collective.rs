@@ -1,0 +1,684 @@
+//! Two-phase collective I/O — the paper's OCIO baseline, as implemented by
+//! ROMIO (§III.A).
+//!
+//! `write_all_at`:
+//!
+//! 1. every rank resolves its view into file extents and the communicator
+//!    agrees on the aggregate file domain `[min, max)` (allreduce);
+//! 2. the domain is split evenly across the aggregators;
+//! 3. **data exchange phase**: every rank sends each aggregator the pieces
+//!    of its request that fall inside that aggregator's domain — an
+//!    all-to-all burst of Isend/Irecv traffic (this is the traffic pattern
+//!    the paper blames for OCIO's collapse at scale);
+//! 4. **I/O phase**: each aggregator assembles its domain in a *collective
+//!    buffer* (counted against the rank's simulated memory budget — the
+//!    source of the Fig. 6/7 out-of-memory failure) and issues large
+//!    contiguous file-system writes.
+//!
+//! `read_all_at` runs the phases in reverse, with an extra request-exchange
+//! round so aggregators know what to read.
+//!
+//! `cb_buffer = None` reproduces the paper's observed behaviour (the whole
+//! domain is buffered at once — their memory accounting in §V.B.2b implies
+//! an unchunked exchange). `cb_buffer = Some(bytes)` enables ROMIO-style
+//! multi-round chunking and is exercised by the ablation benches.
+
+use crate::error::{IoError, Result};
+use crate::extents::ExtentSet;
+use crate::file::File;
+use mpisim::{Rank, ReduceOp};
+
+/// Tuning knobs of the two-phase implementation (ROMIO hints).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct CollectiveConfig {
+    /// Number of aggregator ranks (`cb_nodes`); `None` = all ranks.
+    pub cb_nodes: Option<usize>,
+    /// Collective buffer size per aggregator; `None` = unchunked (whole
+    /// domain in one round — the paper's behaviour).
+    pub cb_buffer: Option<u64>,
+    /// Round file-domain boundaries up to this alignment (e.g. the PFS
+    /// stripe size, per Liao & Choudhary's lock-boundary partitioning).
+    pub align: Option<u64>,
+}
+
+
+/// Serialize a piece list `[(file_off, len, payload)]` for the exchange.
+fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
+    let header = 4 + pieces.len() * 12;
+    let data: usize = pieces.iter().map(|(_, d)| d.len()).sum();
+    let mut out = Vec::with_capacity(header + data);
+    out.extend_from_slice(&(pieces.len() as u32).to_le_bytes());
+    for (off, d) in pieces {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+    }
+    for (_, d) in pieces {
+        out.extend_from_slice(d);
+    }
+    out
+}
+
+/// Decode a piece list; returns `(off, payload)` views into `buf`.
+fn decode_pieces(buf: &[u8]) -> Result<Vec<(u64, &[u8])>> {
+    if buf.is_empty() {
+        return Ok(Vec::new());
+    }
+    let bad = || IoError::Usage("malformed exchange payload".into());
+    if buf.len() < 4 {
+        return Err(bad());
+    }
+    let n = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let mut meta = Vec::with_capacity(n);
+    let mut pos = 4usize;
+    for _ in 0..n {
+        if pos + 12 > buf.len() {
+            return Err(bad());
+        }
+        let off = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        meta.push((off, len));
+        pos += 12;
+    }
+    let mut out = Vec::with_capacity(n);
+    for (off, len) in meta {
+        if pos + len > buf.len() {
+            return Err(bad());
+        }
+        out.push((off, &buf[pos..pos + len]));
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Serialize a request list `[(file_off, len)]` (reads, phase 1).
+fn encode_requests(reqs: &[(u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + reqs.len() * 12);
+    out.extend_from_slice(&(reqs.len() as u32).to_le_bytes());
+    for &(off, len) in reqs {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+    }
+    out
+}
+
+fn decode_requests(buf: &[u8]) -> Result<Vec<(u64, u64)>> {
+    if buf.is_empty() {
+        return Ok(Vec::new());
+    }
+    let bad = || IoError::Usage("malformed request payload".into());
+    if buf.len() < 4 {
+        return Err(bad());
+    }
+    let n = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if buf.len() != 4 + n * 12 {
+        return Err(bad());
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4;
+    for _ in 0..n {
+        let off = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap()) as u64;
+        out.push((off, len));
+        pos += 12;
+    }
+    Ok(out)
+}
+
+/// File-domain geometry shared by reads and writes.
+pub(crate) struct Domains {
+    pub(crate) gmin: u64,
+    pub(crate) naggs: usize,
+    pub(crate) dsize: u64,
+    pub(crate) gmax: u64,
+    pub(crate) rounds: u64,
+    pub(crate) round_size: u64,
+}
+
+impl Domains {
+    /// Aggregator index → its rank.
+    pub(crate) fn agg_rank(&self, i: usize, nprocs: usize) -> usize {
+        i * nprocs / self.naggs
+    }
+
+    /// Which aggregator index (if any) does this rank serve as?
+    pub(crate) fn my_agg_index(&self, rank: usize, nprocs: usize) -> Option<usize> {
+        (0..self.naggs).find(|&i| self.agg_rank(i, nprocs) == rank)
+    }
+
+    /// Aggregator i's domain `[start, end)`.
+    pub(crate) fn domain(&self, i: usize) -> (u64, u64) {
+        let start = self.gmin + i as u64 * self.dsize;
+        let end = (start + self.dsize).min(self.gmax);
+        (start.min(self.gmax), end)
+    }
+
+    /// Aggregator i's window for round r.
+    pub(crate) fn window(&self, i: usize, r: u64) -> (u64, u64) {
+        let (ds, de) = self.domain(i);
+        let ws = ds + r * self.round_size;
+        let we = (ws + self.round_size).min(de);
+        (ws.min(de), we)
+    }
+}
+
+pub(crate) fn compute_domains(
+    rank: &mut Rank,
+    local_min: u64,
+    local_max: u64,
+    cfg: &CollectiveConfig,
+) -> Result<Option<Domains>> {
+    let gmin = rank.allreduce_u64(local_min, ReduceOp::Min)?;
+    let gmax = rank.allreduce_u64(local_max, ReduceOp::Max)?;
+    if gmin >= gmax {
+        return Ok(None); // nothing to do anywhere
+    }
+    let nprocs = rank.nprocs();
+    let naggs = cfg.cb_nodes.unwrap_or(nprocs).clamp(1, nprocs);
+    let mut dsize = (gmax - gmin).div_ceil(naggs as u64);
+    if let Some(a) = cfg.align {
+        if a > 0 {
+            dsize = dsize.div_ceil(a) * a;
+        }
+    }
+    let round_size = cfg.cb_buffer.unwrap_or(dsize).max(1).min(dsize);
+    let rounds = dsize.div_ceil(round_size);
+    Ok(Some(Domains {
+        gmin,
+        naggs,
+        dsize,
+        gmax,
+        rounds,
+        round_size,
+    }))
+}
+
+/// Collective write: all ranks must call, each with its own (possibly
+/// empty) data at a view-stream `offset`.
+pub fn write_all_at(
+    rank: &mut Rank,
+    file: &mut File,
+    offset: u64,
+    data: &[u8],
+    cfg: &CollectiveConfig,
+) -> Result<()> {
+    if !file.mode().writable() {
+        return Err(IoError::Usage("file is not open for writing".into()));
+    }
+    let extents = file.view().map_range(offset, data.len() as u64);
+    // Stream cursor for each extent, to slice `data`.
+    let mut cursors = Vec::with_capacity(extents.len());
+    let mut acc = 0u64;
+    for &(_, len) in &extents {
+        cursors.push(acc);
+        acc += len;
+    }
+    let local_min = extents.first().map_or(u64::MAX, |&(o, _)| o);
+    let local_max = extents.last().map_or(0, |&(o, l)| o + l);
+
+    let Some(doms) = compute_domains(rank, local_min, local_max, cfg)? else {
+        rank.barrier()?;
+        return Ok(());
+    };
+    let nprocs = rank.nprocs();
+    let my_agg = doms.my_agg_index(rank.rank(), nprocs);
+
+    for r in 0..doms.rounds {
+        // Build per-destination piece payloads for this round.
+        let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        for i in 0..doms.naggs {
+            let (ws, we) = doms.window(i, r);
+            if ws >= we {
+                continue;
+            }
+            let mut pieces: Vec<(u64, &[u8])> = Vec::new();
+            for (k, &(eoff, elen)) in extents.iter().enumerate() {
+                let s = eoff.max(ws);
+                let e = (eoff + elen).min(we);
+                if s < e {
+                    let dstart = (cursors[k] + (s - eoff)) as usize;
+                    pieces.push((s, &data[dstart..dstart + (e - s) as usize]));
+                }
+            }
+            if !pieces.is_empty() {
+                payloads[doms.agg_rank(i, nprocs)] = encode_pieces(&pieces);
+            }
+        }
+        // Data exchange phase: the all-to-all burst.
+        let exchanged = rank.alltoallv_burst(payloads)?;
+
+        // I/O phase (aggregators only).
+        if let Some(i) = my_agg {
+            let (ws, we) = doms.window(i, r);
+            if ws < we {
+                let win_len = (we - ws) as usize;
+                let _cb = rank.alloc(win_len as u64)?; // collective buffer
+                rank.note_mem_peak();
+                let mut buf = vec![0u8; win_len];
+                let mut dirty = ExtentSet::new();
+                for payload in &exchanged {
+                    for (off, bytes) in decode_pieces(payload)? {
+                        let at = (off - ws) as usize;
+                        buf[at..at + bytes.len()].copy_from_slice(bytes);
+                        rank.charge_memcpy(bytes.len() as u64);
+                        dirty.insert(off, bytes.len() as u64);
+                    }
+                }
+                let mut done = rank.now();
+                for &(off, len) in dirty.runs() {
+                    let at = (off - ws) as usize;
+                    let t = file.pfs().write_at(
+                        file.file_id(),
+                        rank.rank(),
+                        off,
+                        &buf[at..at + len as usize],
+                        rank.now(),
+                    )?;
+                    done = done.max(t);
+                    rank.stats.io_writes += 1;
+                    rank.stats.io_write_bytes += len;
+                }
+                rank.sync_to(done);
+            }
+        }
+    }
+    rank.barrier()?;
+    Ok(())
+}
+
+/// Collective read: all ranks must call, each filling its own (possibly
+/// empty) buffer from a view-stream `offset`.
+pub fn read_all_at(
+    rank: &mut Rank,
+    file: &mut File,
+    offset: u64,
+    buf: &mut [u8],
+    cfg: &CollectiveConfig,
+) -> Result<()> {
+    if !file.mode().readable() {
+        return Err(IoError::Usage("file is not open for reading".into()));
+    }
+    let extents = file.view().map_range(offset, buf.len() as u64);
+    let mut cursors = Vec::with_capacity(extents.len());
+    let mut acc = 0u64;
+    for &(_, len) in &extents {
+        cursors.push(acc);
+        acc += len;
+    }
+    let local_min = extents.first().map_or(u64::MAX, |&(o, _)| o);
+    let local_max = extents.last().map_or(0, |&(o, l)| o + l);
+
+    let Some(doms) = compute_domains(rank, local_min, local_max, cfg)? else {
+        rank.barrier()?;
+        return Ok(());
+    };
+    let nprocs = rank.nprocs();
+    let my_agg = doms.my_agg_index(rank.rank(), nprocs);
+
+    for r in 0..doms.rounds {
+        // Phase 1: send each aggregator the extents we need from its window.
+        let mut requests: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        // Remember, per aggregator, which (buf_cursor, len) slots the
+        // responses will fill, in request order.
+        let mut fill_plan: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nprocs];
+        for i in 0..doms.naggs {
+            let (ws, we) = doms.window(i, r);
+            if ws >= we {
+                continue;
+            }
+            let mut reqs: Vec<(u64, u64)> = Vec::new();
+            let a = doms.agg_rank(i, nprocs);
+            for (k, &(eoff, elen)) in extents.iter().enumerate() {
+                let s = eoff.max(ws);
+                let e = (eoff + elen).min(we);
+                if s < e {
+                    reqs.push((s, e - s));
+                    fill_plan[a].push(((cursors[k] + (s - eoff)) as usize, (e - s) as usize));
+                }
+            }
+            if !reqs.is_empty() {
+                requests[a] = encode_requests(&reqs);
+            }
+        }
+        let incoming = rank.alltoallv_burst(requests)?;
+
+        // Phase 2: aggregators read their window and answer.
+        let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        if let Some(i) = my_agg {
+            let (ws, we) = doms.window(i, r);
+            if ws < we {
+                // Union of everything requested in this window.
+                let mut wanted = ExtentSet::new();
+                let mut per_rank_reqs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(nprocs);
+                for payload in &incoming {
+                    let reqs = decode_requests(payload)?;
+                    for &(o, l) in &reqs {
+                        wanted.insert(o, l);
+                    }
+                    per_rank_reqs.push(reqs);
+                }
+                if !wanted.is_empty() {
+                    let win_len = (we - ws) as usize;
+                    let _cb = rank.alloc(win_len as u64)?;
+                    rank.note_mem_peak();
+                    let mut wbuf = vec![0u8; win_len];
+                    let mut done = rank.now();
+                    for &(off, len) in wanted.runs() {
+                        let at = (off - ws) as usize;
+                        let t = file.pfs().read_at(
+                            file.file_id(),
+                            rank.rank(),
+                            off,
+                            &mut wbuf[at..at + len as usize],
+                            rank.now(),
+                        )?;
+                        done = done.max(t);
+                        rank.stats.io_reads += 1;
+                        rank.stats.io_read_bytes += len;
+                    }
+                    rank.sync_to(done);
+                    for (src, reqs) in per_rank_reqs.iter().enumerate() {
+                        if reqs.is_empty() {
+                            continue;
+                        }
+                        let total: u64 = reqs.iter().map(|&(_, l)| l).sum();
+                        let mut resp = Vec::with_capacity(total as usize);
+                        for &(off, len) in reqs {
+                            let at = (off - ws) as usize;
+                            resp.extend_from_slice(&wbuf[at..at + len as usize]);
+                        }
+                        rank.charge_memcpy(total);
+                        responses[src] = resp;
+                    }
+                }
+            }
+        }
+        let answers = rank.alltoallv_burst(responses)?;
+
+        // Scatter answers into the caller's buffer.
+        for i in 0..doms.naggs {
+            let a = doms.agg_rank(i, nprocs);
+            let plan = &fill_plan[a];
+            if plan.is_empty() {
+                continue;
+            }
+            let payload = &answers[a];
+            let mut pos = 0usize;
+            for &(cursor, len) in plan {
+                buf[cursor..cursor + len].copy_from_slice(&payload[pos..pos + len]);
+                pos += len;
+            }
+            debug_assert_eq!(pos, payload.len());
+        }
+    }
+    rank.barrier()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{File, Mode};
+    use mpisim::{Datatype, Named, SimConfig};
+    use pfs::{Pfs, PfsConfig};
+    use std::sync::Arc;
+
+    fn to_mpi(e: IoError) -> mpisim::MpiError {
+        match e {
+            IoError::Mpi(m) => m,
+            other => mpisim::MpiError::InvalidDatatype(other.to_string()),
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let a = [1u8, 2, 3];
+        let b = [9u8];
+        let enc = encode_pieces(&[(10, &a), (99, &b)]);
+        let dec = decode_pieces(&enc).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0], (10, &a[..]));
+        assert_eq!(dec[1], (99, &b[..]));
+        assert!(decode_pieces(&[1, 2]).is_err());
+
+        let reqs = [(5u64, 7u64), (100, 1)];
+        let enc = encode_requests(&reqs);
+        assert_eq!(decode_requests(&enc).unwrap(), reqs.to_vec());
+        assert!(decode_requests(&[0, 0]).is_err());
+    }
+
+    fn run_interleaved(
+        nprocs: usize,
+        len_array: usize,
+        cfg: CollectiveConfig,
+    ) -> (Arc<Pfs>, Vec<u8>) {
+        // The paper's Fig. 2 pattern: block b of the file belongs to rank
+        // b % P; rank r writes blocks of 12 bytes filled with (r+1).
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/c", Mode::WriteOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 12 * len_array];
+            write_all_at(rk, &mut f, 0, &data, &cfg).map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/c").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        (fs, bytes)
+    }
+
+    fn check_interleaved(bytes: &[u8], nprocs: usize, len_array: usize) {
+        assert_eq!(bytes.len(), 12 * nprocs * len_array);
+        for block in 0..nprocs * len_array {
+            let expect = (block % nprocs) as u8 + 1;
+            assert!(
+                bytes[block * 12..(block + 1) * 12].iter().all(|&b| b == expect),
+                "block {block} corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn write_all_produces_interleaved_file() {
+        let (_, bytes) = run_interleaved(4, 8, CollectiveConfig::default());
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn write_all_with_fewer_aggregators() {
+        let cfg = CollectiveConfig {
+            cb_nodes: Some(2),
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved(4, 8, cfg);
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn write_all_chunked_rounds() {
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(64), // tiny rounds force multi-round exchange
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved(4, 8, cfg);
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn write_all_stripe_aligned_domains() {
+        let cfg = CollectiveConfig {
+            align: Some(1 << 20),
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved(4, 8, cfg);
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn read_all_roundtrips() {
+        let nprocs = 4;
+        let len_array = 8;
+        let (fs, _) = run_interleaved(nprocs, len_array, CollectiveConfig::default());
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/c", Mode::ReadOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let mut buf = vec![0u8; 12 * len_array];
+            read_all_at(rk, &mut f, 0, &mut buf, &CollectiveConfig::default()).map_err(to_mpi)?;
+            Ok(buf)
+        })
+        .unwrap();
+        for (r, buf) in rep.results.iter().enumerate() {
+            assert!(
+                buf.iter().all(|&b| b == r as u8 + 1),
+                "rank {r} read back foreign data"
+            );
+        }
+    }
+
+    #[test]
+    fn read_all_chunked_roundtrips() {
+        let nprocs = 3;
+        let len_array = 5;
+        let (fs, _) = run_interleaved(nprocs, len_array, CollectiveConfig::default());
+        let fs2 = Arc::clone(&fs);
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(40),
+            cb_nodes: Some(2),
+            ..Default::default()
+        };
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/c", Mode::ReadOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let mut buf = vec![0u8; 12 * len_array];
+            read_all_at(rk, &mut f, 0, &mut buf, &cfg).map_err(to_mpi)?;
+            Ok(buf)
+        })
+        .unwrap();
+        for (r, buf) in rep.results.iter().enumerate() {
+            assert!(buf.iter().all(|&b| b == r as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_participants_are_fine() {
+        // Ranks 2..4 contribute nothing but still participate.
+        let fs = Pfs::new(4, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(4, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/e", Mode::WriteOnly).map_err(to_mpi)?;
+            let data = if rk.rank() < 2 { vec![rk.rank() as u8 + 1; 8] } else { Vec::new() };
+            write_all_at(rk, &mut f, rk.rank() as u64 * 8, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/e").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        assert_eq!(bytes.len(), 16);
+        assert!(bytes[0..8].iter().all(|&b| b == 1));
+        assert!(bytes[8..16].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn all_empty_collective_is_a_noop() {
+        let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(2, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/n", Mode::WriteOnly).map_err(to_mpi)?;
+            write_all_at(rk, &mut f, 0, &[], &CollectiveConfig::default()).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/n").unwrap();
+        assert_eq!(fs.len(fid).unwrap(), 0);
+    }
+
+    #[test]
+    fn aggregator_buffer_is_memory_accounted() {
+        // With a tight memory budget, the unchunked collective must fail
+        // with a simulated OOM — the mechanism behind Fig. 6/7's missing
+        // OCIO point at 48 GB.
+        let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let mut sim = SimConfig::default();
+        sim.mem_budget = Some(100); // bytes; domain buffer will exceed this
+        let err = mpisim::run(2, sim, move |rk| {
+            let mut f = File::open(rk, &fs2, "/oom", Mode::WriteOnly).map_err(to_mpi)?;
+            let data = vec![7u8; 200];
+            write_all_at(rk, &mut f, rk.rank() as u64 * 200, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            mpisim::SimError::RankFailed { error, .. } => {
+                assert!(matches!(error, mpisim::MpiError::OutOfMemory { .. }))
+            }
+            other => panic!("expected OOM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn chunked_mode_fits_in_tight_memory() {
+        // Same workload as above, but cb_buffer-chunked exchange stays
+        // within budget — the ablation claim.
+        let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let mut sim = SimConfig::default();
+        sim.mem_budget = Some(100);
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(64),
+            ..Default::default()
+        };
+        mpisim::run(2, sim, move |rk| {
+            let mut f = File::open(rk, &fs2, "/fit", Mode::WriteOnly).map_err(to_mpi)?;
+            let data = vec![7u8; 200];
+            write_all_at(rk, &mut f, rk.rank() as u64 * 200, &data, &cfg).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/fit").unwrap();
+        assert_eq!(fs.len(fid).unwrap(), 400);
+        assert!(fs.snapshot_file(fid).unwrap().iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn sparse_domains_do_not_write_holes() {
+        // Two ranks write 8 bytes each, 1000 bytes apart; the aggregator
+        // buffers must not flush untouched gap bytes over existing data.
+        let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+        let fid = fs.create("/sparse").unwrap();
+        // Pre-fill the gap with sentinel bytes.
+        fs.write_at(fid, 0, 0, &vec![0xAAu8; 1008], 0.0).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(2, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/sparse", Mode::ReadWrite).map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 8];
+            write_all_at(rk, &mut f, rk.rank() as u64 * 1000, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        assert!(bytes[0..8].iter().all(|&b| b == 1));
+        assert!(bytes[8..1000].iter().all(|&b| b == 0xAA), "gap clobbered");
+        assert!(bytes[1000..1008].iter().all(|&b| b == 2));
+    }
+}

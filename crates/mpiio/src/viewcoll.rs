@@ -1,0 +1,487 @@
+//! View-based collective I/O (Blas, Isaila, Singh & Carretero,
+//! CCGRID'08 — the paper's related work \[16\]).
+//!
+//! The two-phase exchange ships an *offset/length list alongside every
+//! data piece* on every collective call. View-based collective I/O
+//! registers each rank's **file view** at the aggregators once, at
+//! view-declaration time; a collective write then sends only
+//! `(stream position, raw bytes)` per aggregator — the aggregator
+//! reconstructs the file placement from the stored view. This reduces
+//! per-call metadata ("the cost of data scatter-gather operations and
+//! file metadata transfer") at the price of keeping P views per
+//! aggregator.
+//!
+//! A key property makes the sender side cheap: file views are monotone, so
+//! the set of a rank's stream bytes that lands inside an aggregator's file
+//! domain is a *single contiguous stream interval* — one header per
+//! aggregator, regardless of how fragmented the file extents are.
+
+use crate::collective::{compute_domains, CollectiveConfig};
+use crate::error::{IoError, Result};
+use crate::extents::ExtentSet;
+use crate::file::File;
+use crate::view::FileView;
+use mpisim::Rank;
+
+/// The views of all ranks, registered collectively.
+#[derive(Debug)]
+pub struct RegisteredViews {
+    views: Vec<FileView>,
+}
+
+/// Collectively register every rank's current view (call after
+/// `set_view`; re-call if views change). This is the one-time metadata
+/// exchange that per-call offset lists are traded against.
+pub fn register_views(rank: &mut Rank, file: &File) -> Result<RegisteredViews> {
+    let gathered = rank.allgather(&file.view().serialize())?;
+    let views = gathered
+        .iter()
+        .map(|b| FileView::deserialize(b))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(RegisteredViews { views })
+}
+
+/// View-based collective write: all ranks call, each with its own data at
+/// a view-stream `offset`. Functionally identical to
+/// [`crate::write_all_at`]; the exchange carries one 16-byte header per
+/// (rank, aggregator) pair instead of one 12-byte header per file extent.
+pub fn write_all_view_based(
+    rank: &mut Rank,
+    file: &mut File,
+    views: &RegisteredViews,
+    offset: u64,
+    data: &[u8],
+    cfg: &CollectiveConfig,
+) -> Result<()> {
+    if !file.mode().writable() {
+        return Err(IoError::Usage("file is not open for writing".into()));
+    }
+    if views.views.len() != rank.nprocs() {
+        return Err(IoError::Usage(
+            "registered views do not match the communicator".into(),
+        ));
+    }
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let view = views.views[me].clone();
+    let extents = view.map_range(offset, data.len() as u64);
+    let local_min = extents.first().map_or(u64::MAX, |&(o, _)| o);
+    let local_max = extents.last().map_or(0, |&(o, l)| o + l);
+
+    let Some(doms) = compute_domains(rank, local_min, local_max, cfg)? else {
+        rank.barrier()?;
+        return Ok(());
+    };
+    let my_agg = doms.my_agg_index(me, nprocs);
+
+    for r in 0..doms.rounds {
+        // Sender side: one contiguous stream interval per aggregator.
+        let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        for i in 0..doms.naggs {
+            let (ws, we) = doms.window(i, r);
+            if ws >= we {
+                continue;
+            }
+            // Stream positions of the window boundaries under MY view.
+            let a_lo = view.stream_len_for_file(ws);
+            let a_hi = view.stream_len_for_file(we);
+            let lo = a_lo.max(offset);
+            let hi = a_hi.min(offset + data.len() as u64);
+            if lo >= hi {
+                continue;
+            }
+            let mut msg = Vec::with_capacity(16 + (hi - lo) as usize);
+            msg.extend_from_slice(&lo.to_le_bytes());
+            msg.extend_from_slice(&(hi - lo).to_le_bytes());
+            msg.extend_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
+            payloads[doms.agg_rank(i, nprocs)] = msg;
+        }
+        let exchanged = rank.alltoallv_burst(payloads)?;
+
+        // Aggregator side: reconstruct placement from the stored views.
+        if let Some(i) = my_agg {
+            let (ws, we) = doms.window(i, r);
+            if ws < we {
+                let win_len = (we - ws) as usize;
+                let _cb = rank.alloc(win_len as u64)?;
+                rank.note_mem_peak();
+                let mut buf = vec![0u8; win_len];
+                let mut dirty = ExtentSet::new();
+                for (src, payload) in exchanged.iter().enumerate() {
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    if payload.len() < 16 {
+                        return Err(IoError::Usage("malformed view-based payload".into()));
+                    }
+                    let stream_lo = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+                    let len = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+                    if payload.len() as u64 != 16 + len {
+                        return Err(IoError::Usage("view-based payload length mismatch".into()));
+                    }
+                    let bytes = &payload[16..];
+                    let mut cursor = 0usize;
+                    for (foff, flen) in views.views[src].map_range(stream_lo, len) {
+                        debug_assert!(foff >= ws && foff + flen <= we, "view maps outside domain");
+                        let at = (foff - ws) as usize;
+                        buf[at..at + flen as usize]
+                            .copy_from_slice(&bytes[cursor..cursor + flen as usize]);
+                        cursor += flen as usize;
+                        dirty.insert(foff, flen);
+                    }
+                    rank.charge_memcpy(len);
+                }
+                let mut done = rank.now();
+                for &(off, len) in dirty.runs() {
+                    let at = (off - ws) as usize;
+                    let t = file.pfs().write_at(
+                        file.file_id(),
+                        rank.rank(),
+                        off,
+                        &buf[at..at + len as usize],
+                        rank.now(),
+                    )?;
+                    done = done.max(t);
+                    rank.stats.io_writes += 1;
+                    rank.stats.io_write_bytes += len;
+                }
+                rank.sync_to(done);
+            }
+        }
+    }
+    rank.barrier()?;
+    Ok(())
+}
+
+/// View-based collective read: the registered views replace the entire
+/// request-exchange phase of the two-phase read — each rank sends only a
+/// 16-byte `(stream position, length)` header per aggregator, and the
+/// aggregator derives both what to read from the file and how to slice the
+/// responses from the stored views.
+pub fn read_all_view_based(
+    rank: &mut Rank,
+    file: &mut File,
+    views: &RegisteredViews,
+    offset: u64,
+    buf: &mut [u8],
+    cfg: &CollectiveConfig,
+) -> Result<()> {
+    if !file.mode().readable() {
+        return Err(IoError::Usage("file is not open for reading".into()));
+    }
+    if views.views.len() != rank.nprocs() {
+        return Err(IoError::Usage(
+            "registered views do not match the communicator".into(),
+        ));
+    }
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let view = views.views[me].clone();
+    let extents = view.map_range(offset, buf.len() as u64);
+    let local_min = extents.first().map_or(u64::MAX, |&(o, _)| o);
+    let local_max = extents.last().map_or(0, |&(o, l)| o + l);
+
+    let Some(doms) = compute_domains(rank, local_min, local_max, cfg)? else {
+        rank.barrier()?;
+        return Ok(());
+    };
+    let my_agg = doms.my_agg_index(me, nprocs);
+
+    for r in 0..doms.rounds {
+        // Phase 1: 16-byte interval headers only.
+        let mut requests: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        // Remember my own stream interval per aggregator to scatter replies.
+        let mut my_intervals: Vec<Option<(u64, u64)>> = vec![None; nprocs];
+        for i in 0..doms.naggs {
+            let (ws, we) = doms.window(i, r);
+            if ws >= we {
+                continue;
+            }
+            let a_lo = view.stream_len_for_file(ws);
+            let a_hi = view.stream_len_for_file(we);
+            let lo = a_lo.max(offset);
+            let hi = a_hi.min(offset + buf.len() as u64);
+            if lo >= hi {
+                continue;
+            }
+            let a = doms.agg_rank(i, nprocs);
+            let mut msg = Vec::with_capacity(16);
+            msg.extend_from_slice(&lo.to_le_bytes());
+            msg.extend_from_slice(&(hi - lo).to_le_bytes());
+            requests[a] = msg;
+            my_intervals[a] = Some((lo, hi));
+        }
+        let incoming = rank.alltoallv_burst(requests)?;
+
+        // Phase 2: aggregators read and answer from the stored views.
+        let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        if let Some(i) = my_agg {
+            let (ws, we) = doms.window(i, r);
+            if ws < we {
+                // Parse intervals; derive wanted file runs from the views.
+                let mut wanted = ExtentSet::new();
+                let mut intervals: Vec<Option<(u64, u64)>> = vec![None; nprocs];
+                for (src, payload) in incoming.iter().enumerate() {
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    if payload.len() != 16 {
+                        return Err(IoError::Usage("malformed view-based request".into()));
+                    }
+                    let lo = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+                    let len = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+                    intervals[src] = Some((lo, len));
+                    for (o, l) in views.views[src].map_range(lo, len) {
+                        wanted.insert(o, l);
+                    }
+                }
+                if !wanted.is_empty() {
+                    let win_len = (we - ws) as usize;
+                    let _cb = rank.alloc(win_len as u64)?;
+                    rank.note_mem_peak();
+                    let mut wbuf = vec![0u8; win_len];
+                    let mut done = rank.now();
+                    for &(off, len) in wanted.runs() {
+                        let at = (off - ws) as usize;
+                        let t = file.pfs().read_at(
+                            file.file_id(),
+                            rank.rank(),
+                            off,
+                            &mut wbuf[at..at + len as usize],
+                            rank.now(),
+                        )?;
+                        done = done.max(t);
+                        rank.stats.io_reads += 1;
+                        rank.stats.io_read_bytes += len;
+                    }
+                    rank.sync_to(done);
+                    for (src, iv) in intervals.iter().enumerate() {
+                        let Some((lo, len)) = iv else { continue };
+                        let mut resp = Vec::with_capacity(*len as usize);
+                        for (o, l) in views.views[src].map_range(*lo, *len) {
+                            let at = (o - ws) as usize;
+                            resp.extend_from_slice(&wbuf[at..at + l as usize]);
+                        }
+                        rank.charge_memcpy(*len);
+                        responses[src] = resp;
+                    }
+                }
+            }
+        }
+        let answers = rank.alltoallv_burst(responses)?;
+
+        // Scatter each aggregator's reply into my buffer.
+        for (a, iv) in my_intervals.iter().enumerate() {
+            let Some((lo, hi)) = iv else { continue };
+            let payload = &answers[a];
+            if payload.len() as u64 != hi - lo {
+                return Err(IoError::Usage("view-based reply length mismatch".into()));
+            }
+            buf[(lo - offset) as usize..(hi - offset) as usize].copy_from_slice(payload);
+        }
+    }
+    rank.barrier()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::Mode;
+    use mpisim::{Datatype, Named, SimConfig};
+    use pfs::{Pfs, PfsConfig};
+    use std::sync::Arc;
+
+    fn to_mpi(e: IoError) -> mpisim::MpiError {
+        match e {
+            IoError::Mpi(m) => m,
+            other => mpisim::MpiError::InvalidDatatype(other.to_string()),
+        }
+    }
+
+    fn write_both_ways(nprocs: usize, len_array: usize, cfg: CollectiveConfig) -> (Vec<u8>, Vec<u8>) {
+        // The Fig. 2 interleaved pattern, written once with classic
+        // two-phase and once view-based; files must be identical.
+        let mut snaps = Vec::new();
+        for view_based in [false, true] {
+            let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let cfg = cfg.clone();
+            mpisim::run(nprocs, SimConfig::default(), move |rk| {
+                let mut f = File::open(rk, &fs2, "/vb", Mode::WriteOnly).map_err(to_mpi)?;
+                let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+                let ftype =
+                    Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
+                        .commit();
+                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+                let data = vec![rk.rank() as u8 + 1; 12 * len_array];
+                if view_based {
+                    let views = register_views(rk, &f).map_err(to_mpi)?;
+                    write_all_view_based(rk, &mut f, &views, 0, &data, &cfg).map_err(to_mpi)?;
+                } else {
+                    crate::collective::write_all_at(rk, &mut f, 0, &data, &cfg).map_err(to_mpi)?;
+                }
+                f.close(rk).map_err(to_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/vb").unwrap();
+            snaps.push(fs.snapshot_file(fid).unwrap());
+        }
+        let b = snaps.pop().unwrap();
+        let a = snaps.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn view_based_matches_two_phase() {
+        let (two_phase, view_based) = write_both_ways(4, 8, CollectiveConfig::default());
+        assert_eq!(two_phase, view_based);
+    }
+
+    #[test]
+    fn view_based_matches_with_fewer_aggregators_and_rounds() {
+        let cfg = CollectiveConfig {
+            cb_nodes: Some(2),
+            cb_buffer: Some(64),
+            ..Default::default()
+        };
+        let (two_phase, view_based) = write_both_ways(3, 5, cfg);
+        assert_eq!(two_phase, view_based);
+    }
+
+    #[test]
+    fn view_based_moves_less_metadata() {
+        // Count fabric bytes: the view-based exchange must ship fewer
+        // total bytes (no per-extent headers) for a fragmented pattern.
+        let nprocs = 4;
+        let len_array = 64; // 64 extents of 12 B per rank per aggregator
+        let mut fabric_bytes = Vec::new();
+        for view_based in [false, true] {
+            let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+            let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+                let mut f = File::open(rk, &fs, "/m", Mode::WriteOnly).map_err(to_mpi)?;
+                let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+                let ftype =
+                    Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
+                        .commit();
+                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+                let data = vec![1u8; 12 * len_array];
+                if view_based {
+                    let views = register_views(rk, &f).map_err(to_mpi)?;
+                    write_all_view_based(
+                        rk,
+                        &mut f,
+                        &views,
+                        0,
+                        &data,
+                        &CollectiveConfig::default(),
+                    )
+                    .map_err(to_mpi)?;
+                } else {
+                    crate::collective::write_all_at(
+                        rk,
+                        &mut f,
+                        0,
+                        &data,
+                        &CollectiveConfig::default(),
+                    )
+                    .map_err(to_mpi)?;
+                }
+                f.close(rk).map_err(to_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            fabric_bytes.push(rep.fabric.bytes);
+        }
+        assert!(
+            fabric_bytes[1] < fabric_bytes[0],
+            "view-based ({}) must ship fewer bytes than two-phase ({})",
+            fabric_bytes[1],
+            fabric_bytes[0]
+        );
+    }
+
+    #[test]
+    fn empty_ranks_participate() {
+        let fs = Pfs::new(3, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(3, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/e", Mode::WriteOnly).map_err(to_mpi)?;
+            let views = register_views(rk, &f).map_err(to_mpi)?;
+            let data = if rk.rank() == 0 { vec![7u8; 24] } else { Vec::new() };
+            write_all_view_based(rk, &mut f, &views, 0, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/e").unwrap();
+        assert_eq!(fs.snapshot_file(fid).unwrap(), vec![7u8; 24]);
+    }
+
+    #[test]
+    fn view_based_read_roundtrips() {
+        let nprocs = 4;
+        let len_array = 8;
+        // Write with classic two-phase, read back view-based.
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/vbr", Mode::ReadWrite).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
+                    .commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 12 * len_array];
+            crate::collective::write_all_at(rk, &mut f, 0, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            let views = register_views(rk, &f).map_err(to_mpi)?;
+            let mut back = vec![0u8; 12 * len_array];
+            read_all_view_based(rk, &mut f, &views, 0, &mut back, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            Ok(back)
+        })
+        .unwrap();
+        for (r, back) in rep.results.iter().enumerate() {
+            assert!(back.iter().all(|&b| b == r as u8 + 1), "rank {r} read bad data");
+        }
+    }
+
+    #[test]
+    fn view_based_read_partial_range() {
+        // Read only a middle slice of the stream through the view.
+        let nprocs = 2;
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/vbp", Mode::ReadWrite).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(8, Datatype::named(Named::Byte)).commit();
+            let ftype = Datatype::vector(6, 1, 2, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 8, &etype, &ftype).map_err(to_mpi)?;
+            let data: Vec<u8> = (0..48).map(|i| (rk.rank() * 100 + i) as u8).collect();
+            crate::collective::write_all_at(rk, &mut f, 0, &data, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            let views = register_views(rk, &f).map_err(to_mpi)?;
+            let mut slice = vec![0u8; 16];
+            read_all_view_based(rk, &mut f, &views, 10, &mut slice, &CollectiveConfig::default())
+                .map_err(to_mpi)?;
+            let expect: Vec<u8> = (10..26).map(|i| (rk.rank() * 100 + i) as u8).collect();
+            assert_eq!(slice, expect, "rank {}", rk.rank());
+            Ok(())
+        });
+        rep.unwrap();
+    }
+
+    #[test]
+    fn serialized_views_roundtrip() {
+        let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+        let ftype = Datatype::vector(5, 1, 3, etype.datatype().clone()).commit();
+        let v = FileView::new(24, &etype, &ftype).unwrap();
+        let w = FileView::deserialize(&v.serialize()).unwrap();
+        for (pos, len) in [(0u64, 60u64), (7, 13), (59, 1)] {
+            assert_eq!(v.map_range(pos, len), w.map_range(pos, len));
+        }
+        assert!(FileView::deserialize(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! The rendezvous primitive backing collective operations.
+//!
+//! All ranks of the simulated communicator deposit a payload and their
+//! current virtual clock; the last arrival publishes the full payload set
+//! and the maximum clock, and every participant leaves with both. Cost
+//! formulas (tree depth × latency, bandwidth terms) are applied by the
+//! callers in `runtime.rs` on top of the reconciled clock.
+//!
+//! Each completed rendezvous has a unique, monotonically increasing
+//! *generation*, which doubles as a collectively-agreed identifier (used to
+//! key window creation and shared-state registries).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+pub(crate) struct Rendezvous {
+    n: usize,
+    inner: Mutex<RvState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct RvState {
+    gen: u64,
+    arrived: usize,
+    slots: Vec<Option<Vec<u8>>>,
+    max_t: f64,
+    /// Published result of the most recently completed generation.
+    done_gen: u64,
+    result: Arc<Vec<Vec<u8>>>,
+    result_max: f64,
+}
+
+/// Outcome of a completed rendezvous.
+pub(crate) struct RvResult {
+    /// Payloads indexed by rank.
+    pub payloads: Arc<Vec<Vec<u8>>>,
+    /// Maximum clock among participants at entry.
+    pub max_t: f64,
+    /// Unique id of this collective (generation number).
+    pub gen: u64,
+}
+
+impl Rendezvous {
+    pub(crate) fn new(n: usize) -> Self {
+        Rendezvous {
+            n,
+            inner: Mutex::new(RvState {
+                gen: 0,
+                arrived: 0,
+                slots: vec![None; n],
+                max_t: f64::NEG_INFINITY,
+                done_gen: u64::MAX,
+                result: Arc::new(Vec::new()),
+                result_max: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Enter the collective with `payload` at virtual time `t`.
+    /// Returns `None` if the simulation aborts while waiting.
+    pub(crate) fn enter(
+        &self,
+        me: usize,
+        payload: Vec<u8>,
+        t: f64,
+        abort: &AtomicBool,
+    ) -> Option<RvResult> {
+        let mut st = self.inner.lock();
+        let my_gen = st.gen;
+        debug_assert!(st.slots[me].is_none(), "rank {me} double-entered a collective");
+        st.slots[me] = Some(payload);
+        st.arrived += 1;
+        if t > st.max_t {
+            st.max_t = t;
+        }
+        if st.arrived == self.n {
+            // Last arrival: publish and open the next generation.
+            let payloads: Vec<Vec<u8>> = st.slots.iter_mut().map(|s| s.take().unwrap()).collect();
+            st.result = Arc::new(payloads);
+            st.result_max = st.max_t;
+            st.done_gen = my_gen;
+            st.gen = my_gen + 1;
+            st.arrived = 0;
+            st.max_t = f64::NEG_INFINITY;
+            self.cv.notify_all();
+            return Some(RvResult {
+                payloads: Arc::clone(&st.result),
+                max_t: st.result_max,
+                gen: my_gen,
+            });
+        }
+        loop {
+            if st.gen > my_gen {
+                debug_assert_eq!(st.done_gen, my_gen);
+                return Some(RvResult {
+                    payloads: Arc::clone(&st.result),
+                    max_t: st.result_max,
+                    gen: my_gen,
+                });
+            }
+            if abort.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// `ceil(log2(n))`, with `log2ceil(1) == 0`.
+pub fn log2ceil(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn log2ceil_values() {
+        assert_eq!(log2ceil(1), 0);
+        assert_eq!(log2ceil(2), 1);
+        assert_eq!(log2ceil(3), 2);
+        assert_eq!(log2ceil(4), 2);
+        assert_eq!(log2ceil(5), 3);
+        assert_eq!(log2ceil(1024), 10);
+    }
+
+    #[test]
+    fn rendezvous_gathers_payloads_and_max_time() {
+        let rv = Arc::new(Rendezvous::new(4));
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for me in 0..4 {
+            let rv = Arc::clone(&rv);
+            let abort = Arc::clone(&abort);
+            handles.push(thread::spawn(move || {
+                rv.enter(me, vec![me as u8], me as f64, &abort).unwrap()
+            }));
+        }
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.max_t, 3.0);
+            assert_eq!(r.gen, 0);
+            for (i, p) in r.payloads.iter().enumerate() {
+                assert_eq!(p, &vec![i as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_generations_do_not_mix() {
+        let rv = Arc::new(Rendezvous::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for me in 0..2usize {
+            let rv = Arc::clone(&rv);
+            let abort = Arc::clone(&abort);
+            handles.push(thread::spawn(move || {
+                let mut gens = Vec::new();
+                for round in 0..50u8 {
+                    let r = rv.enter(me, vec![round, me as u8], round as f64, &abort).unwrap();
+                    assert_eq!(r.payloads[0][0], round);
+                    assert_eq!(r.payloads[1][0], round);
+                    gens.push(r.gen);
+                }
+                gens
+            }));
+        }
+        let a = handles.pop().unwrap().join().unwrap();
+        let b = handles.pop().unwrap().join().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn abort_releases_waiters() {
+        let rv = Arc::new(Rendezvous::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let rv2 = Arc::clone(&rv);
+        let ab2 = Arc::clone(&abort);
+        let h = thread::spawn(move || rv2.enter(0, Vec::new(), 0.0, &ab2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        abort.store(true, Ordering::SeqCst);
+        rv.interrupt();
+        assert!(h.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,1030 @@
+//! MPI-style derived datatypes.
+//!
+//! The original collective I/O path (OCIO) requires applications to describe
+//! noncontiguous memory and file layouts with derived datatypes
+//! (`MPI_Type_contiguous`, `MPI_Type_vector`, `MPI_Type_indexed`,
+//! `MPI_Type_create_struct`, `MPI_Type_create_subarray`) and to install them
+//! as file views. TCIO itself uses an indexed type to coalesce a gathered
+//! one-sided transfer into a single message (§IV.A). This module implements
+//! the constructors, the size/extent algebra, flattening into `(offset, len)`
+//! extents, and pack/unpack against user buffers.
+//!
+//! Displacements follow MPI semantics: a type has a *size* (bytes of actual
+//! data), a *lower bound* and an *extent* (the stride used when the type is
+//! repeated `count` times).
+
+use crate::error::{MpiError, Result};
+use std::sync::Arc;
+
+/// Basic (named) datatypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Named {
+    Byte,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+}
+
+impl Named {
+    pub fn size(self) -> usize {
+        match self {
+            Named::Byte | Named::Char => 1,
+            Named::Short => 2,
+            Named::Int | Named::Float => 4,
+            Named::Long | Named::Double => 8,
+        }
+    }
+
+    /// Parse the single-letter codes used by the paper's Table I
+    /// (`c`: char, `s`: short, `i`: int, `f`: float, `d`: double).
+    pub fn from_code(code: char) -> Option<Named> {
+        match code {
+            'b' => Some(Named::Byte),
+            'c' => Some(Named::Char),
+            's' => Some(Named::Short),
+            'i' => Some(Named::Int),
+            'l' => Some(Named::Long),
+            'f' => Some(Named::Float),
+            'd' => Some(Named::Double),
+            _ => None,
+        }
+    }
+}
+
+/// Array ordering for subarray types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Row-major (last dimension varies fastest).
+    C,
+    /// Column-major (first dimension varies fastest).
+    Fortran,
+}
+
+/// A (possibly derived) datatype. Cheap to clone: derived nodes hold `Arc`s.
+#[derive(Debug, Clone)]
+pub enum Datatype {
+    Named(Named),
+    /// `count` consecutive copies of `child`.
+    Contiguous { count: usize, child: Arc<Datatype> },
+    /// `count` blocks of `blocklen` children, block starts separated by
+    /// `stride` child extents.
+    Vector {
+        count: usize,
+        blocklen: usize,
+        stride: isize,
+        child: Arc<Datatype>,
+    },
+    /// Like `Vector` but the stride is in bytes.
+    Hvector {
+        count: usize,
+        blocklen: usize,
+        stride_bytes: isize,
+        child: Arc<Datatype>,
+    },
+    /// Blocks of `blocklens[i]` children at displacements `displs[i]`
+    /// (in child extents).
+    Indexed {
+        blocklens: Arc<[usize]>,
+        displs: Arc<[isize]>,
+        child: Arc<Datatype>,
+    },
+    /// Like `Indexed` but displacements are bytes.
+    Hindexed {
+        blocklens: Arc<[usize]>,
+        displs_bytes: Arc<[isize]>,
+        child: Arc<Datatype>,
+    },
+    /// Heterogeneous blocks: `blocklens[i]` copies of `children[i]` at byte
+    /// displacement `displs_bytes[i]`.
+    Struct {
+        blocklens: Arc<[usize]>,
+        displs_bytes: Arc<[isize]>,
+        children: Arc<[Arc<Datatype>]>,
+    },
+    /// An n-dimensional subarray of a larger n-dimensional array.
+    Subarray {
+        sizes: Arc<[usize]>,
+        subsizes: Arc<[usize]>,
+        starts: Arc<[usize]>,
+        order: Order,
+        child: Arc<Datatype>,
+    },
+    /// Child with an overridden lower bound and extent (MPI_Type_create_resized).
+    Resized {
+        lb: isize,
+        extent: usize,
+        child: Arc<Datatype>,
+    },
+}
+
+impl Datatype {
+    // ---- constructors mirroring the MPI type-creation calls ----
+
+    pub fn named(n: Named) -> Datatype {
+        Datatype::Named(n)
+    }
+
+    pub fn contiguous(count: usize, child: Datatype) -> Datatype {
+        Datatype::Contiguous {
+            count,
+            child: Arc::new(child),
+        }
+    }
+
+    pub fn vector(count: usize, blocklen: usize, stride: isize, child: Datatype) -> Datatype {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            child: Arc::new(child),
+        }
+    }
+
+    pub fn hvector(
+        count: usize,
+        blocklen: usize,
+        stride_bytes: isize,
+        child: Datatype,
+    ) -> Datatype {
+        Datatype::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child: Arc::new(child),
+        }
+    }
+
+    pub fn indexed(blocklens: Vec<usize>, displs: Vec<isize>, child: Datatype) -> Result<Datatype> {
+        if blocklens.len() != displs.len() {
+            return Err(MpiError::InvalidDatatype(format!(
+                "indexed: {} blocklens but {} displacements",
+                blocklens.len(),
+                displs.len()
+            )));
+        }
+        Ok(Datatype::Indexed {
+            blocklens: blocklens.into(),
+            displs: displs.into(),
+            child: Arc::new(child),
+        })
+    }
+
+    pub fn hindexed(
+        blocklens: Vec<usize>,
+        displs_bytes: Vec<isize>,
+        child: Datatype,
+    ) -> Result<Datatype> {
+        if blocklens.len() != displs_bytes.len() {
+            return Err(MpiError::InvalidDatatype(format!(
+                "hindexed: {} blocklens but {} displacements",
+                blocklens.len(),
+                displs_bytes.len()
+            )));
+        }
+        Ok(Datatype::Hindexed {
+            blocklens: blocklens.into(),
+            displs_bytes: displs_bytes.into(),
+            child: Arc::new(child),
+        })
+    }
+
+    pub fn structured(
+        blocklens: Vec<usize>,
+        displs_bytes: Vec<isize>,
+        children: Vec<Datatype>,
+    ) -> Result<Datatype> {
+        if blocklens.len() != displs_bytes.len() || blocklens.len() != children.len() {
+            return Err(MpiError::InvalidDatatype(
+                "struct: blocklens, displacements, and children must have equal length".into(),
+            ));
+        }
+        Ok(Datatype::Struct {
+            blocklens: blocklens.into(),
+            displs_bytes: displs_bytes.into(),
+            children: children.into_iter().map(Arc::new).collect(),
+        })
+    }
+
+    pub fn subarray(
+        sizes: Vec<usize>,
+        subsizes: Vec<usize>,
+        starts: Vec<usize>,
+        order: Order,
+        child: Datatype,
+    ) -> Result<Datatype> {
+        let n = sizes.len();
+        if subsizes.len() != n || starts.len() != n || n == 0 {
+            return Err(MpiError::InvalidDatatype(
+                "subarray: sizes, subsizes, starts must be equal-length and nonempty".into(),
+            ));
+        }
+        for d in 0..n {
+            if starts[d] + subsizes[d] > sizes[d] {
+                return Err(MpiError::InvalidDatatype(format!(
+                    "subarray: dim {d}: start {} + subsize {} exceeds size {}",
+                    starts[d], subsizes[d], sizes[d]
+                )));
+            }
+        }
+        Ok(Datatype::Subarray {
+            sizes: sizes.into(),
+            subsizes: subsizes.into(),
+            starts: starts.into(),
+            order,
+            child: Arc::new(child),
+        })
+    }
+
+    pub fn resized(lb: isize, extent: usize, child: Datatype) -> Datatype {
+        Datatype::Resized {
+            lb,
+            extent,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_create_darray` with block distribution in every dimension:
+    /// the subarray of an n-dimensional global array owned by process
+    /// `rank` of a `psizes` process grid. This is the datatype real codes
+    /// use to set the file view for the Fig. 1 pattern (3-D volume to 1-D
+    /// file), and what `workloads::decomp` computes by hand.
+    pub fn darray_block(
+        rank: usize,
+        gsizes: &[usize],
+        psizes: &[usize],
+        order: Order,
+        child: Datatype,
+    ) -> Result<Datatype> {
+        if gsizes.len() != psizes.len() || gsizes.is_empty() {
+            return Err(MpiError::InvalidDatatype(
+                "darray: gsizes and psizes must be equal-length and nonempty".into(),
+            ));
+        }
+        let nprocs: usize = psizes.iter().product();
+        if rank >= nprocs {
+            return Err(MpiError::InvalidDatatype(format!(
+                "darray: rank {rank} outside the {nprocs}-process grid"
+            )));
+        }
+        // Process coordinates: first dimension varies slowest under C
+        // ordering (matching MPI_Cart ranking), fastest under Fortran.
+        let n = gsizes.len();
+        let mut coords = vec![0usize; n];
+        let mut rest = rank;
+        match order {
+            Order::C => {
+                for d in (0..n).rev() {
+                    coords[d] = rest % psizes[d];
+                    rest /= psizes[d];
+                }
+            }
+            Order::Fortran => {
+                for d in 0..n {
+                    coords[d] = rest % psizes[d];
+                    rest /= psizes[d];
+                }
+            }
+        }
+        let mut subsizes = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n);
+        for d in 0..n {
+            let block = gsizes[d].div_ceil(psizes[d]);
+            let start = (coords[d] * block).min(gsizes[d]);
+            let end = ((coords[d] + 1) * block).min(gsizes[d]);
+            if start >= end {
+                return Err(MpiError::InvalidDatatype(format!(
+                    "darray: dim {d}: process {rank} owns an empty block"
+                )));
+            }
+            starts.push(start);
+            subsizes.push(end - start);
+        }
+        Datatype::subarray(gsizes.to_vec(), subsizes, starts, order, child)
+    }
+
+    /// `MPI_Type_dup`: a structurally identical copy (cheap, shares
+    /// children via `Arc`).
+    pub fn dup(&self) -> Datatype {
+        self.clone()
+    }
+
+    // ---- size / extent algebra ----
+
+    /// Number of bytes of actual data in one instance of this type.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Named(n) => n.size(),
+            Datatype::Contiguous { count, child } => count * child.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                child,
+                ..
+            }
+            | Datatype::Hvector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => count * blocklen * child.size(),
+            Datatype::Indexed {
+                blocklens, child, ..
+            }
+            | Datatype::Hindexed {
+                blocklens, child, ..
+            } => blocklens.iter().sum::<usize>() * child.size(),
+            Datatype::Struct {
+                blocklens,
+                children,
+                ..
+            } => blocklens
+                .iter()
+                .zip(children.iter())
+                .map(|(b, c)| b * c.size())
+                .sum(),
+            Datatype::Subarray {
+                subsizes, child, ..
+            } => subsizes.iter().product::<usize>() * child.size(),
+            Datatype::Resized { child, .. } => child.size(),
+        }
+    }
+
+    /// `(lower_bound, upper_bound)` in bytes relative to the type origin.
+    fn bounds(&self) -> (isize, isize) {
+        match self {
+            Datatype::Named(n) => (0, n.size() as isize),
+            Datatype::Contiguous { count, child } => {
+                let ext = child.extent() as isize;
+                let (lb, _) = child.bounds();
+                if *count == 0 {
+                    (0, 0)
+                } else {
+                    (lb, lb + ext * *count as isize)
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => strided_bounds(*count, *blocklen, *stride * child.extent() as isize, child),
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => strided_bounds(*count, *blocklen, *stride_bytes, child),
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                child,
+            } => indexed_bounds(
+                blocklens,
+                displs.iter().map(|&d| d * child.extent() as isize),
+                child,
+            ),
+            Datatype::Hindexed {
+                blocklens,
+                displs_bytes,
+                child,
+            } => indexed_bounds(blocklens, displs_bytes.iter().copied(), child),
+            Datatype::Struct {
+                blocklens,
+                displs_bytes,
+                children,
+            } => {
+                let mut lb = isize::MAX;
+                let mut ub = isize::MIN;
+                for ((&b, &d), c) in blocklens.iter().zip(displs_bytes.iter()).zip(children.iter())
+                {
+                    if b == 0 {
+                        continue;
+                    }
+                    let (clb, _) = c.bounds();
+                    let ext = c.extent() as isize;
+                    lb = lb.min(d + clb);
+                    ub = ub.max(d + clb + ext * b as isize);
+                }
+                if lb == isize::MAX {
+                    (0, 0)
+                } else {
+                    (lb, ub)
+                }
+            }
+            Datatype::Subarray { sizes, child, .. } => {
+                // A subarray's extent spans the whole enclosing array.
+                let total: usize = sizes.iter().product();
+                (0, (total * child.extent()) as isize)
+            }
+            Datatype::Resized { lb, extent, .. } => (*lb, *lb + *extent as isize),
+        }
+    }
+
+    /// Lower bound in bytes.
+    pub fn lb(&self) -> isize {
+        self.bounds().0
+    }
+
+    /// Extent in bytes: the stride applied between consecutive instances.
+    pub fn extent(&self) -> usize {
+        let (lb, ub) = self.bounds();
+        (ub - lb).max(0) as usize
+    }
+
+    // ---- flattening ----
+
+    /// Flatten one instance into byte extents `(offset, len)` relative to
+    /// the type origin, in type-map order (not sorted, not merged).
+    pub fn flatten_raw(&self) -> Vec<(isize, usize)> {
+        let mut out = Vec::new();
+        self.flatten_into(0, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, base: isize, out: &mut Vec<(isize, usize)>) {
+        match self {
+            Datatype::Named(n) => out.push((base, n.size())),
+            Datatype::Contiguous { count, child } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    child.flatten_into(base + ext * i as isize, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                flatten_strided(*count, *blocklen, *stride * ext, child, base, out);
+            }
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => flatten_strided(*count, *blocklen, *stride_bytes, child, base, out),
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for (&b, &d) in blocklens.iter().zip(displs.iter()) {
+                    let start = base + d * ext;
+                    for j in 0..b {
+                        child.flatten_into(start + ext * j as isize, out);
+                    }
+                }
+            }
+            Datatype::Hindexed {
+                blocklens,
+                displs_bytes,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for (&b, &d) in blocklens.iter().zip(displs_bytes.iter()) {
+                    let start = base + d;
+                    for j in 0..b {
+                        child.flatten_into(start + ext * j as isize, out);
+                    }
+                }
+            }
+            Datatype::Struct {
+                blocklens,
+                displs_bytes,
+                children,
+            } => {
+                for ((&b, &d), c) in blocklens.iter().zip(displs_bytes.iter()).zip(children.iter())
+                {
+                    let ext = c.extent() as isize;
+                    for j in 0..b {
+                        c.flatten_into(base + d + ext * j as isize, out);
+                    }
+                }
+            }
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                order,
+                child,
+            } => flatten_subarray(sizes, subsizes, starts, *order, child, base, out),
+            Datatype::Resized { child, .. } => child.flatten_into(base, out),
+        }
+    }
+
+    /// Commit the type: precompute the merged flattening and cache the
+    /// size/extent. Mirrors `MPI_Type_commit`.
+    pub fn commit(&self) -> Committed {
+        let mut flat = self.flatten_raw();
+        // Merge extents that are adjacent *in type-map order*; MPI type maps
+        // are ordered, so this is the canonical coalescing.
+        let mut merged: Vec<(isize, usize)> = Vec::with_capacity(flat.len());
+        for (off, len) in flat.drain(..) {
+            if len == 0 {
+                continue;
+            }
+            if let Some(last) = merged.last_mut() {
+                if last.0 + last.1 as isize == off {
+                    last.1 += len;
+                    continue;
+                }
+            }
+            merged.push((off, len));
+        }
+        Committed {
+            size: self.size(),
+            extent: self.extent(),
+            lb: self.lb(),
+            flat: merged.into(),
+            ty: self.clone(),
+        }
+    }
+}
+
+fn strided_bounds(
+    count: usize,
+    blocklen: usize,
+    stride_bytes: isize,
+    child: &Datatype,
+) -> (isize, isize) {
+    if count == 0 || blocklen == 0 {
+        return (0, 0);
+    }
+    let ext = child.extent() as isize;
+    let (clb, _) = child.bounds();
+    let block = ext * blocklen as isize;
+    let mut lb = isize::MAX;
+    let mut ub = isize::MIN;
+    for i in [0usize, count - 1] {
+        let start = stride_bytes * i as isize + clb;
+        lb = lb.min(start);
+        ub = ub.max(start + block);
+    }
+    (lb, ub)
+}
+
+fn indexed_bounds(
+    blocklens: &[usize],
+    displs_bytes: impl Iterator<Item = isize>,
+    child: &Datatype,
+) -> (isize, isize) {
+    let ext = child.extent() as isize;
+    let (clb, _) = child.bounds();
+    let mut lb = isize::MAX;
+    let mut ub = isize::MIN;
+    for (&b, d) in blocklens.iter().zip(displs_bytes) {
+        if b == 0 {
+            continue;
+        }
+        lb = lb.min(d + clb);
+        ub = ub.max(d + clb + ext * b as isize);
+    }
+    if lb == isize::MAX {
+        (0, 0)
+    } else {
+        (lb, ub)
+    }
+}
+
+fn flatten_strided(
+    count: usize,
+    blocklen: usize,
+    stride_bytes: isize,
+    child: &Datatype,
+    base: isize,
+    out: &mut Vec<(isize, usize)>,
+) {
+    let ext = child.extent() as isize;
+    for i in 0..count {
+        let start = base + stride_bytes * i as isize;
+        for j in 0..blocklen {
+            child.flatten_into(start + ext * j as isize, out);
+        }
+    }
+}
+
+fn flatten_subarray(
+    sizes: &[usize],
+    subsizes: &[usize],
+    starts: &[usize],
+    order: Order,
+    child: &Datatype,
+    base: isize,
+    out: &mut Vec<(isize, usize)>,
+) {
+    let n = sizes.len();
+    let ext = child.extent() as isize;
+    // Compute strides (in elements) for each dimension under the ordering.
+    let mut strides = vec![1usize; n];
+    match order {
+        Order::C => {
+            for d in (0..n.saturating_sub(1)).rev() {
+                strides[d] = strides[d + 1] * sizes[d + 1];
+            }
+        }
+        Order::Fortran => {
+            for d in 1..n {
+                strides[d] = strides[d - 1] * sizes[d - 1];
+            }
+        }
+    }
+    // Iterate over all index tuples of the subarray.
+    let mut idx = vec![0usize; n];
+    loop {
+        let mut elem = 0usize;
+        for d in 0..n {
+            elem += (starts[d] + idx[d]) * strides[d];
+        }
+        child.flatten_into(base + elem as isize * ext, out);
+        // Advance the index tuple, fastest-varying dimension per ordering.
+        let dims: Box<dyn Iterator<Item = usize>> = match order {
+            Order::C => Box::new((0..n).rev()),
+            Order::Fortran => Box::new(0..n),
+        };
+        let mut done = true;
+        for d in dims {
+            idx[d] += 1;
+            if idx[d] < subsizes[d] {
+                done = false;
+                break;
+            }
+            idx[d] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// A committed datatype: immutable, cheap to clone, with the flattened
+/// extent list precomputed. This is what I/O layers consume.
+#[derive(Debug, Clone)]
+pub struct Committed {
+    size: usize,
+    extent: usize,
+    lb: isize,
+    flat: Arc<[(isize, usize)]>,
+    ty: Datatype,
+}
+
+impl Committed {
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn extent(&self) -> usize {
+        self.extent
+    }
+
+    pub fn lb(&self) -> isize {
+        self.lb
+    }
+
+    /// Merged `(offset, len)` byte extents of one instance, in type-map order.
+    pub fn extents(&self) -> &[(isize, usize)] {
+        &self.flat
+    }
+
+    pub fn datatype(&self) -> &Datatype {
+        &self.ty
+    }
+
+    /// True if one instance is a single contiguous run starting at offset 0.
+    pub fn is_contiguous(&self) -> bool {
+        self.flat.len() <= 1 && self.flat.first().is_none_or(|&(o, _)| o == 0)
+    }
+
+    /// Pack `count` instances laid out in `src` (origin at `src\[0\]`,
+    /// instances separated by the extent) into a contiguous byte vector.
+    ///
+    /// Negative type-map offsets are not supported when packing from a slice
+    /// (the data would precede the buffer); such types return an error.
+    pub fn pack(&self, src: &[u8], count: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.size * count);
+        for i in 0..count {
+            let base = (i * self.extent) as isize;
+            for &(off, len) in self.flat.iter() {
+                let at = base + off;
+                if at < 0 {
+                    return Err(MpiError::InvalidDatatype(
+                        "pack: negative displacement relative to buffer start".into(),
+                    ));
+                }
+                let at = at as usize;
+                let end = at + len;
+                if end > src.len() {
+                    return Err(MpiError::InvalidDatatype(format!(
+                        "pack: extent [{at}, {end}) exceeds buffer of {} bytes",
+                        src.len()
+                    )));
+                }
+                out.extend_from_slice(&src[at..end]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Unpack a contiguous byte stream into `count` instances within `dst`.
+    pub fn unpack(&self, stream: &[u8], dst: &mut [u8], count: usize) -> Result<()> {
+        if stream.len() < self.size * count {
+            return Err(MpiError::InvalidDatatype(format!(
+                "unpack: stream of {} bytes shorter than {} instances × {} bytes",
+                stream.len(),
+                count,
+                self.size
+            )));
+        }
+        let mut cursor = 0usize;
+        for i in 0..count {
+            let base = (i * self.extent) as isize;
+            for &(off, len) in self.flat.iter() {
+                let at = base + off;
+                if at < 0 {
+                    return Err(MpiError::InvalidDatatype(
+                        "unpack: negative displacement relative to buffer start".into(),
+                    ));
+                }
+                let at = at as usize;
+                let end = at + len;
+                if end > dst.len() {
+                    return Err(MpiError::InvalidDatatype(format!(
+                        "unpack: extent [{at}, {end}) exceeds buffer of {} bytes",
+                        dst.len()
+                    )));
+                }
+                dst[at..end].copy_from_slice(&stream[cursor..cursor + len]);
+                cursor += len;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn byte() -> Datatype {
+        Datatype::named(Named::Byte)
+    }
+
+    #[test]
+    fn named_sizes() {
+        assert_eq!(Named::Int.size(), 4);
+        assert_eq!(Named::Double.size(), 8);
+        assert_eq!(Named::from_code('i'), Some(Named::Int));
+        assert_eq!(Named::from_code('d'), Some(Named::Double));
+        assert_eq!(Named::from_code('x'), None);
+    }
+
+    #[test]
+    fn contiguous_size_and_extent() {
+        let t = Datatype::contiguous(5, Datatype::named(Named::Int));
+        assert_eq!(t.size(), 20);
+        assert_eq!(t.extent(), 20);
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(0, 20)]);
+        assert!(c.is_contiguous());
+    }
+
+    #[test]
+    fn vector_flattening_matches_paper_file_view() {
+        // The paper's example file view: etype = {int, double} contiguous
+        // (12 bytes), filetype = vector(count=LEN, blocklen=1, stride=P).
+        let etype = Datatype::contiguous(12, byte());
+        let ft = Datatype::vector(3, 1, 2, etype); // LEN=3, P=2
+        assert_eq!(ft.size(), 36);
+        assert_eq!(ft.extent(), 12 * (2 * 2 + 1)); // last block at stride 2*2
+        let c = ft.commit();
+        assert_eq!(c.extents(), &[(0, 12), (24, 12), (48, 12)]);
+    }
+
+    #[test]
+    fn vector_with_blocklen_merges_within_blocks() {
+        // stride of 4 child extents = 16 bytes for 4-byte ints.
+        let t = Datatype::vector(2, 3, 4, Datatype::named(Named::Int));
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(0, 12), (16, 12)]);
+        assert_eq!(c.size(), 24);
+        assert_eq!(c.extent(), 28);
+    }
+
+    #[test]
+    fn hvector_uses_byte_stride() {
+        let t = Datatype::hvector(3, 1, 10, byte());
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(0, 1), (10, 1), (20, 1)]);
+        assert_eq!(t.extent(), 21);
+    }
+
+    #[test]
+    fn indexed_disjoint_blocks() {
+        let t = Datatype::indexed(vec![2, 1], vec![0, 5], Datatype::named(Named::Int)).unwrap();
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(0, 8), (20, 4)]);
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 24);
+    }
+
+    #[test]
+    fn indexed_length_mismatch_rejected() {
+        assert!(Datatype::indexed(vec![1], vec![0, 1], byte()).is_err());
+    }
+
+    #[test]
+    fn hindexed_negative_displacement_bounds() {
+        let t = Datatype::hindexed(vec![1, 1], vec![-4, 4], Datatype::named(Named::Int)).unwrap();
+        assert_eq!(t.lb(), -4);
+        assert_eq!(t.extent(), 12);
+    }
+
+    #[test]
+    fn struct_heterogeneous() {
+        // {int at 0, double at 8} — a typical C struct with padding.
+        let t = Datatype::structured(
+            vec![1, 1],
+            vec![0, 8],
+            vec![Datatype::named(Named::Int), Datatype::named(Named::Double)],
+        )
+        .unwrap();
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 16);
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(0, 4), (8, 8)]);
+    }
+
+    #[test]
+    fn struct_length_mismatch_rejected() {
+        assert!(Datatype::structured(vec![1], vec![0, 8], vec![byte(), byte()]).is_err());
+    }
+
+    #[test]
+    fn subarray_c_order() {
+        // 4x4 array of ints, take the 2x2 block starting at (1,1).
+        let t = Datatype::subarray(
+            vec![4, 4],
+            vec![2, 2],
+            vec![1, 1],
+            Order::C,
+            Datatype::named(Named::Int),
+        )
+        .unwrap();
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 64); // whole enclosing array
+        let c = t.commit();
+        assert_eq!(c.extents(), &[(20, 8), (36, 8)]);
+    }
+
+    #[test]
+    fn subarray_fortran_order() {
+        let t = Datatype::subarray(
+            vec![4, 4],
+            vec![2, 2],
+            vec![1, 1],
+            Order::Fortran,
+            Datatype::named(Named::Int),
+        )
+        .unwrap();
+        let c = t.commit();
+        // Column-major: element (i,j) at i + j*4; block (1..3, 1..3).
+        assert_eq!(c.extents(), &[(20, 8), (36, 8)]);
+    }
+
+    #[test]
+    fn subarray_out_of_bounds_rejected() {
+        assert!(Datatype::subarray(vec![4], vec![3], vec![2], Order::C, byte()).is_err());
+    }
+
+    #[test]
+    fn resized_overrides_extent() {
+        let t = Datatype::resized(0, 32, Datatype::named(Named::Int));
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.extent(), 32);
+        let c = t.commit();
+        let packed_src: Vec<u8> = (0..64u8).collect();
+        let packed = c.pack(&packed_src, 2).unwrap();
+        assert_eq!(packed, vec![0, 1, 2, 3, 32, 33, 34, 35]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_vector() {
+        let t = Datatype::vector(4, 2, 5, byte()).commit();
+        let src: Vec<u8> = (0..40u8).collect();
+        let packed = t.pack(&src, 2).unwrap();
+        assert_eq!(packed.len(), t.size() * 2);
+        let mut dst = vec![0u8; 40];
+        t.unpack(&packed, &mut dst, 2).unwrap();
+        for &(off, len) in t.extents() {
+            for i in 0..(2 * t.extent()) {
+                let _ = (off, len, i);
+            }
+        }
+        // Every byte touched by the type map must round-trip.
+        for inst in 0..2 {
+            for &(off, len) in t.extents() {
+                let at = (inst * t.extent()) as isize + off;
+                let at = at as usize;
+                assert_eq!(&dst[at..at + len], &src[at..at + len]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_out_of_bounds_rejected() {
+        let t = Datatype::vector(4, 1, 4, Datatype::named(Named::Int)).commit();
+        let src = vec![0u8; 10];
+        assert!(t.pack(&src, 1).is_err());
+    }
+
+    #[test]
+    fn unpack_short_stream_rejected() {
+        let t = Datatype::contiguous(4, byte()).commit();
+        let mut dst = vec![0u8; 4];
+        assert!(t.unpack(&[1, 2], &mut dst, 1).is_err());
+    }
+
+    #[test]
+    fn zero_count_types_are_empty() {
+        let t = Datatype::contiguous(0, byte());
+        assert_eq!(t.size(), 0);
+        assert_eq!(t.extent(), 0);
+        assert!(t.commit().extents().is_empty());
+    }
+
+    #[test]
+    fn darray_blocks_partition_global_array() {
+        // 4×4 ints over a 2×2 process grid: each rank owns a 2×2 corner;
+        // together they must cover every element exactly once.
+        let mut seen = vec![0u32; 16];
+        for rank in 0..4 {
+            let t = Datatype::darray_block(rank, &[4, 4], &[2, 2], Order::C, Datatype::named(Named::Int))
+                .unwrap();
+            assert_eq!(t.size(), 16);
+            for &(off, len) in t.commit().extents() {
+                assert_eq!(off % 4, 0);
+                assert_eq!(len % 4, 0);
+                for e in 0..len / 4 {
+                    seen[off as usize / 4 + e] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn darray_uneven_division_clips_last_block() {
+        // 5 elements over 2 procs: blocks of 3 and 2.
+        let a = Datatype::darray_block(0, &[5], &[2], Order::C, byte()).unwrap();
+        let b = Datatype::darray_block(1, &[5], &[2], Order::C, byte()).unwrap();
+        assert_eq!(a.size(), 3);
+        assert_eq!(b.size(), 2);
+        assert_eq!(b.commit().extents(), &[(3, 2)]);
+    }
+
+    #[test]
+    fn darray_rejects_bad_grids() {
+        assert!(Datatype::darray_block(4, &[4], &[2], Order::C, byte()).is_err());
+        assert!(Datatype::darray_block(0, &[4, 4], &[2], Order::C, byte()).is_err());
+        // 2 elements over 3 procs: the last process owns nothing.
+        assert!(Datatype::darray_block(2, &[2], &[3], Order::C, byte()).is_err());
+    }
+
+    #[test]
+    fn darray_fortran_process_ordering() {
+        // On an asymmetric 4×6 array over a 2×2 grid, rank 1 advances
+        // along the last dimension under C ranking (columns 3..6) but
+        // along the first under Fortran ranking (rows 2..4).
+        let c_r1 = Datatype::darray_block(1, &[4, 6], &[2, 2], Order::C, byte()).unwrap();
+        let f_r1 = Datatype::darray_block(1, &[4, 6], &[2, 2], Order::Fortran, byte()).unwrap();
+        assert_eq!(c_r1.commit().extents()[0].0, 3, "C: first elem at (0,3)");
+        assert_eq!(f_r1.commit().extents()[0].0, 2, "Fortran: first elem at (2,0) col-major");
+    }
+
+    #[test]
+    fn dup_is_structurally_identical() {
+        let t = Datatype::vector(3, 1, 2, Datatype::named(Named::Int));
+        let d = t.dup();
+        assert_eq!(t.commit().extents(), d.commit().extents());
+    }
+
+    #[test]
+    fn nested_types_compose() {
+        // vector of structs: the ART-ish "many small arrays" shape.
+        let rec = Datatype::structured(
+            vec![1, 2],
+            vec![0, 8],
+            vec![Datatype::named(Named::Int), Datatype::named(Named::Double)],
+        )
+        .unwrap();
+        let t = Datatype::vector(2, 1, 2, rec);
+        let c = t.commit();
+        assert_eq!(c.size(), 2 * (4 + 16));
+        assert_eq!(c.extents().len(), 4);
+    }
+}

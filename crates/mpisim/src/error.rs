@@ -1,0 +1,98 @@
+//! Error types for the simulated MPI runtime.
+
+use std::fmt;
+
+/// Errors surfaced to rank code by runtime operations.
+///
+/// Any blocking operation (receives, collectives, RMA epochs) can return
+/// [`MpiError::Aborted`] when another rank has failed: the runtime poisons
+/// the simulation so no rank blocks forever on a peer that will never
+/// arrive. This mirrors `MPI_Abort` semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The simulation was aborted (another rank failed or panicked).
+    Aborted,
+    /// A rank identifier was outside `0..nprocs`.
+    InvalidRank { rank: usize, nprocs: usize },
+    /// An RMA access fell outside the target's window region.
+    WindowOutOfBounds {
+        target: usize,
+        offset: usize,
+        len: usize,
+        window_len: usize,
+    },
+    /// A simulated memory allocation exceeded the per-rank budget.
+    OutOfMemory {
+        rank: usize,
+        requested: u64,
+        used: u64,
+        budget: u64,
+    },
+    /// Mismatched collective participation (internal consistency check).
+    CollectiveMismatch(&'static str),
+    /// Datatype construction or use was invalid.
+    InvalidDatatype(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Aborted => write!(f, "simulation aborted by another rank"),
+            MpiError::InvalidRank { rank, nprocs } => {
+                write!(f, "invalid rank {rank} (communicator size {nprocs})")
+            }
+            MpiError::WindowOutOfBounds {
+                target,
+                offset,
+                len,
+                window_len,
+            } => write!(
+                f,
+                "RMA access [{offset}, {}) out of bounds for window of {window_len} bytes on rank {target}",
+                offset + len
+            ),
+            MpiError::OutOfMemory {
+                rank,
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "rank {rank}: simulated out-of-memory (requested {requested} B, in use {used} B, budget {budget} B)"
+            ),
+            MpiError::CollectiveMismatch(what) => {
+                write!(f, "collective participation mismatch: {what}")
+            }
+            MpiError::InvalidDatatype(msg) => write!(f, "invalid datatype: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Error returned by [`crate::runtime::run`] when the simulation fails as a whole.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// A rank returned an error from its body.
+    RankFailed { rank: usize, error: MpiError },
+    /// A rank panicked; the payload is the panic message when printable.
+    RankPanicked { rank: usize, message: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RankFailed { rank, error } => {
+                write!(f, "rank {rank} failed: {error}")
+            }
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenient result alias for rank-level operations.
+pub type Result<T> = std::result::Result<T, MpiError>;

@@ -1,0 +1,232 @@
+//! Point-to-point messaging: mailboxes, matching, and nonblocking requests.
+//!
+//! Messages are eagerly transferred: the sender schedules the transfer on
+//! the fabric at send time and deposits an envelope carrying the *virtual
+//! arrival time* in the destination mailbox. A receive completes at
+//! `max(receive-post time, arrival time)`, which is exactly the
+//! sender/receiver clock reconciliation used by trace-driven network
+//! simulators such as LogGOPSim.
+//!
+//! Matching follows MPI: by `(source, tag)` with wildcards, and
+//! non-overtaking between a given pair (enforced with per-envelope sequence
+//! numbers).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Message tag. Wildcards are expressed with `Option` at the receive side.
+pub type Tag = u64;
+
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub data: Vec<u8>,
+    pub arrival: f64,
+    pub seq: u64,
+}
+
+/// One rank's incoming-message queue.
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct MailboxInner {
+    queue: Vec<Envelope>,
+    next_seq: u64,
+}
+
+/// A completed receive.
+#[derive(Debug)]
+pub struct Received {
+    pub data: Vec<u8>,
+    pub src: usize,
+    pub tag: Tag,
+    /// Virtual arrival time of the message at this rank.
+    pub arrival: f64,
+    /// Depth of the pending-message queue at match time (drives the
+    /// unexpected-queue matching cost; see `NetConfig::match_overhead`).
+    pub queue_depth: usize,
+}
+
+impl Mailbox {
+    pub(crate) fn push(&self, src: usize, tag: Tag, data: Vec<u8>, arrival: f64) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.queue.push(Envelope {
+            src,
+            tag,
+            data,
+            arrival,
+            seq,
+        });
+        self.cv.notify_all();
+    }
+
+    /// Wake any blocked receivers (used on abort).
+    pub(crate) fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Try to claim the best matching envelope without blocking.
+    fn try_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Received> {
+        let mut inner = self.inner.lock();
+        let best = inner
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))
+            .min_by(|(_, a), (_, b)| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i);
+        let depth = inner.queue.len();
+        best.map(|i| {
+            let e = inner.queue.swap_remove(i);
+            Received {
+                data: e.data,
+                src: e.src,
+                tag: e.tag,
+                arrival: e.arrival,
+                queue_depth: depth,
+            }
+        })
+    }
+
+    /// Is a matching message pending whose arrival time is ≤ `now`?
+    /// (An `MPI_Iprobe`: a message still "in flight" in virtual time is
+    /// not visible yet.)
+    pub(crate) fn has_match(&self, src: Option<usize>, tag: Option<Tag>, now: f64) -> bool {
+        let inner = self.inner.lock();
+        inner.queue.iter().any(|e| {
+            e.arrival <= now
+                && src.is_none_or(|s| e.src == s)
+                && tag.is_none_or(|t| e.tag == t)
+        })
+    }
+
+    /// Block until a matching envelope arrives or `abort` is raised.
+    /// Returns `None` on abort.
+    pub(crate) fn recv_blocking(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        abort: &AtomicBool,
+    ) -> Option<Received> {
+        loop {
+            if let Some(r) = self.try_match(src, tag) {
+                return Some(r);
+            }
+            if abort.load(Ordering::SeqCst) {
+                return None;
+            }
+            let mut inner = self.inner.lock();
+            // Re-check under the lock to avoid a lost wakeup between
+            // try_match and wait.
+            let has_match = inner.queue.iter().any(|e| {
+                src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+            });
+            if has_match {
+                continue;
+            }
+            if abort.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+}
+
+/// Handle for a nonblocking operation, completed via `Rank::wait` /
+/// `Rank::waitall`.
+#[derive(Debug)]
+pub enum Request {
+    /// A posted isend: the sender side completes at `done`.
+    Send { done: f64 },
+    /// A posted irecv: matching is deferred to the wait.
+    Recv { src: Option<usize>, tag: Option<Tag> },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_between_pair_by_arrival() {
+        let mb = Mailbox::default();
+        let abort = AtomicBool::new(false);
+        mb.push(0, 7, vec![1], 2.0);
+        mb.push(0, 7, vec![2], 1.0);
+        // Earlier arrival wins even if pushed later.
+        let r = mb.recv_blocking(Some(0), Some(7), &abort).unwrap();
+        assert_eq!(r.data, vec![2]);
+        let r = mb.recv_blocking(Some(0), Some(7), &abort).unwrap();
+        assert_eq!(r.data, vec![1]);
+    }
+
+    #[test]
+    fn equal_arrival_ties_break_by_sequence() {
+        let mb = Mailbox::default();
+        let abort = AtomicBool::new(false);
+        mb.push(0, 7, vec![1], 1.0);
+        mb.push(0, 7, vec![2], 1.0);
+        let r = mb.recv_blocking(Some(0), Some(7), &abort).unwrap();
+        assert_eq!(r.data, vec![1], "non-overtaking order must hold");
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let mb = Mailbox::default();
+        let abort = AtomicBool::new(false);
+        mb.push(3, 9, vec![42], 1.0);
+        let r = mb.recv_blocking(None, None, &abort).unwrap();
+        assert_eq!(r.src, 3);
+        assert_eq!(r.tag, 9);
+    }
+
+    #[test]
+    fn tag_filtering_skips_nonmatching() {
+        let mb = Mailbox::default();
+        let abort = AtomicBool::new(false);
+        mb.push(0, 1, vec![1], 0.5);
+        mb.push(0, 2, vec![2], 1.0);
+        let r = mb.recv_blocking(Some(0), Some(2), &abort).unwrap();
+        assert_eq!(r.data, vec![2]);
+    }
+
+    #[test]
+    fn abort_unblocks_receiver() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::default());
+        let abort = Arc::new(AtomicBool::new(false));
+        let mb2 = Arc::clone(&mb);
+        let ab2 = Arc::clone(&abort);
+        let h = std::thread::spawn(move || mb2.recv_blocking(Some(0), Some(1), &ab2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        abort.store(true, Ordering::SeqCst);
+        mb.interrupt();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_push() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::default());
+        let abort = Arc::new(AtomicBool::new(false));
+        let mb2 = Arc::clone(&mb);
+        let ab2 = Arc::clone(&abort);
+        let h = std::thread::spawn(move || mb2.recv_blocking(None, None, &ab2));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.push(1, 1, vec![7], 3.0);
+        let r = h.join().unwrap().unwrap();
+        assert_eq!(r.data, vec![7]);
+        assert!((r.arrival - 3.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,127 @@
+//! Sub-communicators (`MPI_Comm_split` with a color, no key reordering).
+//!
+//! Partitioned collective I/O (ParColl — Yu & Vetter, ICPP'08, the paper's
+//! related work \[15\]) divides the processes and the file into disjoint
+//! groups so that each group synchronizes only internally, breaking the
+//! "collective wall". That requires group-scoped collectives, which this
+//! module provides: a [`SubComm`] created collectively from a color, with
+//! barrier / allgather / allreduce / all-to-all-burst scoped to its
+//! members. Point-to-point communication keeps using world ranks.
+
+use crate::collectives::{log2ceil, Rendezvous};
+use crate::error::{MpiError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A communicator over a subset of the world's ranks.
+///
+/// Created collectively by [`crate::Rank::split`]; cheap to clone.
+#[derive(Clone)]
+pub struct SubComm {
+    /// World ranks of the members, sorted ascending.
+    members: Arc<[usize]>,
+    /// This rank's index within `members`.
+    my_index: usize,
+    /// Group-scoped rendezvous (size = members.len()).
+    pub(crate) rendezvous: Arc<Rendezvous>,
+}
+
+impl std::fmt::Debug for SubComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubComm")
+            .field("size", &self.members.len())
+            .field("my_index", &self.my_index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registry shared by all ranks during one `split`: one rendezvous per
+/// color.
+pub(crate) type SplitRegistry = Mutex<HashMap<u64, Arc<Rendezvous>>>;
+
+impl SubComm {
+    pub(crate) fn build(
+        members: Vec<usize>,
+        me: usize,
+        registry: &Arc<SplitRegistry>,
+        color: u64,
+    ) -> Result<SubComm> {
+        let my_index = members
+            .binary_search(&me)
+            .map_err(|_| MpiError::CollectiveMismatch("rank missing from its own split group"))?;
+        let size = members.len();
+        let rendezvous = Arc::clone(
+            registry
+                .lock()
+                .entry(color)
+                .or_insert_with(|| Arc::new(Rendezvous::new(size))),
+        );
+        Ok(SubComm {
+            members: members.into(),
+            my_index,
+            rendezvous,
+        })
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's position within the group (its "group rank").
+    pub fn group_rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// World rank of group member `i`.
+    pub fn world_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    /// All members' world ranks, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Cost exponent for tree collectives within the group.
+    pub(crate) fn log2(&self) -> u32 {
+        log2ceil(self.members.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> Arc<SplitRegistry> {
+        Arc::new(Mutex::new(HashMap::new()))
+    }
+
+    #[test]
+    fn build_locates_self() {
+        let reg = registry();
+        let c = SubComm::build(vec![1, 3, 5], 3, &reg, 0).unwrap();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.group_rank(), 1);
+        assert_eq!(c.world_rank(0), 1);
+        assert_eq!(c.world_rank(2), 5);
+        assert_eq!(c.members(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn members_share_one_rendezvous_per_color() {
+        let reg = registry();
+        let a = SubComm::build(vec![0, 1], 0, &reg, 7).unwrap();
+        let b = SubComm::build(vec![0, 1], 1, &reg, 7).unwrap();
+        assert!(Arc::ptr_eq(&a.rendezvous, &b.rendezvous));
+        let c = SubComm::build(vec![2, 3], 2, &reg, 8).unwrap();
+        assert!(!Arc::ptr_eq(&a.rendezvous, &c.rendezvous));
+    }
+
+    #[test]
+    fn non_member_rejected() {
+        let reg = registry();
+        assert!(SubComm::build(vec![0, 2], 1, &reg, 0).is_err());
+    }
+}

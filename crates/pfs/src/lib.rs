@@ -1,0 +1,741 @@
+//! # pfs — a simulated Lustre-like parallel file system
+//!
+//! Stands in for the Lustre deployment of the paper's testbed (Lonestar:
+//! 30 OSTs, 1 MB stripes). Files hold **real bytes** in memory so that
+//! everything written through MPI-IO or TCIO can be read back and verified;
+//! *costs* are modeled in virtual time and returned to the caller, which
+//! folds them into the simulated rank clocks.
+//!
+//! The cost model captures the storage-side effects the paper's evaluation
+//! depends on:
+//!
+//! * **per-RPC overhead** — every `read_at`/`write_at` call costs a fixed
+//!   request overhead plus a fixed OST service time per stripe-piece, which
+//!   is what makes the vanilla-MPI-IO ART runs (thousands of tiny writes)
+//!   up to ~100× slower than aggregated I/O (Fig. 9/10);
+//! * **per-OST bandwidth with busy-until serialization** — aggregate
+//!   bandwidth is capped by the OST set, producing the rise-then-dip
+//!   strong-scaling curve of Fig. 9/10;
+//! * **stripe-granularity extent locks** — conflicting writers to the same
+//!   stripe pay lock-transfer costs (see [`locks`]), which is why TCIO
+//!   aligns its level-2 segments with the stripe size (§IV.A).
+
+pub mod config;
+pub mod locks;
+
+pub use config::PfsConfig;
+pub use locks::{LockManager, LockMode};
+
+use mpisim::timeline::Timeline;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies an open file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(u32);
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    NotFound(String),
+    AlreadyExists(String),
+    InvalidFile(u32),
+    ReadPastEof { offset: u64, len: u64, file_len: u64 },
+    Config(String),
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            PfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            PfsError::InvalidFile(id) => write!(f, "invalid file id {id}"),
+            PfsError::ReadPastEof { offset, len, file_len } => write!(
+                f,
+                "read [{offset}, {}) past end of file ({file_len} bytes)",
+                offset + len
+            ),
+            PfsError::Config(msg) => write!(f, "bad pfs config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+pub type Result<T> = std::result::Result<T, PfsError>;
+
+#[derive(Debug)]
+struct FileState {
+    data: Mutex<Vec<u8>>,
+    /// First OST of this file's round-robin stripe placement.
+    ost_base: usize,
+}
+
+/// Monotonic system-wide counters.
+#[derive(Debug, Default)]
+pub struct PfsStats {
+    pub read_rpcs: AtomicU64,
+    pub write_rpcs: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub lock_transfers: AtomicU64,
+}
+
+/// Snapshot of [`PfsStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfsStatsSnapshot {
+    pub read_rpcs: u64,
+    pub write_rpcs: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub lock_transfers: u64,
+}
+
+impl PfsStats {
+    pub fn snapshot(&self) -> PfsStatsSnapshot {
+        PfsStatsSnapshot {
+            read_rpcs: self.read_rpcs.load(Ordering::Relaxed),
+            write_rpcs: self.write_rpcs.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            lock_transfers: self.lock_transfers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The simulated file system. One instance is shared (via `Arc`) by all
+/// simulated ranks; `client` arguments identify the accessing rank so the
+/// model can serialize per-client links and attribute lock ownership.
+pub struct Pfs {
+    cfg: PfsConfig,
+    namespace: Mutex<HashMap<String, FileId>>,
+    files: RwLock<Vec<Arc<FileState>>>,
+    ost_busy: Vec<Mutex<Timeline>>,
+    client_busy: Vec<Mutex<Timeline>>,
+    locks: Mutex<LockManager>,
+    next_ost_base: Mutex<usize>,
+    /// Per-OST service-time multiplier (1.0 = healthy). Degraded OSTs are
+    /// the classic production-Lustre failure mode: one slow server drags
+    /// every striped file. Exposed for failure-injection tests and the
+    /// straggler experiments.
+    ost_slowdown: Vec<Mutex<f64>>,
+    pub stats: PfsStats,
+}
+
+/// Metadata snapshot of one file (`stat`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    pub len: u64,
+    pub stripe_size: u64,
+    pub stripe_count: usize,
+    /// OST index of stripe 0.
+    pub ost_base: usize,
+}
+
+/// Reserve `dur` seconds on a resource timeline (gap backfill keeps the
+/// outcome independent of real thread scheduling; see `mpisim::timeline`).
+fn reserve(slot: &Mutex<Timeline>, earliest: f64, dur: f64) -> f64 {
+    slot.lock().reserve(earliest, dur)
+}
+
+impl Pfs {
+    /// Create a file system serving `nclients` simulated clients.
+    pub fn new(nclients: usize, cfg: PfsConfig) -> Result<Arc<Pfs>> {
+        cfg.validate().map_err(PfsError::Config)?;
+        Ok(Arc::new(Pfs {
+            ost_busy: (0..cfg.num_osts).map(|_| Mutex::new(Timeline::new())).collect(),
+            client_busy: (0..nclients).map(|_| Mutex::new(Timeline::new())).collect(),
+            ost_slowdown: (0..cfg.num_osts).map(|_| Mutex::new(1.0)).collect(),
+            namespace: Mutex::new(HashMap::new()),
+            files: RwLock::new(Vec::new()),
+            locks: Mutex::new(LockManager::new()),
+            next_ost_base: Mutex::new(0),
+            stats: PfsStats::default(),
+            cfg,
+        }))
+    }
+
+    pub fn config(&self) -> &PfsConfig {
+        &self.cfg
+    }
+
+    /// Create a new empty file. Fails if the path exists.
+    pub fn create(&self, path: &str) -> Result<FileId> {
+        let mut ns = self.namespace.lock();
+        if ns.contains_key(path) {
+            return Err(PfsError::AlreadyExists(path.to_string()));
+        }
+        let mut files = self.files.write();
+        let id = FileId(files.len() as u32);
+        let ost_base = {
+            let mut b = self.next_ost_base.lock();
+            let v = *b;
+            *b = (*b + self.cfg.stripe_count) % self.cfg.num_osts;
+            v
+        };
+        files.push(Arc::new(FileState {
+            data: Mutex::new(Vec::new()),
+            ost_base,
+        }));
+        ns.insert(path.to_string(), id);
+        Ok(id)
+    }
+
+    /// Open an existing file.
+    pub fn open(&self, path: &str) -> Result<FileId> {
+        self.namespace
+            .lock()
+            .get(path)
+            .copied()
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    /// Open, creating if absent (idempotent; used by collective opens where
+    /// every rank races to create the shared file).
+    pub fn open_or_create(&self, path: &str) -> Result<FileId> {
+        {
+            let ns = self.namespace.lock();
+            if let Some(&id) = ns.get(path) {
+                return Ok(id);
+            }
+        }
+        match self.create(path) {
+            Ok(id) => Ok(id),
+            Err(PfsError::AlreadyExists(_)) => self.open(path),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove a file and its lock state.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let id = {
+            let mut ns = self.namespace.lock();
+            ns.remove(path).ok_or_else(|| PfsError::NotFound(path.to_string()))?
+        };
+        self.locks.lock().forget_file(id.0);
+        // The file-id slot stays reserved (ids are stable); drop the bytes
+        // so memory is reclaimed.
+        if let Some(f) = self.files.read().get(id.0 as usize) {
+            let mut d = f.data.lock();
+            d.clear();
+            d.shrink_to_fit();
+        }
+        Ok(())
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.namespace.lock().contains_key(path)
+    }
+
+    fn file(&self, id: FileId) -> Result<Arc<FileState>> {
+        self.files
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(PfsError::InvalidFile(id.0))
+    }
+
+    /// Current length of the file in bytes.
+    pub fn len(&self, id: FileId) -> Result<u64> {
+        Ok(self.file(id)?.data.lock().len() as u64)
+    }
+
+    /// Set the file length (zero-filling on growth).
+    pub fn truncate(&self, id: FileId, len: u64) -> Result<()> {
+        self.file(id)?.data.lock().resize(len as usize, 0);
+        Ok(())
+    }
+
+    /// Degrade (or heal) an OST: subsequent service on it takes
+    /// `factor` × the healthy time. `factor = 1.0` restores health.
+    pub fn set_ost_slowdown(&self, ost: usize, factor: f64) -> Result<()> {
+        let slot = self
+            .ost_slowdown
+            .get(ost)
+            .ok_or_else(|| PfsError::Config(format!("no OST {ost}")))?;
+        if factor < 1.0 || !factor.is_finite() {
+            return Err(PfsError::Config(format!("bad slowdown factor {factor}")));
+        }
+        *slot.lock() = factor;
+        Ok(())
+    }
+
+    fn slowdown(&self, ost: usize) -> f64 {
+        *self.ost_slowdown[ost].lock()
+    }
+
+    /// File metadata.
+    pub fn stat(&self, id: FileId) -> Result<FileStat> {
+        let f = self.file(id)?;
+        let len = f.data.lock().len() as u64;
+        Ok(FileStat {
+            len,
+            stripe_size: self.cfg.stripe_size,
+            stripe_count: self.cfg.stripe_count,
+            ost_base: f.ost_base,
+        })
+    }
+
+    /// Sorted listing of the namespace.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.namespace.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn ost_for(&self, file: &FileState, stripe: u64) -> usize {
+        (file.ost_base + (stripe as usize % self.cfg.stripe_count)) % self.cfg.num_osts
+    }
+
+    /// Split `[offset, offset+len)` into RPC pieces: stripe-bounded and
+    /// `max_rpc`-bounded.
+    fn rpc_pieces(&self, offset: u64, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_end = (pos / self.cfg.stripe_size + 1) * self.cfg.stripe_size;
+            let piece_end = end.min(stripe_end).min(pos + self.cfg.max_rpc);
+            out.push((pos, piece_end - pos));
+            pos = piece_end;
+        }
+        out
+    }
+
+    /// Write `data` at `offset` on behalf of `client`, starting at virtual
+    /// time `now`. Returns the completion time.
+    pub fn write_at(
+        &self,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        data: &[u8],
+        now: f64,
+    ) -> Result<f64> {
+        if data.is_empty() {
+            return Ok(now);
+        }
+        let file = self.file(id)?;
+        // Apply the bytes (correctness path).
+        {
+            let mut d = file.data.lock();
+            let end = offset as usize + data.len();
+            if d.len() < end {
+                d.resize(end, 0);
+            }
+            d[offset as usize..end].copy_from_slice(data);
+        }
+        Ok(self.write_cost(&file, id, client, offset, data.len() as u64, now))
+    }
+
+    /// Atomic read-modify-write of `[offset, offset+len)`: the span is
+    /// presented to `patch` under the file's data lock, so concurrent
+    /// writers cannot interleave between the read and the write-back. This
+    /// is the primitive behind write-mode *data sieving*, which on a real
+    /// system holds a file lock across the RMW for exactly this reason.
+    /// Costs one read pass plus one write pass over the span.
+    pub fn write_rmw(
+        &self,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        len: u64,
+        patch: &mut dyn FnMut(&mut [u8]),
+        now: f64,
+    ) -> Result<f64> {
+        if len == 0 {
+            return Ok(now);
+        }
+        let file = self.file(id)?;
+        let readable;
+        {
+            let mut d = file.data.lock();
+            let end = (offset + len) as usize;
+            readable = d.len().saturating_sub(offset as usize).min(len as usize) as u64;
+            if d.len() < end {
+                d.resize(end, 0);
+            }
+            patch(&mut d[offset as usize..end]);
+        }
+        let t = self.read_cost(&file, id, client, offset, readable, now);
+        Ok(self.write_cost(&file, id, client, offset, len, t))
+    }
+
+    /// Virtual-time cost of writing `[offset, offset+len)` (no data moved).
+    fn write_cost(&self, file: &FileState, id: FileId, client: usize, offset: u64, len: u64, now: f64) -> f64 {
+        let mut done = now;
+        let mut client_t = now;
+        for (pos, len) in self.rpc_pieces(offset, len) {
+            self.stats.write_rpcs.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
+            let stripe = pos / self.cfg.stripe_size;
+            let transfer = self.locks.lock().acquire(id.0, stripe, client, LockMode::Write);
+            let lock_cost = if transfer {
+                self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
+                self.cfg.lock_transfer
+            } else {
+                0.0
+            };
+            // Client marshals the request and streams the payload.
+            let link_dur = len as f64 * self.cfg.client_byte_time;
+            let send_start = reserve(
+                &self.client_busy[client],
+                client_t + self.cfg.request_overhead,
+                link_dur,
+            );
+            let arrive = send_start + link_dur + lock_cost;
+            // OST services the piece (degraded OSTs run slower).
+            let ost = self.ost_for(file, stripe);
+            let service_dur =
+                (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw) * self.slowdown(ost);
+            let svc_start = reserve(&self.ost_busy[ost], arrive, service_dur);
+            let piece_done = svc_start + service_dur;
+            done = done.max(piece_done);
+            // The client can pipeline the next piece once its link is free.
+            client_t = send_start + link_dur;
+        }
+        done
+    }
+
+    /// Read into `buf` from `offset` on behalf of `client`, starting at
+    /// virtual time `now`. Returns the completion time. Reading past EOF is
+    /// an error; holes within the file read as zeros.
+    pub fn read_at(
+        &self,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        buf: &mut [u8],
+        now: f64,
+    ) -> Result<f64> {
+        if buf.is_empty() {
+            return Ok(now);
+        }
+        let file = self.file(id)?;
+        {
+            let d = file.data.lock();
+            let end = offset as usize + buf.len();
+            if end > d.len() {
+                return Err(PfsError::ReadPastEof {
+                    offset,
+                    len: buf.len() as u64,
+                    file_len: d.len() as u64,
+                });
+            }
+            buf.copy_from_slice(&d[offset as usize..end]);
+        }
+        Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now))
+    }
+
+    /// Virtual-time cost of reading `[offset, offset+len)` (no data moved).
+    fn read_cost(&self, file: &FileState, id: FileId, client: usize, offset: u64, len: u64, now: f64) -> f64 {
+        let mut done = now;
+        let mut client_t = now;
+        for (pos, len) in self.rpc_pieces(offset, len) {
+            self.stats.read_rpcs.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+            let stripe = pos / self.cfg.stripe_size;
+            let transfer = self.locks.lock().acquire(id.0, stripe, client, LockMode::Read);
+            let lock_cost = if transfer {
+                self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
+                self.cfg.lock_transfer
+            } else {
+                0.0
+            };
+            let req_sent = client_t + self.cfg.request_overhead;
+            let ost = self.ost_for(file, stripe);
+            let service_dur =
+                (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * self.slowdown(ost);
+            let svc_start = reserve(&self.ost_busy[ost], req_sent + lock_cost, service_dur);
+            // Response streams back over the client link.
+            let link_dur = len as f64 * self.cfg.client_byte_time;
+            let resp_start = reserve(&self.client_busy[client], svc_start + service_dur, link_dur);
+            let piece_done = resp_start + link_dur;
+            done = done.max(piece_done);
+            client_t = req_sent;
+        }
+        done
+    }
+
+    /// Convenience for verification in tests and examples: a full copy of
+    /// the file's bytes (no cost).
+    pub fn snapshot_file(&self, id: FileId) -> Result<Vec<u8>> {
+        Ok(self.file(id)?.data.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(nclients: usize) -> Arc<Pfs> {
+        Pfs::new(nclients, PfsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_open_delete_namespace() {
+        let p = fs(1);
+        let id = p.create("/a").unwrap();
+        assert_eq!(p.open("/a").unwrap(), id);
+        assert!(matches!(p.create("/a"), Err(PfsError::AlreadyExists(_))));
+        assert!(p.exists("/a"));
+        p.delete("/a").unwrap();
+        assert!(!p.exists("/a"));
+        assert!(matches!(p.open("/a"), Err(PfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let p = fs(1);
+        let a = p.open_or_create("/x").unwrap();
+        let b = p.open_or_create("/x").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        let data: Vec<u8> = (0..255).collect();
+        let t = p.write_at(id, 0, 10, &data, 0.0).unwrap();
+        assert!(t > 0.0);
+        assert_eq!(p.len(id).unwrap(), 265);
+        let mut buf = vec![0u8; 255];
+        let t2 = p.read_at(id, 0, 10, &mut buf, t).unwrap();
+        assert!(t2 > t);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn holes_read_as_zero() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 100, &[7], 0.0).unwrap();
+        let mut buf = vec![9u8; 50];
+        p.read_at(id, 0, 0, &mut buf, 0.0).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_past_eof_is_error() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 0, &[1, 2, 3], 0.0).unwrap();
+        let mut buf = vec![0u8; 4];
+        assert!(matches!(
+            p.read_at(id, 0, 0, &mut buf, 0.0),
+            Err(PfsError::ReadPastEof { .. })
+        ));
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        p.truncate(id, 100).unwrap();
+        assert_eq!(p.len(id).unwrap(), 100);
+        p.truncate(id, 10).unwrap();
+        assert_eq!(p.len(id).unwrap(), 10);
+    }
+
+    #[test]
+    fn rpc_pieces_respect_stripes_and_max_rpc() {
+        let mut cfg = PfsConfig::default();
+        cfg.stripe_size = 100;
+        cfg.max_rpc = 250;
+        cfg.stripe_count = 2;
+        cfg.num_osts = 2;
+        let p = Pfs::new(1, cfg).unwrap();
+        // Crossing two stripe boundaries.
+        let pieces = p.rpc_pieces(50, 200);
+        assert_eq!(pieces, vec![(50, 50), (100, 100), (200, 50)]);
+        let pieces = p.rpc_pieces(0, 100);
+        assert_eq!(pieces, vec![(0, 100)]);
+    }
+
+    #[test]
+    fn max_rpc_splits_within_a_stripe() {
+        let mut cfg = PfsConfig::default();
+        cfg.stripe_size = 1000;
+        cfg.max_rpc = 300;
+        cfg.stripe_count = 1;
+        cfg.num_osts = 1;
+        let p = Pfs::new(1, cfg).unwrap();
+        let pieces = p.rpc_pieces(0, 1000);
+        assert_eq!(pieces, vec![(0, 300), (300, 300), (600, 300), (900, 100)]);
+    }
+
+    #[test]
+    fn small_writes_dominated_by_overhead() {
+        let p = fs(2);
+        let id = p.create("/f").unwrap();
+        let cfg = p.config().clone();
+        let mut t = 0.0;
+        for i in 0..100u64 {
+            t = p.write_at(id, 0, i * 8, &[0u8; 8], t).unwrap();
+        }
+        assert!(t >= 100.0 * (cfg.request_overhead + cfg.ost_service) * 0.9);
+    }
+
+    #[test]
+    fn large_write_approaches_ost_bandwidth() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        let cfg = p.config().clone();
+        let bytes = 8 << 20; // 8 MiB across 8 stripes
+        let data = vec![0u8; bytes];
+        let t = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        // Eight 1 MiB pieces on distinct OSTs, pipelined over the client
+        // link: must beat serial single-OST time.
+        let serial = bytes as f64 / cfg.ost_write_bw;
+        assert!(t < serial, "striping must parallelize: {t} vs serial {serial}");
+        // But no faster than the client link can push the data.
+        assert!(t >= bytes as f64 * cfg.client_byte_time);
+    }
+
+    #[test]
+    fn interleaved_writers_pay_lock_transfers() {
+        let p = fs(2);
+        let id = p.create("/f").unwrap();
+        let mut t = 0.0;
+        for i in 0..10u64 {
+            let client = (i % 2) as usize;
+            t = p.write_at(id, client, (i % 4) * 16, &[1u8; 16], t).unwrap();
+        }
+        assert!(
+            p.stats.snapshot().lock_transfers >= 8,
+            "alternating writers in one stripe must ping-pong the lock"
+        );
+    }
+
+    #[test]
+    fn disjoint_stripe_writers_do_not_conflict() {
+        let p = fs(2);
+        let id = p.create("/f").unwrap();
+        let s = p.config().stripe_size;
+        p.write_at(id, 0, 0, &[1u8; 16], 0.0).unwrap();
+        p.write_at(id, 1, s, &[2u8; 16], 0.0).unwrap();
+        p.write_at(id, 0, 0, &[3u8; 16], 0.0).unwrap();
+        p.write_at(id, 1, s, &[4u8; 16], 0.0).unwrap();
+        assert_eq!(p.stats.snapshot().lock_transfers, 0);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_capped_by_osts() {
+        let mut cfg = PfsConfig::default();
+        cfg.num_osts = 4;
+        cfg.stripe_count = 4;
+        let p = Pfs::new(16, cfg.clone()).unwrap();
+        let id = p.create("/f").unwrap();
+        let per_client = 4u64 << 20;
+        let data = vec![0u8; per_client as usize];
+        let mut done = 0.0f64;
+        for c in 0..16usize {
+            let t = p.write_at(id, c, c as u64 * per_client, &data, 0.0).unwrap();
+            done = done.max(t);
+        }
+        let floor = (16.0 * per_client as f64) / (4.0 * cfg.ost_write_bw);
+        assert!(done >= floor * 0.9, "done {done} vs floor {floor}");
+    }
+
+    #[test]
+    fn reads_are_faster_than_writes() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        let data = vec![1u8; 4 << 20];
+        let w_done = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let mut buf = vec![0u8; 4 << 20];
+        let r_start = w_done;
+        let r_done = p.read_at(id, 0, 0, &mut buf, r_start).unwrap();
+        assert!(r_done - r_start < w_done, "read bw exceeds write bw");
+    }
+
+    #[test]
+    fn stats_count_rpcs_and_bytes() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 0, &[0u8; 100], 0.0).unwrap();
+        let mut buf = [0u8; 50];
+        p.read_at(id, 0, 0, &mut buf, 0.0).unwrap();
+        let s = p.stats.snapshot();
+        assert_eq!(s.write_rpcs, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.read_rpcs, 1);
+        assert_eq!(s.bytes_read, 50);
+    }
+
+    #[test]
+    fn empty_ops_are_free() {
+        let p = fs(1);
+        let id = p.create("/f").unwrap();
+        assert_eq!(p.write_at(id, 0, 0, &[], 5.0).unwrap(), 5.0);
+        let mut empty: [u8; 0] = [];
+        assert_eq!(p.read_at(id, 0, 0, &mut empty, 5.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn invalid_file_id_rejected() {
+        let p = fs(1);
+        assert!(matches!(p.len(FileId(99)), Err(PfsError::InvalidFile(99))));
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    #[test]
+    fn degraded_ost_slows_its_stripes_only() {
+        let mut cfg = PfsConfig::default();
+        cfg.num_osts = 2;
+        cfg.stripe_count = 2;
+        cfg.stripe_size = 1 << 20;
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        let data = vec![0u8; 1 << 20];
+        // Healthy baseline: one stripe on each OST.
+        let t0 = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let t1 = p.write_at(id, 0, 1 << 20, &data, t0).unwrap();
+        let healthy0 = t0;
+        let healthy1 = t1 - t0;
+        // Degrade OST 1 (stripe 1) by 10x.
+        p.set_ost_slowdown(1, 10.0).unwrap();
+        let t2 = p.write_at(id, 0, 0, &data, t1).unwrap(); // stripe 0, OST 0
+        let t3 = p.write_at(id, 0, 1 << 20, &data, t2).unwrap(); // stripe 1, OST 1
+        assert!((t2 - t1) < 2.0 * healthy0, "healthy OST unaffected");
+        assert!(
+            (t3 - t2) > 5.0 * healthy1,
+            "degraded OST must be much slower: {} vs {}",
+            t3 - t2,
+            healthy1
+        );
+        // Heal and verify recovery.
+        p.set_ost_slowdown(1, 1.0).unwrap();
+        let t4 = p.write_at(id, 0, 1 << 20, &data, t3).unwrap();
+        assert!((t4 - t3) < 2.0 * healthy1);
+    }
+
+    #[test]
+    fn slowdown_validation() {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        assert!(p.set_ost_slowdown(999, 2.0).is_err());
+        assert!(p.set_ost_slowdown(0, 0.5).is_err());
+        assert!(p.set_ost_slowdown(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn stat_and_list() {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/b").unwrap();
+        p.create("/a").unwrap();
+        p.write_at(id, 0, 0, &[1, 2, 3], 0.0).unwrap();
+        let st = p.stat(id).unwrap();
+        assert_eq!(st.len, 3);
+        assert_eq!(st.stripe_size, 1 << 20);
+        assert_eq!(st.stripe_count, 30);
+        assert_eq!(p.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Extent-lock manager.
+//!
+//! Lustre servers maintain data consistency with distributed extent locks
+//! granted at stripe granularity. When a client touches a stripe whose lock
+//! is held in a conflicting mode by other clients, the lock must be revoked
+//! and re-granted — an expensive round trip. The paper's §IV.A keys TCIO's
+//! segment size to this lock granularity; §II (Liao & Choudhary) is the
+//! background. This manager tracks ownership per `(file, stripe)` and
+//! reports whether each access required a transfer, so the cost model can
+//! charge it and so the benches can count ping-pongs.
+
+use std::collections::{HashMap, HashSet};
+
+/// Access mode for a stripe lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+enum LockState {
+    Read(HashSet<usize>),
+    Write(usize),
+}
+
+/// Tracks extent locks for all files. Callers hold the manager briefly per
+/// RPC; contention on the map itself models the metadata path coarsely.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<(u32, u64), LockState>,
+}
+
+impl LockManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire the lock on `(file, stripe)` for `client` in `mode`.
+    /// Returns `true` when the acquisition required a lock transfer
+    /// (revocation of a conflicting holder).
+    pub fn acquire(&mut self, file: u32, stripe: u64, client: usize, mode: LockMode) -> bool {
+        let key = (file, stripe);
+        match (self.table.get_mut(&key), mode) {
+            (None, LockMode::Read) => {
+                let mut s = HashSet::new();
+                s.insert(client);
+                self.table.insert(key, LockState::Read(s));
+                false
+            }
+            (None, LockMode::Write) => {
+                self.table.insert(key, LockState::Write(client));
+                false
+            }
+            (Some(LockState::Read(holders)), LockMode::Read) => {
+                holders.insert(client);
+                false
+            }
+            (Some(LockState::Read(holders)), LockMode::Write) => {
+                // Upgrading is free only if this client is the sole reader.
+                let transfer = !(holders.len() == 1 && holders.contains(&client));
+                self.table.insert(key, LockState::Write(client));
+                transfer
+            }
+            (Some(LockState::Write(owner)), LockMode::Write) => {
+                let transfer = *owner != client;
+                *owner = client;
+                transfer
+            }
+            (Some(LockState::Write(owner)), LockMode::Read) => {
+                let transfer = *owner != client;
+                let mut s = HashSet::new();
+                s.insert(client);
+                self.table.insert(key, LockState::Read(s));
+                transfer
+            }
+        }
+    }
+
+    /// Drop all lock state for a file (delete/close-unlink path).
+    pub fn forget_file(&mut self, file: u32) {
+        self.table.retain(|&(f, _), _| f != file);
+    }
+
+    /// Number of stripes currently tracked (for tests/diagnostics).
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_acquire_is_free() {
+        let mut lm = LockManager::new();
+        assert!(!lm.acquire(1, 0, 0, LockMode::Write));
+        assert!(!lm.acquire(1, 1, 0, LockMode::Read));
+    }
+
+    #[test]
+    fn same_client_rewrite_is_free() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Write);
+        assert!(!lm.acquire(1, 0, 0, LockMode::Write));
+    }
+
+    #[test]
+    fn write_ping_pong_costs_every_switch() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Write);
+        assert!(lm.acquire(1, 0, 1, LockMode::Write));
+        assert!(lm.acquire(1, 0, 0, LockMode::Write));
+        assert!(lm.acquire(1, 0, 1, LockMode::Write));
+    }
+
+    #[test]
+    fn concurrent_readers_share() {
+        let mut lm = LockManager::new();
+        assert!(!lm.acquire(1, 0, 0, LockMode::Read));
+        assert!(!lm.acquire(1, 0, 1, LockMode::Read));
+        assert!(!lm.acquire(1, 0, 2, LockMode::Read));
+    }
+
+    #[test]
+    fn sole_reader_upgrades_free_others_pay() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Read);
+        assert!(!lm.acquire(1, 0, 0, LockMode::Write), "sole-reader upgrade");
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Read);
+        lm.acquire(1, 0, 1, LockMode::Read);
+        assert!(lm.acquire(1, 0, 0, LockMode::Write), "shared upgrade revokes");
+    }
+
+    #[test]
+    fn read_after_foreign_write_pays() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Write);
+        assert!(lm.acquire(1, 0, 1, LockMode::Read));
+        // And a subsequent reader is free again.
+        assert!(!lm.acquire(1, 0, 1, LockMode::Read));
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Write);
+        assert!(!lm.acquire(2, 0, 1, LockMode::Write));
+    }
+
+    #[test]
+    fn forget_file_clears_only_that_file() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, 0, 0, LockMode::Write);
+        lm.acquire(1, 1, 0, LockMode::Write);
+        lm.acquire(2, 0, 0, LockMode::Write);
+        lm.forget_file(1);
+        assert_eq!(lm.tracked(), 1);
+        assert!(!lm.acquire(1, 0, 5, LockMode::Write), "state was forgotten");
+    }
+}

@@ -1,0 +1,91 @@
+//! TCIO error type.
+
+use std::fmt;
+
+/// Errors surfaced by the TCIO library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TcioError {
+    /// Propagated from the simulated MPI runtime.
+    Mpi(mpisim::MpiError),
+    /// Propagated from the file system / MPI-IO layer.
+    Io(mpiio::IoError),
+    /// An access landed beyond the level-2 buffer capacity configured at
+    /// open time (`num_segments × segment_size × nprocs` bytes of file).
+    SegmentOverflow {
+        offset: u64,
+        needed_segments: usize,
+        configured_segments: usize,
+    },
+    /// API misuse (wrong mode, write after close, …).
+    Usage(String),
+}
+
+impl fmt::Display for TcioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcioError::Mpi(e) => write!(f, "mpi: {e}"),
+            TcioError::Io(e) => write!(f, "io: {e}"),
+            TcioError::SegmentOverflow {
+                offset,
+                needed_segments,
+                configured_segments,
+            } => write!(
+                f,
+                "offset {offset} needs level-2 segment {needed_segments} but only \
+                 {configured_segments} segments were configured per process \
+                 (hint: use TcioConfig::for_file_size)"
+            ),
+            TcioError::Usage(msg) => write!(f, "usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TcioError {}
+
+impl From<mpisim::MpiError> for TcioError {
+    fn from(e: mpisim::MpiError) -> Self {
+        TcioError::Mpi(e)
+    }
+}
+
+impl From<mpiio::IoError> for TcioError {
+    fn from(e: mpiio::IoError) -> Self {
+        match e {
+            mpiio::IoError::Mpi(m) => TcioError::Mpi(m),
+            other => TcioError::Io(other),
+        }
+    }
+}
+
+impl From<pfs::PfsError> for TcioError {
+    fn from(e: pfs::PfsError) -> Self {
+        TcioError::Io(mpiio::IoError::Fs(e))
+    }
+}
+
+pub type Result<T> = std::result::Result<T, TcioError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_flatten_nested_mpi_errors() {
+        let e: TcioError = mpiio::IoError::Mpi(mpisim::MpiError::Aborted).into();
+        assert!(matches!(e, TcioError::Mpi(mpisim::MpiError::Aborted)));
+        let e: TcioError = pfs::PfsError::NotFound("/f".into()).into();
+        assert!(e.to_string().contains("/f"));
+    }
+
+    #[test]
+    fn overflow_message_is_actionable() {
+        let e = TcioError::SegmentOverflow {
+            offset: 12345,
+            needed_segments: 10,
+            configured_segments: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("12345"));
+        assert!(s.contains("for_file_size"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The level-2 segment mapping — equations (1)–(3) of §IV.A.
+//!
+//! The level-2 buffer is distributed: each of the `P` processes holds
+//! `num_segments` equal segments of `S` bytes, and file regions map onto
+//! them round-robin by offset:
+//!
+//! ```text
+//! owner(offset)   = (offset / S) % P          (1)
+//! segment(offset) = (offset / S) / P          (2)
+//! disp(offset)    =  offset % S               (3)
+//! ```
+//!
+//! so any rank locates any byte's home in O(1) with no application
+//! knowledge of the file domain — the property that makes TCIO transparent.
+
+/// Immutable mapping parameters for one open TCIO file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMap {
+    /// Segment size `S` in bytes. §IV.A: set to the file system's lock
+    /// granularity (the Lustre stripe size) — smaller fights the lock
+    /// manager, larger skews load balance.
+    pub segment_size: u64,
+    /// Communicator size `P`.
+    pub nprocs: usize,
+}
+
+/// Location of a byte in the distributed level-2 buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Owning rank — equation (1).
+    pub owner: usize,
+    /// Segment index within the owner — equation (2).
+    pub segment: usize,
+    /// Byte displacement within the segment — equation (3).
+    pub disp: u64,
+}
+
+impl SegmentMap {
+    pub fn new(segment_size: u64, nprocs: usize) -> SegmentMap {
+        assert!(segment_size > 0, "segment size must be positive");
+        assert!(nprocs > 0, "need at least one process");
+        SegmentMap {
+            segment_size,
+            nprocs,
+        }
+    }
+
+    /// Locate a file offset in the level-2 buffer (equations 1–3).
+    #[inline]
+    pub fn locate(&self, offset: u64) -> Location {
+        let window = offset / self.segment_size;
+        Location {
+            owner: (window % self.nprocs as u64) as usize,
+            segment: (window / self.nprocs as u64) as usize,
+            disp: offset % self.segment_size,
+        }
+    }
+
+    /// Start of the segment-aligned window containing `offset` — the file
+    /// region one level-1 buffer covers.
+    #[inline]
+    pub fn window_start(&self, offset: u64) -> u64 {
+        (offset / self.segment_size) * self.segment_size
+    }
+
+    /// Inverse mapping: the file offset where `(owner, segment)` begins.
+    #[inline]
+    pub fn file_offset(&self, owner: usize, segment: usize) -> u64 {
+        (segment as u64 * self.nprocs as u64 + owner as u64) * self.segment_size
+    }
+
+    /// Number of segments per process needed to cover a file of
+    /// `file_size` bytes.
+    pub fn segments_for(&self, file_size: u64) -> usize {
+        if file_size == 0 {
+            return 0;
+        }
+        let windows = file_size.div_ceil(self.segment_size);
+        windows.div_ceil(self.nprocs as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equations_match_paper() {
+        // S = 1 MiB, P = 4.
+        let m = SegmentMap::new(1 << 20, 4);
+        let s = 1u64 << 20;
+        // Offset in window 0 → rank 0, segment 0.
+        assert_eq!(
+            m.locate(5),
+            Location { owner: 0, segment: 0, disp: 5 }
+        );
+        // Window 1 → rank 1.
+        assert_eq!(
+            m.locate(s + 7),
+            Location { owner: 1, segment: 0, disp: 7 }
+        );
+        // Window 4 wraps to rank 0, segment 1.
+        assert_eq!(
+            m.locate(4 * s),
+            Location { owner: 0, segment: 1, disp: 0 }
+        );
+        // Window 6 → rank 2, segment 1.
+        assert_eq!(
+            m.locate(6 * s + 123),
+            Location { owner: 2, segment: 1, disp: 123 }
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = SegmentMap::new(4096, 7);
+        for owner in 0..7 {
+            for segment in 0..5 {
+                let off = m.file_offset(owner, segment);
+                let loc = m.locate(off);
+                assert_eq!(loc.owner, owner);
+                assert_eq!(loc.segment, segment);
+                assert_eq!(loc.disp, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn window_start_aligns() {
+        let m = SegmentMap::new(100, 3);
+        assert_eq!(m.window_start(0), 0);
+        assert_eq!(m.window_start(99), 0);
+        assert_eq!(m.window_start(100), 100);
+        assert_eq!(m.window_start(250), 200);
+    }
+
+    #[test]
+    fn segments_for_covers_file() {
+        let m = SegmentMap::new(100, 4);
+        assert_eq!(m.segments_for(0), 0);
+        assert_eq!(m.segments_for(1), 1);
+        assert_eq!(m.segments_for(400), 1);
+        assert_eq!(m.segments_for(401), 2);
+        assert_eq!(m.segments_for(800), 2);
+        // Every byte of the file must land in a configured segment.
+        for size in [1u64, 99, 100, 399, 400, 777, 4000] {
+            let nsegs = m.segments_for(size);
+            let loc = m.locate(size - 1);
+            assert!(
+                loc.segment < nsegs,
+                "byte {} of a {size}-byte file fell in segment {} >= {nsegs}",
+                size - 1,
+                loc.segment
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment size must be positive")]
+    fn zero_segment_size_panics() {
+        SegmentMap::new(0, 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! The ART cosmology application driver (§V.C).
+//!
+//! ART assigns variable-length *segments* of root cells to processes
+//! round-robin (segment `s` → rank `s mod P`); segment lengths follow
+//! N(2048, 128²) with seed 5 (Table IV). At checkpoint time every process
+//! serializes each of its trees as a self-describing record
+//! ([`ftt::FttTree`]) into a single shared file, segments in global order —
+//! so processes write many variable-size noncontiguous byte ranges in an
+//! interleaving fashion, and no single derived datatype can describe the
+//! pattern. The paper dumps with TCIO vs vanilla (independent) MPI-IO and
+//! then restarts from the snapshot (Figs. 9 and 10).
+//!
+//! Offsets are agreed the way the real code does it: each rank sizes its
+//! own segments locally, the per-segment byte counts are allgathered, and
+//! everyone prefix-sums the global layout.
+
+pub mod ftt;
+
+pub use ftt::{FttConfig, FttTree, FTT_MAGIC};
+
+use crate::error::{Result, WlError};
+use crate::synthetic::{timed, RunMetrics};
+use crate::Normal;
+use mpisim::Rank;
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+
+/// ART experiment configuration. Defaults follow Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtConfig {
+    /// Number of root-cell segments (Table IV: 1024).
+    pub num_segments: usize,
+    /// Mean segment length in root cells (Table IV: 2048).
+    pub mu: f64,
+    /// Standard deviation (Table IV: 128).
+    pub sigma: f64,
+    /// RNG seed (Table IV: 5).
+    pub seed: u64,
+    /// Tree-shape generation parameters.
+    pub ftt: FttConfig,
+}
+
+impl Default for ArtConfig {
+    fn default() -> Self {
+        ArtConfig {
+            num_segments: 1024,
+            mu: 2048.0,
+            sigma: 128.0,
+            seed: 5,
+            ftt: FttConfig::default(),
+        }
+    }
+}
+
+impl ArtConfig {
+    /// A proportionally smaller problem (for laptop-scale reproduction):
+    /// scales the cell count by `frac` while keeping the segment/process
+    /// structure. See EXPERIMENTS.md.
+    pub fn scaled(frac: f64) -> ArtConfig {
+        let base = ArtConfig::default();
+        ArtConfig {
+            mu: (base.mu * frac).max(4.0),
+            sigma: (base.sigma * frac).max(1.0),
+            ..base
+        }
+    }
+}
+
+/// Which I/O path to exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtMethod {
+    Tcio,
+    Vanilla,
+    /// Independent MPI-IO with application-level per-tree buffering: each
+    /// record is assembled in a temporary buffer and written with one call
+    /// — per-process coalescing without cross-process aggregation, the
+    /// halfway house between the baselines (and the manual buffer
+    /// management TCIO exists to eliminate).
+    VanillaBuffered,
+}
+
+impl ArtMethod {
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtMethod::Tcio => "TCIO",
+            ArtMethod::Vanilla => "MPI-IO",
+            ArtMethod::VanillaBuffered => "MPI-IO+buf",
+        }
+    }
+}
+
+/// Table IV: the segment lengths (identical on every rank).
+pub fn segment_lengths(cfg: &ArtConfig) -> Vec<u32> {
+    Normal::new(cfg.mu, cfg.sigma, cfg.seed).sample_lengths(cfg.num_segments)
+}
+
+/// The global cell layout derived from the segment lengths.
+#[derive(Debug, Clone)]
+pub struct ArtPlan {
+    pub seg_lens: Vec<u32>,
+    /// First global root-cell id of each segment.
+    pub seg_cell_start: Vec<u64>,
+    pub total_cells: u64,
+}
+
+pub fn plan(cfg: &ArtConfig) -> ArtPlan {
+    let seg_lens = segment_lengths(cfg);
+    let mut seg_cell_start = Vec::with_capacity(seg_lens.len());
+    let mut acc = 0u64;
+    for &l in &seg_lens {
+        seg_cell_start.push(acc);
+        acc += l as u64;
+    }
+    ArtPlan {
+        seg_lens,
+        seg_cell_start,
+        total_cells: acc,
+    }
+}
+
+/// Segments owned by `rank` (round-robin).
+pub fn my_segments(plan: &ArtPlan, rank: usize, nprocs: usize) -> Vec<usize> {
+    (rank..plan.seg_lens.len()).step_by(nprocs).collect()
+}
+
+/// Generate the trees of one segment.
+fn segment_trees(plan: &ArtPlan, seg: usize, ftt: &FttConfig) -> Vec<FttTree> {
+    let start = plan.seg_cell_start[seg];
+    (0..plan.seg_lens[seg] as u64)
+        .map(|i| FttTree::generate(start + i, ftt))
+        .collect()
+}
+
+/// This rank's trees keyed by their segment index.
+type MyTrees = Vec<(usize, Vec<FttTree>)>;
+
+/// Compute the global segment byte offsets: each rank sizes its own
+/// segments, the counts are allgathered, everyone prefix-sums.
+/// Returns `(seg_offsets, my trees keyed by segment, my total bytes)`.
+fn layout(rank: &mut Rank, plan: &ArtPlan, cfg: &ArtConfig) -> Result<(Vec<u64>, MyTrees, u64)> {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let mine = my_segments(plan, me, nprocs);
+    let mut my_trees = Vec::with_capacity(mine.len());
+    let mut my_sizes = Vec::with_capacity(mine.len());
+    for &s in &mine {
+        let trees = segment_trees(plan, s, &cfg.ftt);
+        let bytes: u64 = trees.iter().map(|t| t.record_size(cfg.ftt.num_vars)).sum();
+        my_sizes.push(bytes);
+        my_trees.push((s, trees));
+    }
+    // Allgather the per-segment sizes (rank r's payload covers segments
+    // r, r+P, r+2P, … in that order).
+    let payload: Vec<u8> = my_sizes.iter().flat_map(|b| b.to_le_bytes()).collect();
+    let gathered = rank.allgather(&payload)?;
+    let nsegs = plan.seg_lens.len();
+    let mut seg_bytes = vec![0u64; nsegs];
+    for (r, buf) in gathered.iter().enumerate() {
+        for (k, chunk) in buf.chunks_exact(8).enumerate() {
+            let s = r + k * nprocs;
+            if s < nsegs {
+                seg_bytes[s] = u64::from_le_bytes(chunk.try_into().expect("u64 chunk"));
+            }
+        }
+    }
+    let mut seg_off = Vec::with_capacity(nsegs);
+    let mut acc = 0u64;
+    for &b in &seg_bytes {
+        seg_off.push(acc);
+        acc += b;
+    }
+    let my_bytes: u64 = my_sizes.iter().sum();
+    let _total = acc;
+    Ok((seg_off, my_trees, my_bytes))
+}
+
+/// Total snapshot size (all segments) — needed to size TCIO's level-2
+/// buffer before writing.
+fn total_bytes(seg_off: &[u64], plan: &ArtPlan, cfg: &ArtConfig) -> u64 {
+    // seg_off is a prefix sum; total = last offset + last segment's bytes.
+    match seg_off.last() {
+        None => 0,
+        Some(&last_off) => {
+            let last_seg = seg_off.len() - 1;
+            let last_bytes: u64 = segment_trees(plan, last_seg, &cfg.ftt)
+                .iter()
+                .map(|t| t.record_size(cfg.ftt.num_vars))
+                .sum();
+            last_off + last_bytes
+        }
+    }
+}
+
+/// Emit one tree's record through `put` as the sequence of small writes the
+/// real application performs: header, then per level the structure flags
+/// and each variable array.
+/// Positioned-write callback used to emit records through either I/O path.
+type PutFn<'a> = dyn FnMut(&mut Rank, u64, &[u8]) -> Result<()> + 'a;
+
+fn write_tree(
+    rank: &mut Rank,
+    tree: &FttTree,
+    num_vars: usize,
+    cursor: &mut u64,
+    put: &mut PutFn<'_>,
+) -> Result<()> {
+    let h = tree.header();
+    put(rank, *cursor, &h)?;
+    *cursor += h.len() as u64;
+    for l in 0..tree.levels() {
+        let flags = tree.flags_bytes(l);
+        put(rank, *cursor, &flags)?;
+        *cursor += flags.len() as u64;
+        for v in 0..num_vars {
+            let vb = tree.var_bytes(l, v);
+            put(rank, *cursor, &vb)?;
+            *cursor += vb.len() as u64;
+        }
+    }
+    Ok(())
+}
+
+/// Checkpoint dump (Fig. 9's workload).
+pub fn dump(
+    rank: &mut Rank,
+    pfs: &Arc<Pfs>,
+    cfg: &ArtConfig,
+    method: ArtMethod,
+    path: &str,
+) -> Result<RunMetrics> {
+    let p = plan(cfg);
+    let (seg_off, my_trees, my_bytes) = layout(rank, &p, cfg)?;
+    let total = total_bytes(&seg_off, &p, cfg);
+    let vars = cfg.ftt.num_vars;
+    let (metrics, ()) = timed(rank, my_bytes, |rk| {
+        match method {
+            ArtMethod::Tcio => {
+                let tcfg = TcioConfig::for_file_size(total, rk.nprocs());
+                let mut f = TcioFile::open(rk, pfs, path, TcioMode::Write, tcfg)?;
+                for (seg, trees) in &my_trees {
+                    let mut cursor = seg_off[*seg];
+                    for t in trees {
+                        write_tree(rk, t, vars, &mut cursor, &mut |rk, off, data| {
+                            f.write_at(rk, off, data).map_err(WlError::from)
+                        })?;
+                    }
+                }
+                f.close(rk)?;
+            }
+            ArtMethod::Vanilla => {
+                let mut f = mpiio::File::open(rk, pfs, path, mpiio::Mode::WriteOnly)?;
+                for (seg, trees) in &my_trees {
+                    let mut cursor = seg_off[*seg];
+                    for t in trees {
+                        write_tree(rk, t, vars, &mut cursor, &mut |rk, off, data| {
+                            f.write_at(rk, off, data).map_err(WlError::from)
+                        })?;
+                    }
+                }
+                f.close(rk)?;
+            }
+            ArtMethod::VanillaBuffered => {
+                let mut f = mpiio::File::open(rk, pfs, path, mpiio::Mode::WriteOnly)?;
+                for (seg, trees) in &my_trees {
+                    let mut cursor = seg_off[*seg];
+                    for t in trees {
+                        // Manual per-record combine buffer: the programming
+                        // effort TCIO's level-1 buffer makes unnecessary.
+                        let rec = t.record(vars);
+                        rk.charge_memcpy(rec.len() as u64);
+                        f.write_at(rk, cursor, &rec)?;
+                        cursor += rec.len() as u64;
+                    }
+                }
+                f.close(rk)?;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(metrics)
+}
+
+/// One read piece of the restart plan.
+struct Piece {
+    off: u64,
+    len: usize,
+}
+
+/// Build the ascending list of read pieces for this rank's trees, mirroring
+/// the write pattern (header, flags, vars per level).
+fn read_pieces(my_trees: &[(usize, Vec<FttTree>)], seg_off: &[u64], vars: usize) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    for (seg, trees) in my_trees {
+        let mut cursor = seg_off[*seg];
+        for t in trees {
+            let hs = t.header_size() as usize;
+            pieces.push(Piece { off: cursor, len: hs });
+            cursor += hs as u64;
+            for l in 0..t.levels() {
+                let fs = t.flags_size(l) as usize;
+                pieces.push(Piece { off: cursor, len: fs });
+                cursor += fs as u64;
+                for _ in 0..vars {
+                    let vs = t.var_size(l) as usize;
+                    pieces.push(Piece { off: cursor, len: vs });
+                    cursor += vs as u64;
+                }
+            }
+        }
+    }
+    pieces
+}
+
+/// Verify a contiguous arena of read-back pieces against the generators.
+fn verify_arena(my_trees: &[(usize, Vec<FttTree>)], vars: usize, arena: &[u8]) -> Result<()> {
+    let mut pos = 0usize;
+    for (seg, trees) in my_trees {
+        for t in trees {
+            let expect = t.record(vars);
+            let got = &arena[pos..pos + expect.len()];
+            if got != expect.as_slice() {
+                let byte = got.iter().zip(&expect).position(|(a, b)| a != b);
+                return Err(WlError::Mismatch(format!(
+                    "segment {seg} tree {} differs at record byte {byte:?}",
+                    t.cell_id
+                )));
+            }
+            pos += expect.len();
+        }
+    }
+    Ok(())
+}
+
+/// Restart: read the snapshot back and verify it (Fig. 10's workload).
+pub fn restart(
+    rank: &mut Rank,
+    pfs: &Arc<Pfs>,
+    cfg: &ArtConfig,
+    method: ArtMethod,
+    path: &str,
+) -> Result<RunMetrics> {
+    let p = plan(cfg);
+    let (seg_off, my_trees, my_bytes) = layout(rank, &p, cfg)?;
+    let total = total_bytes(&seg_off, &p, cfg);
+    let vars = cfg.ftt.num_vars;
+    let pieces = read_pieces(&my_trees, &seg_off, vars);
+    let _arena_mem = rank.alloc(my_bytes)?;
+    rank.note_mem_peak();
+    let mut arena = vec![0u8; my_bytes as usize];
+    let (metrics, ()) = timed(rank, my_bytes, |rk| {
+        match method {
+            ArtMethod::Tcio => {
+                let tcfg = TcioConfig::for_file_size(total, rk.nprocs());
+                let mut f = TcioFile::open(rk, pfs, path, TcioMode::Read, tcfg)?;
+                let mut rest = arena.as_mut_slice();
+                for piece in &pieces {
+                    let (dst, tail) = rest.split_at_mut(piece.len);
+                    rest = tail;
+                    f.read_at(rk, piece.off, dst)?;
+                }
+                f.fetch(rk)?;
+                f.close(rk)?;
+            }
+            ArtMethod::Vanilla => {
+                let mut f = mpiio::File::open(rk, pfs, path, mpiio::Mode::ReadOnly)?;
+                let mut rest = arena.as_mut_slice();
+                for piece in &pieces {
+                    let (dst, tail) = rest.split_at_mut(piece.len);
+                    rest = tail;
+                    f.read_at(rk, piece.off, dst)?;
+                }
+                f.close(rk)?;
+            }
+            ArtMethod::VanillaBuffered => {
+                // One read per record instead of one per array.
+                let mut f = mpiio::File::open(rk, pfs, path, mpiio::Mode::ReadOnly)?;
+                let mut rest = arena.as_mut_slice();
+                for (seg, trees) in &my_trees {
+                    let mut cursor = seg_off[*seg];
+                    for t in trees {
+                        let len = t.record_size(vars) as usize;
+                        let (dst, tail) = rest.split_at_mut(len);
+                        rest = tail;
+                        f.read_at(rk, cursor, dst)?;
+                        cursor += len as u64;
+                    }
+                }
+                f.close(rk)?;
+            }
+        }
+        Ok(())
+    })?;
+    verify_arena(&my_trees, vars, &arena)?;
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::SimConfig;
+    use pfs::PfsConfig;
+
+    fn tiny_cfg() -> ArtConfig {
+        ArtConfig {
+            num_segments: 8,
+            mu: 6.0,
+            sigma: 2.0,
+            seed: 5,
+            ftt: FttConfig {
+                max_depth: 3,
+                refine_prob: 0.3,
+                num_vars: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn table4_defaults() {
+        let c = ArtConfig::default();
+        assert_eq!(c.num_segments, 1024);
+        assert_eq!(c.mu, 2048.0);
+        assert_eq!(c.sigma, 128.0);
+        assert_eq!(c.seed, 5);
+    }
+
+    #[test]
+    fn plan_is_consistent() {
+        let c = tiny_cfg();
+        let p = plan(&c);
+        assert_eq!(p.seg_lens.len(), 8);
+        assert_eq!(p.seg_cell_start[0], 0);
+        for s in 1..8 {
+            assert_eq!(
+                p.seg_cell_start[s],
+                p.seg_cell_start[s - 1] + p.seg_lens[s - 1] as u64
+            );
+        }
+        assert_eq!(
+            p.total_cells,
+            p.seg_lens.iter().map(|&l| l as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn round_robin_assignment_partitions_segments() {
+        let c = tiny_cfg();
+        let p = plan(&c);
+        let mut seen = vec![false; 8];
+        for r in 0..3 {
+            for s in my_segments(&p, r, 3) {
+                assert!(!seen[s], "segment {s} assigned twice");
+                seen[s] = true;
+                assert_eq!(s % 3, r);
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    fn dump_restart(method: ArtMethod, nprocs: usize) {
+        let c = tiny_cfg();
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let c2 = c.clone();
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let w = dump(rk, &fs2, &c2, method, "/art").map_err(WlError::into_mpi)?;
+            let r = restart(rk, &fs2, &c2, method, "/art").map_err(WlError::into_mpi)?;
+            Ok((w, r))
+        })
+        .unwrap();
+        let total_w: u64 = rep.results.iter().map(|(w, _)| w.bytes).sum();
+        let fid = fs.open("/art").unwrap();
+        assert_eq!(fs.len(fid).unwrap(), total_w, "file size == sum of rank bytes");
+    }
+
+    #[test]
+    fn tcio_dump_restart_verifies() {
+        dump_restart(ArtMethod::Tcio, 4);
+    }
+
+    #[test]
+    fn vanilla_dump_restart_verifies() {
+        dump_restart(ArtMethod::Vanilla, 4);
+    }
+
+    #[test]
+    fn uneven_rank_to_segment_ratio() {
+        // More ranks than busy segments (some ranks idle) must still work.
+        let mut c = tiny_cfg();
+        c.num_segments = 3;
+        let fs = Pfs::new(6, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let c2 = c.clone();
+        mpisim::run(6, SimConfig::default(), move |rk| {
+            dump(rk, &fs2, &c2, ArtMethod::Tcio, "/a").map_err(WlError::into_mpi)?;
+            restart(rk, &fs2, &c2, ArtMethod::Tcio, "/a").map_err(WlError::into_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn both_methods_produce_identical_snapshots() {
+        let c = tiny_cfg();
+        let mut snaps = Vec::new();
+        for method in [ArtMethod::Tcio, ArtMethod::Vanilla] {
+            let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let c2 = c.clone();
+            mpisim::run(2, SimConfig::default(), move |rk| {
+                dump(rk, &fs2, &c2, method, "/s").map_err(WlError::into_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/s").unwrap();
+            snaps.push(fs.snapshot_file(fid).unwrap());
+        }
+        assert_eq!(snaps[0], snaps[1]);
+    }
+
+    #[test]
+    fn snapshot_is_parseable_as_records() {
+        // Walk the file from byte 0, parsing records back to back.
+        let c = tiny_cfg();
+        let fs = Pfs::new(2, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let c2 = c.clone();
+        mpisim::run(2, SimConfig::default(), move |rk| {
+            dump(rk, &fs2, &c2, ArtMethod::Tcio, "/walk").map_err(WlError::into_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/walk").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        let p = plan(&c);
+        let mut pos = 0usize;
+        let mut records = 0u64;
+        while pos < bytes.len() {
+            let (tree, consumed) =
+                FttTree::parse_header(&bytes[pos..]).expect("valid record header");
+            pos += consumed;
+            for l in 0..tree.levels() {
+                pos += tree.flags_size(l) as usize;
+                pos += c.ftt.num_vars * tree.var_size(l) as usize;
+            }
+            records += 1;
+        }
+        assert_eq!(pos, bytes.len());
+        assert_eq!(records, p.total_cells, "one record per root cell");
+    }
+}

@@ -1,0 +1,178 @@
+//! 3-D → 1-D domain decompositions.
+//!
+//! The paper's introduction motivates collective I/O with applications
+//! that map a multidimensional computing volume onto one-dimensional file
+//! blocks: SCEC partitions its 3-D volume into *slices* (one per core),
+//! S3D/Pixie3D into small *cubes*. When cells are laid out in x, y, z
+//! order, each process's cells become many small noncontiguous file
+//! blocks accessed in an interleaving fashion (Fig. 1). These helpers
+//! compute the file extents of a rank's partition and back the
+//! `tiled_array_3d` example.
+
+/// A 3-D grid of cells, laid out in the file with `x` varying fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Bytes per cell in the file.
+    pub cell_bytes: usize,
+}
+
+impl Grid3 {
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub fn file_size(&self) -> u64 {
+        (self.cells() * self.cell_bytes) as u64
+    }
+
+    /// File offset of cell `(x, y, z)`.
+    pub fn offset(&self, x: usize, y: usize, z: usize) -> u64 {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (((z * self.ny + y) * self.nx + x) * self.cell_bytes) as u64
+    }
+}
+
+/// SCEC-style slab decomposition: the volume is cut into `nprocs` slabs
+/// along z; rank `r` owns z ∈ [r·nz/P, (r+1)·nz/P).
+///
+/// Returns the rank's file extents `(offset, len)`, sorted and coalesced —
+/// one run per owned (y, z) row... which merge into one run per owned z
+/// plane because rows are contiguous in x–y order.
+pub fn slab_extents(grid: Grid3, rank: usize, nprocs: usize) -> Vec<(u64, u64)> {
+    let z0 = rank * grid.nz / nprocs;
+    let z1 = (rank + 1) * grid.nz / nprocs;
+    let plane = (grid.nx * grid.ny * grid.cell_bytes) as u64;
+    if z0 >= z1 {
+        return Vec::new();
+    }
+    // Whole consecutive planes merge into a single extent.
+    vec![(grid.offset(0, 0, z0), plane * (z1 - z0) as u64)]
+}
+
+/// S3D-style cube decomposition: the volume is cut into `px × py × pz`
+/// boxes; rank `r` owns box `(r % px, (r / px) % py, r / (px·py))`.
+///
+/// Returns the rank's file extents: one run per owned (y, z) row — the
+/// Fig. 1 pattern of many small strided blocks.
+pub fn cube_extents(
+    grid: Grid3,
+    rank: usize,
+    px: usize,
+    py: usize,
+    pz: usize,
+) -> Vec<(u64, u64)> {
+    assert!(rank < px * py * pz, "rank out of range");
+    assert!(
+        grid.nx.is_multiple_of(px) && grid.ny.is_multiple_of(py) && grid.nz.is_multiple_of(pz),
+        "grid must divide evenly into boxes"
+    );
+    let (bx, by, bz) = (grid.nx / px, grid.ny / py, grid.nz / pz);
+    let ix = rank % px;
+    let iy = (rank / px) % py;
+    let iz = rank / (px * py);
+    let (x0, y0, z0) = (ix * bx, iy * by, iz * bz);
+    let row = (bx * grid.cell_bytes) as u64;
+    let mut out = Vec::with_capacity(by * bz);
+    for z in z0..z0 + bz {
+        for y in y0..y0 + by {
+            out.push((grid.offset(x0, y, z), row));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn grid() -> Grid3 {
+        Grid3 {
+            nx: 8,
+            ny: 4,
+            nz: 4,
+            cell_bytes: 16,
+        }
+    }
+
+    fn coverage(extents: impl IntoIterator<Item = (u64, u64)>) -> BTreeMap<u64, u64> {
+        let mut m = BTreeMap::new();
+        for (o, l) in extents {
+            assert!(m.insert(o, l).is_none(), "duplicate extent at {o}");
+        }
+        m
+    }
+
+    #[test]
+    fn offsets_are_x_fastest() {
+        let g = grid();
+        assert_eq!(g.offset(0, 0, 0), 0);
+        assert_eq!(g.offset(1, 0, 0), 16);
+        assert_eq!(g.offset(0, 1, 0), 8 * 16);
+        assert_eq!(g.offset(0, 0, 1), 8 * 4 * 16);
+    }
+
+    #[test]
+    fn slabs_partition_the_file_exactly() {
+        let g = grid();
+        let all: Vec<(u64, u64)> = (0..4).flat_map(|r| slab_extents(g, r, 4)).collect();
+        let cov = coverage(all.clone());
+        let total: u64 = cov.values().sum();
+        assert_eq!(total, g.file_size());
+        // Disjointness + full coverage.
+        let mut pos = 0;
+        for (o, l) in cov {
+            assert_eq!(o, pos, "gap or overlap at {pos}");
+            pos = o + l;
+        }
+    }
+
+    #[test]
+    fn slabs_handle_uneven_division() {
+        let g = Grid3 {
+            nz: 5,
+            ..grid()
+        };
+        let total: u64 = (0..4).flat_map(|r| slab_extents(g, r, 4)).map(|(_, l)| l).sum();
+        assert_eq!(total, g.file_size());
+    }
+
+    #[test]
+    fn more_ranks_than_planes_leaves_idle_ranks() {
+        let g = Grid3 { nz: 2, ..grid() };
+        let lens: Vec<usize> = (0..4).map(|r| slab_extents(g, r, 4).len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn cubes_partition_the_file_exactly() {
+        let g = grid();
+        let all: Vec<(u64, u64)> = (0..8).flat_map(|r| cube_extents(g, r, 2, 2, 2)).collect();
+        let cov = coverage(all);
+        let total: u64 = cov.values().sum();
+        assert_eq!(total, g.file_size());
+        let mut pos = 0;
+        for (o, l) in cov {
+            assert_eq!(o, pos);
+            pos = o + l;
+        }
+    }
+
+    #[test]
+    fn cube_extents_are_the_interleaved_pattern() {
+        // Rank 1 (box x=1) must own strided rows, not one contiguous run.
+        let g = grid();
+        let e = cube_extents(g, 1, 2, 2, 2);
+        assert_eq!(e.len(), 2 * 2, "one run per (y,z) row in the box");
+        assert!(e.windows(2).all(|w| w[1].0 > w[0].0 + w[0].1), "strided");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn cube_rank_bounds_checked() {
+        cube_extents(grid(), 8, 2, 2, 2);
+    }
+}

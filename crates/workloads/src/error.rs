@@ -1,0 +1,95 @@
+//! Workload error type: unifies the layers and adds verification failures.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum WlError {
+    Mpi(mpisim::MpiError),
+    Io(mpiio::IoError),
+    Tcio(tcio::TcioError),
+    /// Data read back did not match what was written.
+    Mismatch(String),
+    /// Bad workload parameters.
+    Config(String),
+}
+
+impl fmt::Display for WlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WlError::Mpi(e) => write!(f, "mpi: {e}"),
+            WlError::Io(e) => write!(f, "io: {e}"),
+            WlError::Tcio(e) => write!(f, "tcio: {e}"),
+            WlError::Mismatch(msg) => write!(f, "verification failed: {msg}"),
+            WlError::Config(msg) => write!(f, "bad workload config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WlError {}
+
+impl From<mpisim::MpiError> for WlError {
+    fn from(e: mpisim::MpiError) -> Self {
+        WlError::Mpi(e)
+    }
+}
+
+impl From<mpiio::IoError> for WlError {
+    fn from(e: mpiio::IoError) -> Self {
+        match e {
+            mpiio::IoError::Mpi(m) => WlError::Mpi(m),
+            other => WlError::Io(other),
+        }
+    }
+}
+
+impl From<tcio::TcioError> for WlError {
+    fn from(e: tcio::TcioError) -> Self {
+        match e {
+            tcio::TcioError::Mpi(m) => WlError::Mpi(m),
+            other => WlError::Tcio(other),
+        }
+    }
+}
+
+impl From<pfs::PfsError> for WlError {
+    fn from(e: pfs::PfsError) -> Self {
+        WlError::Io(mpiio::IoError::Fs(e))
+    }
+}
+
+impl WlError {
+    /// Convert to an `MpiError` for use inside `mpisim::run` closures; the
+    /// out-of-memory case is preserved so OOM-expecting experiments
+    /// (Fig. 6/7) can detect it at the `SimError` level.
+    pub fn into_mpi(self) -> mpisim::MpiError {
+        match self {
+            WlError::Mpi(m) => m,
+            other => mpisim::MpiError::InvalidDatatype(other.to_string()),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, WlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_survives_into_mpi() {
+        let oom = mpisim::MpiError::OutOfMemory {
+            rank: 1,
+            requested: 10,
+            used: 5,
+            budget: 8,
+        };
+        let e: WlError = mpiio::IoError::Mpi(oom.clone()).into();
+        assert_eq!(e.into_mpi(), oom);
+    }
+
+    #[test]
+    fn mismatch_displays_reason() {
+        let e = WlError::Mismatch("byte 7 differs".into());
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports the library stack for the examples and
+//! integration tests. See `README.md` and `DESIGN.md`.
+
+pub use mpiio;
+pub use mpisim;
+pub use pfs;
+pub use tcio;
+pub use workloads;

@@ -1,0 +1,215 @@
+//! End-to-end integration tests spanning all crates: the full stack
+//! (mpisim → pfs → mpiio → tcio → workloads) exercised the way the paper's
+//! experiments use it.
+
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+use workloads::art::{self, ArtConfig, ArtMethod, FttConfig};
+use workloads::synthetic::{self, Method, SynthParams};
+use workloads::WlError;
+
+fn small_art() -> ArtConfig {
+    ArtConfig {
+        num_segments: 16,
+        mu: 8.0,
+        sigma: 2.0,
+        seed: 5,
+        ftt: FttConfig {
+            max_depth: 3,
+            refine_prob: 0.3,
+            num_vars: 2,
+        },
+    }
+}
+
+#[test]
+fn synthetic_all_methods_all_scales_identical_files() {
+    let p = SynthParams::with_types("i,d", 48, 4).unwrap();
+    for nprocs in [1, 2, 3, 8] {
+        let mut reference: Option<Vec<u8>> = None;
+        for method in [Method::Ocio, Method::Tcio, Method::Vanilla] {
+            let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let p2 = p.clone();
+            mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+                synthetic::write_with(method, rk, &fs2, &p2, "/f").map_err(WlError::into_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/f").unwrap();
+            let bytes = fs.snapshot_file(fid).unwrap();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => assert_eq!(
+                    r,
+                    &bytes,
+                    "{} differs from OCIO at P={nprocs}",
+                    method.label()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_reader_reads_every_writer() {
+    // 3 writers × 3 readers — all nine combinations must verify.
+    let p = SynthParams::with_types("i,d", 24, 2).unwrap();
+    let nprocs = 4;
+    for writer in [Method::Ocio, Method::Tcio, Method::Vanilla] {
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let p2 = p.clone();
+        mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+            synthetic::write_with(writer, rk, &fs2, &p2, "/rw").map_err(WlError::into_mpi)?;
+            for reader in [Method::Ocio, Method::Tcio, Method::Vanilla] {
+                synthetic::read_with(reader, rk, &fs2, &p2, "/rw").map_err(WlError::into_mpi)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn art_snapshots_interoperate_between_methods() {
+    let cfg = small_art();
+    let fs = pfs::Pfs::new(4, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let cfg2 = cfg.clone();
+    mpisim::run(4, mpisim::SimConfig::default(), move |rk| {
+        // Dump with vanilla, restart with TCIO, then the reverse.
+        art::dump(rk, &fs2, &cfg2, ArtMethod::Vanilla, "/a").map_err(WlError::into_mpi)?;
+        art::restart(rk, &fs2, &cfg2, ArtMethod::Tcio, "/a").map_err(WlError::into_mpi)?;
+        art::dump(rk, &fs2, &cfg2, ArtMethod::Tcio, "/b").map_err(WlError::into_mpi)?;
+        art::restart(rk, &fs2, &cfg2, ArtMethod::Vanilla, "/b").map_err(WlError::into_mpi)?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn ocio_oom_experiment_matches_fig6() {
+    // The Fig. 6 mechanism in miniature: a budget that fits TCIO's
+    // footprint (arrays + level-2 share + one segment) but not OCIO's
+    // (arrays + combine buffer + collective buffer).
+    let nprocs = 4;
+    let p = SynthParams::with_types("i,d", 4096, 1).unwrap();
+    let per_rank = p.bytes_per_rank(); // 48 KiB
+    let seg = 1024u64;
+    let budget = per_rank * 5 / 2; // 2.5× data: TCIO fits (~2x+seg), OCIO (3x) doesn't
+
+    let run = |method: Method| {
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        let p2 = p.clone();
+        let sim = mpisim::SimConfig {
+            mem_budget: Some(budget),
+            ..Default::default()
+        };
+        mpisim::run(nprocs, sim, move |rk| {
+            match method {
+                Method::Tcio => {
+                    let cfg = TcioConfig::for_file_size_with_segment(
+                        p2.file_size(rk.nprocs()),
+                        rk.nprocs(),
+                        seg,
+                    );
+                    synthetic::write_tcio(rk, &fs, &p2, "/oom", Some(cfg))
+                }
+                Method::Ocio => synthetic::write_ocio(
+                    rk,
+                    &fs,
+                    &p2,
+                    "/oom",
+                    &mpiio::CollectiveConfig::default(),
+                ),
+                Method::Vanilla => unreachable!(),
+            }
+            .map_err(WlError::into_mpi)?;
+            Ok(())
+        })
+    };
+
+    assert!(run(Method::Tcio).is_ok(), "TCIO must fit in the budget");
+    match run(Method::Ocio) {
+        Err(mpisim::SimError::RankFailed { error, .. }) => {
+            assert!(
+                matches!(error, mpisim::MpiError::OutOfMemory { .. }),
+                "OCIO must die of OOM, got {error}"
+            );
+        }
+        other => panic!("OCIO should have failed with OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcio_handles_single_rank_world() {
+    let fs = pfs::Pfs::new(1, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    mpisim::run(1, mpisim::SimConfig::default(), move |rk| {
+        let cfg = TcioConfig::for_file_size(4096, 1);
+        let mut f = TcioFile::open(rk, &fs2, "/solo", TcioMode::Write, cfg.clone())
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        for i in 0..64u64 {
+            f.write_at(rk, i * 64, &[i as u8; 64])
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        }
+        f.close(rk)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        Ok(())
+    })
+    .unwrap();
+    let fid = fs.open("/solo").unwrap();
+    let bytes = fs.snapshot_file(fid).unwrap();
+    assert_eq!(bytes.len(), 4096);
+    for i in 0..64 {
+        assert!(bytes[i * 64..(i + 1) * 64].iter().all(|&b| b == i as u8));
+    }
+}
+
+#[test]
+fn moderate_scale_64_ranks_end_to_end() {
+    // A smoke run at the paper's smallest scale point.
+    let nprocs = 64;
+    let p = SynthParams::with_types("i,d", 128, 1).unwrap();
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+        let w = synthetic::write_tcio(rk, &fs2, &p2, "/big", None).map_err(WlError::into_mpi)?;
+        let r = synthetic::read_tcio(rk, &fs2, &p2, "/big", None).map_err(WlError::into_mpi)?;
+        Ok((w.elapsed, r.elapsed))
+    })
+    .unwrap();
+    assert!(rep.results.iter().all(|&(w, r)| w > 0.0 && r > 0.0));
+    let agg = rep.aggregate_stats();
+    assert!(agg.puts > 0, "one-sided puts must have occurred");
+    assert!(agg.gets > 0, "one-sided gets must have occurred");
+}
+
+#[test]
+fn virtual_time_orders_methods_sensibly() {
+    // On the interleaved small-block workload, both collective methods
+    // must beat the per-block independent baseline by a wide margin.
+    let nprocs = 8;
+    let p = SynthParams::with_types("i,d", 4096, 1).unwrap();
+    let mut elapsed = Vec::new();
+    for method in [Method::Tcio, Method::Ocio, Method::Vanilla] {
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        let p2 = p.clone();
+        let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+            synthetic::write_with(method, rk, &fs, &p2, "/t").map_err(WlError::into_mpi)
+        })
+        .unwrap();
+        elapsed.push(rep.results[0].elapsed);
+    }
+    let (tcio, ocio, vanilla) = (elapsed[0], elapsed[1], elapsed[2]);
+    assert!(
+        vanilla > 10.0 * tcio,
+        "vanilla ({vanilla}s) must be much slower than TCIO ({tcio}s)"
+    );
+    assert!(
+        vanilla > 10.0 * ocio,
+        "vanilla ({vanilla}s) must be much slower than OCIO ({ocio}s)"
+    );
+}

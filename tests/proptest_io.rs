@@ -1,0 +1,322 @@
+//! Property-based tests on the core invariants:
+//!
+//! * any set of disjoint positioned TCIO writes produces the same file as
+//!   a reference byte-array model, regardless of segment size, process
+//!   count, and write order;
+//! * lazy TCIO reads return exactly the bytes of the file model;
+//! * the two-phase collective write equals the model too;
+//! * datatype pack→unpack is the identity on the type's footprint;
+//! * the file view maps ranges exactly like a naive per-byte walk.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+
+/// A write plan: per rank, a list of disjoint (offset, data) blocks.
+/// Generated so that blocks never overlap across ranks either.
+#[derive(Debug, Clone)]
+struct Plan {
+    nprocs: usize,
+    segment: u64,
+    /// (rank, offset, len, fill)
+    blocks: Vec<(usize, u64, usize, u8)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    // Slot the file into fixed 32-byte cells; each cell is owned by at
+    // most one block, which guarantees global disjointness while still
+    // exercising arbitrary offsets/strides.
+    (2usize..5, 8u64..100, proptest::collection::vec((0usize..64, 1usize..3), 1..40)).prop_map(
+        |(nprocs, segment, cells)| {
+            let mut used: BTreeMap<usize, ()> = BTreeMap::new();
+            let mut blocks = Vec::new();
+            for (i, (cell, span)) in cells.into_iter().enumerate() {
+                // Skip blocks that would overlap already-claimed cells.
+                if (cell..cell + span).any(|c| used.contains_key(&c)) {
+                    continue;
+                }
+                for c in cell..cell + span {
+                    used.insert(c, ());
+                }
+                let rank = i % nprocs;
+                let off = cell as u64 * 32;
+                let len = span * 32 - (i % 7).min(span * 32 - 1); // ragged ends
+                blocks.push((rank, off, len, (i % 251) as u8 + 1));
+            }
+            Plan {
+                nprocs,
+                segment,
+                blocks,
+            }
+        },
+    )
+}
+
+/// Apply the plan to a plain byte-array model.
+fn model_file(plan: &Plan) -> Vec<u8> {
+    let end = plan
+        .blocks
+        .iter()
+        .map(|&(_, o, l, _)| o + l as u64)
+        .max()
+        .unwrap_or(0);
+    let mut file = vec![0u8; end as usize];
+    for &(_, off, len, fill) in &plan.blocks {
+        for i in 0..len {
+            file[off as usize + i] = fill.wrapping_add(i as u8);
+        }
+    }
+    file
+}
+
+fn block_data(len: usize, fill: u8) -> Vec<u8> {
+    (0..len).map(|i| fill.wrapping_add(i as u8)).collect()
+}
+
+fn run_tcio_plan(plan: &Plan) -> Vec<u8> {
+    let fs = pfs::Pfs::new(plan.nprocs, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let plan2 = plan.clone();
+    mpisim::run(plan.nprocs, mpisim::SimConfig::default(), move |rk| {
+        let file_end = plan2
+            .blocks
+            .iter()
+            .map(|&(_, o, l, _)| o + l as u64)
+            .max()
+            .unwrap_or(0);
+        let cfg = TcioConfig::for_file_size_with_segment(
+            file_end.max(1),
+            rk.nprocs(),
+            plan2.segment,
+        );
+        let mut f = TcioFile::open(rk, &fs2, "/prop", TcioMode::Write, cfg)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        for &(rank, off, len, fill) in &plan2.blocks {
+            if rank == rk.rank() {
+                f.write_at(rk, off, &block_data(len, fill))
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            }
+        }
+        f.close(rk)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        Ok(())
+    })
+    .unwrap();
+    let fid = fs.open("/prop").unwrap();
+    fs.snapshot_file(fid).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tcio_writes_match_byte_model(plan in plan_strategy()) {
+        prop_assume!(!plan.blocks.is_empty());
+        let got = run_tcio_plan(&plan);
+        let want = model_file(&plan);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tcio_lazy_reads_return_model_bytes(plan in plan_strategy()) {
+        prop_assume!(!plan.blocks.is_empty());
+        run_tcio_plan(&plan); // leaves /prop in a fresh fs… so rerun inline:
+        let fs = pfs::Pfs::new(plan.nprocs, pfs::PfsConfig::default()).unwrap();
+        let model = model_file(&plan);
+        {
+            let fid = fs.create("/prop").unwrap();
+            fs.write_at(fid, 0, 0, &model, 0.0).unwrap();
+        }
+        let fs2 = Arc::clone(&fs);
+        let plan2 = plan.clone();
+        let model2 = model.clone();
+        mpisim::run(plan.nprocs, mpisim::SimConfig::default(), move |rk| {
+            let cfg = TcioConfig::for_file_size_with_segment(
+                model2.len().max(1) as u64,
+                rk.nprocs(),
+                plan2.segment,
+            );
+            let mut bufs: Vec<Vec<u8>> = plan2
+                .blocks
+                .iter()
+                .filter(|&&(r, _, _, _)| r == rk.rank())
+                .map(|&(_, _, len, _)| vec![0u8; len])
+                .collect();
+            {
+                let mut f = TcioFile::open(rk, &fs2, "/prop", TcioMode::Read, cfg)
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+                let mut it = bufs.iter_mut();
+                for &(rank, off, _len, _) in &plan2.blocks {
+                    if rank == rk.rank() {
+                        let buf = it.next().unwrap();
+                        f.read_at(rk, off, buf)
+                            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+                    }
+                }
+                f.fetch(rk)
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+                f.close(rk)
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            }
+            // Verify against the model.
+            let mut it = bufs.iter();
+            for &(rank, off, len, _) in &plan2.blocks {
+                if rank == rk.rank() {
+                    let got = it.next().unwrap();
+                    let want = &model2[off as usize..off as usize + len];
+                    if got.as_slice() != want {
+                        return Err(mpisim::MpiError::InvalidDatatype(format!(
+                            "read mismatch at offset {off}"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_write_matches_byte_model(plan in plan_strategy()) {
+        prop_assume!(!plan.blocks.is_empty());
+        let fs = pfs::Pfs::new(plan.nprocs, pfs::PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let plan2 = plan.clone();
+        // One collective call per block round: all ranks participate each
+        // round; ranks without a block contribute empty requests.
+        let rounds = plan.blocks.len();
+        mpisim::run(plan.nprocs, mpisim::SimConfig::default(), move |rk| {
+            let mut f = mpiio::File::open(rk, &fs2, "/coll", mpiio::Mode::WriteOnly)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            for round in 0..rounds {
+                let (rank, off, len, fill) = plan2.blocks[round];
+                let (o, data) = if rank == rk.rank() {
+                    (off, block_data(len, fill))
+                } else {
+                    (0, Vec::new())
+                };
+                mpiio::write_all_at(rk, &mut f, o, &data, &mpiio::CollectiveConfig::default())
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/coll").unwrap();
+        prop_assert_eq!(fs.snapshot_file(fid).unwrap(), model_file(&plan));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn datatype_pack_unpack_identity(
+        count in 1usize..5,
+        blocklen in 1usize..4,
+        stride in 1isize..6,
+        instances in 1usize..3,
+    ) {
+        prop_assume!(stride >= blocklen as isize);
+        let t = mpisim::Datatype::vector(
+            count,
+            blocklen,
+            stride,
+            mpisim::Datatype::named(mpisim::Named::Int),
+        )
+        .commit();
+        let footprint = t.extent() * instances;
+        let src: Vec<u8> = (0..footprint).map(|i| (i % 251) as u8).collect();
+        let packed = t.pack(&src, instances).unwrap();
+        prop_assert_eq!(packed.len(), t.size() * instances);
+        let mut dst = vec![0u8; footprint];
+        t.unpack(&packed, &mut dst, instances).unwrap();
+        // Every byte in the type map must round-trip; bytes in gaps stay 0.
+        for inst in 0..instances {
+            let base = inst * t.extent();
+            for &(off, len) in t.extents() {
+                let at = base + off as usize;
+                prop_assert_eq!(&dst[at..at + len], &src[at..at + len]);
+            }
+        }
+    }
+
+    #[test]
+    fn file_view_matches_naive_walk(
+        nblocks in 1usize..6,
+        blockbytes in 1usize..16,
+        nprocs in 1usize..5,
+        rank in 0usize..4,
+        pos in 0u64..64,
+        len in 0u64..96,
+    ) {
+        prop_assume!(rank < nprocs);
+        let etype = mpisim::Datatype::contiguous(
+            blockbytes,
+            mpisim::Datatype::named(mpisim::Named::Byte),
+        )
+        .commit();
+        let ftype = mpisim::Datatype::vector(
+            nblocks,
+            1,
+            nprocs as isize,
+            etype.datatype().clone(),
+        )
+        .commit();
+        let disp = (rank * blockbytes) as u64;
+        let view = mpiio::FileView::new(disp, &etype, &ftype).unwrap();
+        let tile_data = (nblocks * blockbytes) as u64;
+        prop_assume!(len == 0 || pos + len <= 4 * tile_data);
+
+        // Naive oracle: walk the stream byte by byte.
+        let byte_at = |stream: u64| -> u64 {
+            let tile = stream / tile_data;
+            let within = stream % tile_data;
+            let block = within / blockbytes as u64;
+            let inblock = within % blockbytes as u64;
+            disp + tile * (ftype.extent() as u64)
+                + block * (blockbytes * nprocs) as u64
+                + inblock
+        };
+        let mut expected: Vec<u64> = (pos..pos + len).map(byte_at).collect();
+        let got = view.map_range(pos, len);
+        // Flatten the mapped extents back into byte offsets.
+        let mut flat = Vec::new();
+        for (o, l) in got.iter() {
+            for i in 0..*l {
+                flat.push(o + i);
+            }
+        }
+        expected.sort_unstable();
+        let mut flat_sorted = flat.clone();
+        flat_sorted.sort_unstable();
+        prop_assert_eq!(flat_sorted, expected);
+    }
+
+    #[test]
+    fn extent_set_matches_boolean_model(
+        ops in proptest::collection::vec((0u64..200, 1u64..40), 1..60),
+    ) {
+        let mut set = mpiio::ExtentSet::new();
+        let mut model = vec![false; 256];
+        for &(off, len) in &ops {
+            set.insert(off, len);
+            for i in off..(off + len).min(256) {
+                model[i as usize] = true;
+            }
+        }
+        // Coverage must match the model byte for byte.
+        let covered: u64 = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(set.covered(), covered);
+        // Runs must be maximal (no two adjacent runs).
+        let runs = set.runs();
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0, "runs {:?} not coalesced", w);
+        }
+        // Spot-check contains() against the model.
+        for probe in [0u64, 13, 55, 128, 199] {
+            let want = model[probe as usize];
+            prop_assert_eq!(set.contains(probe, 1), want);
+        }
+    }
+}

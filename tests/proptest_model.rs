@@ -1,0 +1,196 @@
+//! Property tests on the substrate invariants: datatype flattening against
+//! naive oracles, timeline scheduling laws, and workload geometry.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A subarray type's extents must equal a naive triple-loop walk of the
+    /// selected region, in both orderings.
+    #[test]
+    fn subarray_matches_naive_walk(
+        sizes in proptest::collection::vec(1usize..6, 1..4),
+        frac in proptest::collection::vec((0u32..100, 0u32..100), 1..4),
+        fortran in any::<bool>(),
+    ) {
+        prop_assume!(frac.len() == sizes.len());
+        let mut starts = Vec::new();
+        let mut subsizes = Vec::new();
+        for (d, &(a, b)) in frac.iter().enumerate() {
+            let n = sizes[d];
+            let start = (a as usize) % n;
+            let sub = 1 + (b as usize) % (n - start);
+            starts.push(start);
+            subsizes.push(sub);
+        }
+        let order = if fortran { mpisim::Order::Fortran } else { mpisim::Order::C };
+        let t = mpisim::Datatype::subarray(
+            sizes.clone(),
+            subsizes.clone(),
+            starts.clone(),
+            order,
+            mpisim::Datatype::named(mpisim::Named::Byte),
+        )
+        .unwrap();
+        let c = t.commit();
+        // Naive oracle: mark every selected element.
+        let total: usize = sizes.iter().product();
+        let mut want = vec![false; total];
+        let n = sizes.len();
+        let mut strides = vec![1usize; n];
+        if fortran {
+            for d in 1..n {
+                strides[d] = strides[d - 1] * sizes[d - 1];
+            }
+        } else {
+            for d in (0..n.saturating_sub(1)).rev() {
+                strides[d] = strides[d + 1] * sizes[d + 1];
+            }
+        }
+        let mut idx = vec![0usize; n];
+        loop {
+            let mut at = 0usize;
+            for d in 0..n {
+                at += (starts[d] + idx[d]) * strides[d];
+            }
+            want[at] = true;
+            let mut done = true;
+            for d in 0..n {
+                idx[d] += 1;
+                if idx[d] < subsizes[d] {
+                    done = false;
+                    break;
+                }
+                idx[d] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        let mut got = vec![false; total];
+        for &(off, len) in c.extents() {
+            for i in 0..len {
+                got[off as usize + i] = true;
+            }
+        }
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(c.size(), subsizes.iter().product::<usize>());
+    }
+
+    /// Timeline laws: grants never precede `earliest`, never overlap, and
+    /// total busy time is conserved.
+    #[test]
+    fn timeline_grants_are_legal(
+        ops in proptest::collection::vec((0u32..1000, 1u32..50), 1..80),
+    ) {
+        let mut t = mpisim::timeline::Timeline::new();
+        let mut grants: Vec<(f64, f64)> = Vec::new();
+        let mut total = 0.0f64;
+        for &(e, d) in &ops {
+            let earliest = e as f64 * 1e-4;
+            let dur = d as f64 * 1e-4;
+            let start = t.reserve(earliest, dur);
+            prop_assert!(start >= earliest - 1e-12, "grant {start} before earliest {earliest}");
+            grants.push((start, start + dur));
+            total += dur;
+        }
+        grants.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in grants.windows(2) {
+            prop_assert!(
+                w[0].1 <= w[1].0 + 1e-9,
+                "grants overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        prop_assert!((t.total_busy() - total).abs() < 1e-9);
+    }
+
+    /// IOR offsets: for any legal geometry, the transfers of all ranks
+    /// tile the file exactly (no overlap, no hole), strided or segmented.
+    #[test]
+    fn ior_geometry_tiles_the_file(
+        nprocs in 1usize..6,
+        segments in 1usize..4,
+        transfers in 1u64..6,
+        xfer in 1u64..5,
+        strided in any::<bool>(),
+    ) {
+        let p = workloads::ior::IorParams {
+            segments,
+            block_size: transfers * xfer * 8,
+            transfer_size: xfer * 8,
+            strided,
+        };
+        p.validate().unwrap();
+        let unit = p.transfer_size;
+        let slots = (p.file_size(nprocs) / unit) as usize;
+        let mut seen = vec![false; slots];
+        for r in 0..nprocs {
+            for s in 0..segments {
+                for t in 0..p.transfers_per_block() {
+                    let off = p.offset(r, nprocs, s, t);
+                    prop_assert_eq!(off % unit, 0);
+                    let slot = (off / unit) as usize;
+                    prop_assert!(!seen[slot], "overlap at {}", off);
+                    seen[slot] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// TCIO segment mapping: locate() and file_offset() are mutually
+    /// inverse, and every offset's window start is owner-aligned.
+    #[test]
+    fn segment_map_inverse_roundtrip(
+        seg_pow in 4u32..16,
+        nprocs in 1usize..80,
+        offset in 0u64..1_000_000_000,
+    ) {
+        let s = 1u64 << seg_pow;
+        let m = tcio::SegmentMap::new(s, nprocs);
+        let loc = m.locate(offset);
+        prop_assert!(loc.owner < nprocs);
+        prop_assert!(loc.disp < s);
+        let back = m.file_offset(loc.owner, loc.segment) + loc.disp;
+        prop_assert_eq!(back, offset);
+        let w = m.window_start(offset);
+        prop_assert_eq!(w % s, 0);
+        prop_assert_eq!(m.locate(w).owner, loc.owner);
+        prop_assert_eq!(m.locate(w).segment, loc.segment);
+    }
+
+    /// FLASH offsets partition the checkpoint for arbitrary geometry.
+    #[test]
+    fn flash_offsets_partition(
+        nxb in 1usize..5,
+        guards in 0usize..3,
+        blocks in 1usize..4,
+        vars in 1usize..4,
+        nprocs in 1usize..5,
+    ) {
+        let p = workloads::flash::FlashParams {
+            nxb,
+            guards,
+            blocks_per_rank: blocks,
+            num_vars: vars,
+        };
+        let unit = p.interior_var_bytes() as u64;
+        let slots = (p.file_size(nprocs) / unit) as usize;
+        let mut seen = vec![false; slots];
+        for r in 0..nprocs {
+            for b in 0..blocks {
+                for v in 0..vars {
+                    let off = p.var_offset(r, nprocs, b, v);
+                    prop_assert_eq!(off % unit, 0);
+                    let slot = (off / unit) as usize;
+                    prop_assert!(!seen[slot]);
+                    seen[slot] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,244 @@
+//! Integration tests for failure injection, optimization interplay, and
+//! moderate-scale behaviour across the whole stack.
+
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+use workloads::ior::{self, IorParams};
+use workloads::synthetic::{self, Method, SynthParams};
+use workloads::WlError;
+
+#[test]
+fn degraded_ost_slows_the_whole_collective_job() {
+    // Inject a 20× slowdown on one OST: every method's makespan must grow,
+    // and the data must still verify.
+    let nprocs = 8;
+    let p = SynthParams::with_types("i,d", 4096, 1).unwrap();
+    let mut times = Vec::new();
+    for degrade in [false, true] {
+        let mut cfg = pfs::PfsConfig::default();
+        cfg.num_osts = 4;
+        cfg.stripe_count = 4;
+        let fs = pfs::Pfs::new(nprocs, cfg).unwrap();
+        if degrade {
+            fs.set_ost_slowdown(0, 20.0).unwrap();
+        }
+        let fs2 = Arc::clone(&fs);
+        let p2 = p.clone();
+        let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+            let w = synthetic::write_tcio(rk, &fs2, &p2, "/deg", None).map_err(WlError::into_mpi)?;
+            synthetic::read_tcio(rk, &fs2, &p2, "/deg", None).map_err(WlError::into_mpi)?;
+            Ok(w.elapsed)
+        })
+        .unwrap();
+        times.push(rep.results[0]);
+    }
+    assert!(
+        times[1] > 1.5 * times[0],
+        "a degraded OST must slow the job: healthy {} vs degraded {}",
+        times[0],
+        times[1]
+    );
+}
+
+#[test]
+fn sieving_speeds_up_strided_independent_io_without_changing_bytes() {
+    let nprocs = 4;
+    let p = IorParams {
+        segments: 2,
+        block_size: 4096,
+        transfer_size: 256,
+        strided: true,
+    };
+    let mut elapsed = Vec::new();
+    let mut snaps = Vec::new();
+    for sieve in [false, true] {
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let p2 = p.clone();
+        let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+            // Hand-rolled vanilla write so we can toggle sieving.
+            rk.barrier()?;
+            let t0 = rk.now();
+            let mut f = mpiio::File::open(rk, &fs2, "/s", mpiio::Mode::WriteOnly)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            if sieve {
+                f.set_sieving(Some(mpiio::SieveConfig {
+                    min_density: 0.0,
+                    ..Default::default()
+                }));
+            }
+            // Set a strided view so each write_at maps to many extents.
+            let etype = mpisim::Datatype::contiguous(
+                p2.transfer_size as usize,
+                mpisim::Datatype::named(mpisim::Named::Byte),
+            )
+            .commit();
+            // The classic resized-filetype idiom: a vector's extent stops at
+            // its last block, so it must be resized to the full segment
+            // stride (P × block) or consecutive tiles under-stride and the
+            // ranks' extents collide.
+            let ftype = mpisim::Datatype::resized(
+                0,
+                (p2.block_size * rk.nprocs() as u64) as usize,
+                mpisim::Datatype::vector(
+                    p2.transfers_per_block() as usize,
+                    1,
+                    rk.nprocs() as isize,
+                    etype.datatype().clone(),
+                ),
+            )
+            .commit();
+            f.set_view(rk, rk.rank() as u64 * p2.transfer_size, &etype, &ftype)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            let data = vec![rk.rank() as u8 + 1; p2.block_size as usize];
+            for s in 0..p2.segments {
+                f.write_at(rk, s as u64 * p2.block_size, &data)
+                    .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            }
+            rk.barrier()?;
+            Ok(rk.now() - t0)
+        })
+        .unwrap();
+        elapsed.push(rep.results[0]);
+        let fid = fs.open("/s").unwrap();
+        snaps.push(fs.snapshot_file(fid).unwrap());
+    }
+    assert_eq!(snaps[0], snaps[1], "sieving must not change file contents");
+    assert!(
+        elapsed[1] < elapsed[0],
+        "sieving must be faster on dense strided writes: {} vs {}",
+        elapsed[1],
+        elapsed[0]
+    );
+}
+
+#[test]
+fn ior_tcio_beats_vanilla_on_strided_pattern() {
+    let nprocs = 8;
+    let p = IorParams {
+        segments: 2,
+        block_size: 8192,
+        transfer_size: 64,
+        strided: true,
+    };
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+        let t = ior::write(rk, &fs2, &p2, Method::Tcio, "/t").map_err(WlError::into_mpi)?;
+        let v = ior::write(rk, &fs2, &p2, Method::Vanilla, "/v").map_err(WlError::into_mpi)?;
+        Ok((t.elapsed, v.elapsed))
+    })
+    .unwrap();
+    let (t, v) = rep.results[0];
+    assert!(
+        v > 5.0 * t,
+        "64-byte strided transfers: vanilla {v}s must be far slower than TCIO {t}s"
+    );
+}
+
+#[test]
+fn art_buffered_vanilla_sits_between_baselines() {
+    use workloads::art::{self, ArtConfig, ArtMethod, FttConfig};
+    let cfg = ArtConfig {
+        num_segments: 16,
+        mu: 12.0,
+        sigma: 2.0,
+        seed: 5,
+        ftt: FttConfig::default(),
+    };
+    let nprocs = 4;
+    let mut elapsed = Vec::new();
+    for method in [ArtMethod::Tcio, ArtMethod::VanillaBuffered, ArtMethod::Vanilla] {
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let cfg2 = cfg.clone();
+        let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+            let w = art::dump(rk, &fs2, &cfg2, method, "/a").map_err(WlError::into_mpi)?;
+            art::restart(rk, &fs2, &cfg2, method, "/a").map_err(WlError::into_mpi)?;
+            Ok(w.elapsed)
+        })
+        .unwrap();
+        elapsed.push(rep.results[0]);
+    }
+    let (tcio, sieved, vanilla) = (elapsed[0], elapsed[1], elapsed[2]);
+    assert!(sieved < vanilla, "per-tree buffering must beat plain vanilla: {sieved} vs {vanilla}");
+    assert!(tcio < sieved, "TCIO must beat per-process buffering: {tcio} vs {sieved}");
+}
+
+#[test]
+fn tcio_scales_to_128_ranks_with_verification() {
+    let nprocs = 128;
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let block = 64usize;
+    let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+        let file_size = (nprocs * 4 * block) as u64;
+        let cfg = TcioConfig::for_file_size_with_segment(file_size, rk.nprocs(), 512);
+        let mut f = TcioFile::open(rk, &fs2, "/scale", TcioMode::Write, cfg.clone())
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        for i in 0..4usize {
+            let off = ((i * nprocs + rk.rank()) * block) as u64;
+            f.write_at(rk, off, &vec![(rk.rank() % 251) as u8 + 1; block])
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        }
+        f.close(rk)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        // Read a peer's block back and verify.
+        let peer = (rk.rank() + 1) % nprocs;
+        let mut buf = vec![0u8; block];
+        {
+            let mut g = TcioFile::open(rk, &fs2, "/scale", TcioMode::Read, cfg)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            g.read_at(rk, (peer * block) as u64, &mut buf)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+            g.close(rk)
+                .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        }
+        let expect = (peer % 251) as u8 + 1;
+        assert!(buf.iter().all(|&b| b == expect), "peer block corrupted");
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(rep.results.len(), nprocs);
+}
+
+#[test]
+fn memory_budget_interacts_with_sieving() {
+    // A sieved write needs a span buffer; with a budget too small for the
+    // span, the simulated allocation fails cleanly instead of corrupting.
+    let fs = pfs::Pfs::new(1, pfs::PfsConfig::default()).unwrap();
+    let sim = mpisim::SimConfig {
+        mem_budget: Some(256),
+        ..Default::default()
+    };
+    let err = mpisim::run(1, sim, move |rk| {
+        let mut f = mpiio::File::open(rk, &fs, "/b", mpiio::Mode::WriteOnly)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        f.set_sieving(Some(mpiio::SieveConfig {
+            buffer_size: 1 << 20,
+            min_extents: 2,
+            min_density: 0.0,
+        }));
+        let etype = mpisim::Datatype::contiguous(64, mpisim::Datatype::named(mpisim::Named::Byte))
+            .commit();
+        let ftype = mpisim::Datatype::vector(8, 1, 4, etype.datatype().clone()).commit();
+        f.set_view(rk, 0, &etype, &ftype)
+            .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
+        // Span = 8 blocks × 4 stride × 64 B ≈ 1.8 KiB > 256 B budget.
+        match f.write_at(rk, 0, &[1u8; 512]) {
+            Err(mpiio::IoError::Mpi(e @ mpisim::MpiError::OutOfMemory { .. })) => {
+                Err::<(), _>(e)
+            }
+            other => panic!("expected OOM from sieve buffer, got {other:?}"),
+        }
+    })
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        mpisim::SimError::RankFailed {
+            error: mpisim::MpiError::OutOfMemory { .. },
+            ..
+        }
+    ));
+}
