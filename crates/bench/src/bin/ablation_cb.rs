@@ -134,7 +134,11 @@ fn main() {
         eprintln!("  {name}: w={} peak={}", mbs(w), fmt_bytes(peak));
     }
     let (w, peak) = run_view_based(&calib, nprocs, &p);
-    t.row(vec!["view-based exchange [16]".to_string(), mbs(w), fmt_bytes(peak)]);
+    t.row(vec![
+        "view-based exchange [16]".to_string(),
+        mbs(w),
+        fmt_bytes(peak),
+    ]);
     eprintln!("  view-based: w={} peak={}", mbs(w), fmt_bytes(peak));
     t.print();
     match t.write_csv("ablation_cb.csv") {

@@ -61,10 +61,22 @@ fn main() {
     let mut t = Table::new(vec!["variant", "write MB/s", "read MB/s"]);
     type Variant = (&'static str, Box<dyn Fn(&mut TcioConfig) + Sync>);
     let variants: Vec<Variant> = vec![
-        ("default (L1 + lock/unlock + lazy)", Box::new(|_c: &mut TcioConfig| {})),
-        ("no level-1 combining", Box::new(|c: &mut TcioConfig| c.use_l1 = false)),
-        ("fence synchronization", Box::new(|c: &mut TcioConfig| c.sync = SyncMode::Fence)),
-        ("eager reads", Box::new(|c: &mut TcioConfig| c.read_mode = ReadMode::Eager)),
+        (
+            "default (L1 + lock/unlock + lazy)",
+            Box::new(|_c: &mut TcioConfig| {}),
+        ),
+        (
+            "no level-1 combining",
+            Box::new(|c: &mut TcioConfig| c.use_l1 = false),
+        ),
+        (
+            "fence synchronization",
+            Box::new(|c: &mut TcioConfig| c.sync = SyncMode::Fence),
+        ),
+        (
+            "eager reads",
+            Box::new(|c: &mut TcioConfig| c.read_mode = ReadMode::Eager),
+        ),
     ];
     for (name, mutate) in &variants {
         let (w, r) = run_variant(&calib, nprocs, &p, mutate);

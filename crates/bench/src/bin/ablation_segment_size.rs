@@ -43,11 +43,8 @@ fn main() {
         let fs2 = Arc::clone(&fs);
         let p2 = p.clone();
         let rep = mpisim::run(nprocs, calib.sim_config_unbudgeted(), move |rk| {
-            let tcfg = TcioConfig::for_file_size_with_segment(
-                p2.file_size(rk.nprocs()),
-                rk.nprocs(),
-                seg,
-            );
+            let tcfg =
+                TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
             synthetic::write_tcio(rk, &fs2, &p2, "/a", Some(tcfg)).map_err(WlError::into_mpi)
         })
         .expect("run");

@@ -1,0 +1,71 @@
+//! Diagnostic: run the interleaved-arrays workload with tracing on, print
+//! the per-phase breakdown and per-OST histogram, and export a Chrome
+//! `trace_event` JSON (load it at chrome://tracing or ui.perfetto.dev).
+//!
+//!   cargo run --release --bin diag_trace -- \
+//!       --procs 8 --len 65536 --size-access 1 --methods tcio,ocio,vanilla \
+//!       --out trace
+
+use bench::{runner, Args, Calib};
+use mpisim::{chrome_trace_json, Phase, TraceReport};
+use workloads::synthetic::Method;
+
+fn parse_methods(spec: &str) -> Vec<Method> {
+    spec.split(',')
+        .map(|s| match s.trim() {
+            "tcio" => Method::Tcio,
+            "ocio" => Method::Ocio,
+            "vanilla" => Method::Vanilla,
+            other => {
+                eprintln!("unknown method {other:?} (want tcio|ocio|vanilla)");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_u64("scale", 1);
+    let nprocs = args.get_usize("procs", 8);
+    let len = args.get_usize("len", 1 << 16);
+    let size_access = args.get_usize("size-access", 1);
+    let methods = parse_methods(args.get("methods").unwrap_or("tcio,ocio,vanilla"));
+    let out = args.get("out").unwrap_or("trace");
+    let calib = if scale == 1 {
+        Calib::unscaled()
+    } else {
+        Calib::paper(scale)
+    };
+
+    for method in methods {
+        let label = format!("{method:?}").to_lowercase();
+        let (rep, osts) = runner::run_traced_synth(&calib, nprocs, len, size_access, method);
+        let report = TraceReport::new(&rep.traces).with_osts(osts);
+
+        println!("== {label}: interleaved arrays, {nprocs} ranks, LEN {len} ==");
+        print!("{}", report.render());
+
+        // Conservation check: each rank's phase attribution must account
+        // for its entire elapsed virtual time.
+        let worst = rep
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(r, t)| (t.totals.total() - rep.clocks[r]).abs())
+            .fold(0.0f64, f64::max);
+        let spans: usize = rep.traces.iter().map(|t| t.spans.len()).sum();
+        println!(
+            "makespan {:.6}s | phase-sum residual {:.2e}s | spans {} | Io imbalance {:.2}",
+            rep.makespan,
+            worst,
+            spans,
+            report.imbalance(Phase::Io)
+        );
+        assert!(worst <= 1e-9, "phase attribution leaked virtual time");
+
+        let path = format!("{out}_{label}.json");
+        std::fs::write(&path, chrome_trace_json(&rep.traces)).expect("write trace json");
+        println!("chrome trace -> {path}\n");
+    }
+}

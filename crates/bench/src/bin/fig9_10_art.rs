@@ -59,7 +59,8 @@ fn main() {
         };
         let cell = |x: Option<f64>| x.map(mbs).unwrap_or_else(|| "DNF".into());
         let speed = |t: f64, v: Option<f64>| {
-            v.map(|v| format!("{:.0}x", t / v)).unwrap_or_else(|| "-".into())
+            v.map(|v| format!("{:.0}x", t / v))
+                .unwrap_or_else(|| "-".into())
         };
         table.row(vec![
             p.to_string(),

@@ -89,6 +89,7 @@ impl Calib {
         SimConfig {
             net: self.net.clone(),
             mem_budget: Some(self.mem_budget_virtual / self.scale_inv),
+            trace: false,
         }
     }
 
@@ -97,6 +98,7 @@ impl Calib {
         SimConfig {
             net: self.net.clone(),
             mem_budget: None,
+            trace: false,
         }
     }
 

@@ -13,7 +13,7 @@
 //! | `ablation_modes` | §IV.A design choices: L1 combining, lock/unlock vs fence, lazy vs eager reads |
 //! | `ablation_cb` | OCIO hints: unchunked vs cb_buffer-chunked exchange, aggregator counts |
 //!
-//! Criterion microbenches for hot paths live in `benches/micro.rs`.
+//! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
 pub mod calib;
 pub mod report;
@@ -21,4 +21,4 @@ pub mod runner;
 
 pub use calib::{fmt_bytes, Calib};
 pub use report::{mbs, sparkline, Args, Table};
-pub use runner::{run_art, run_synth, Outcome};
+pub use runner::{run_art, run_synth, run_traced_synth, Outcome};

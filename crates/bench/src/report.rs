@@ -111,7 +111,10 @@ impl Args {
 
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -125,7 +128,11 @@ impl Args {
             None => default.to_vec(),
             Some(v) => v
                 .split(',')
-                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("--{key}: bad entry {s:?}")))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key}: bad entry {s:?}"))
+                })
                 .collect(),
         }
     }
@@ -134,7 +141,10 @@ impl Args {
 /// Render a series as a one-line unicode sparkline (quick shape check in
 /// the terminal; the CSVs carry the real numbers).
 pub fn sparkline(values: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let max = values.iter().cloned().fold(f64::NAN, f64::max);
     let min = values.iter().cloned().fold(f64::NAN, f64::min);
     if values.is_empty() || !max.is_finite() {

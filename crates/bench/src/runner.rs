@@ -109,8 +109,47 @@ pub fn run_synth(
     }
 }
 
+/// Interleaved-arrays write with tracing enabled: returns the simulation
+/// report (including per-rank `RankTrace`s) and the per-OST metric rows.
+///
+/// This is the workload behind the `diag_trace` binary and the
+/// observability acceptance tests: every rank writes its slice of an
+/// `"i,d"` interleaved pair of arrays through `method`, with the virtual
+/// clocks attributed to phases as they advance.
+pub fn run_traced_synth(
+    calib: &Calib,
+    nprocs: usize,
+    len_virtual: usize,
+    size_access: usize,
+    method: Method,
+) -> (mpisim::SimReport<f64>, Vec<mpisim::OstRow>) {
+    let len_real = (len_virtual as u64 / calib.scale_inv).max(1) as usize;
+    let len_real = len_real.div_ceil(size_access) * size_access;
+    let p = SynthParams::with_types("i,d", len_real, size_access).expect("valid params");
+    let sim = mpisim::SimConfig {
+        trace: true,
+        ..calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let m = synthetic::write_with(method, rk, &fs2, &p2, "/trace.dat")
+            .map_err(WlError::into_mpi)?;
+        Ok(m.elapsed)
+    })
+    .expect("traced run");
+    let osts = fs.ost_report();
+    (rep, osts)
+}
+
 /// ART dump + restart at `nprocs`: returns (write MB/s, read MB/s, bytes).
-pub fn run_art(calib: &Calib, nprocs: usize, cfg: &ArtConfig, method: ArtMethod) -> (f64, f64, u64) {
+pub fn run_art(
+    calib: &Calib,
+    nprocs: usize,
+    cfg: &ArtConfig,
+    method: ArtMethod,
+) -> (f64, f64, u64) {
     assert_eq!(calib.scale_inv, 1, "ART runs unscaled; reduce mu instead");
     let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
     let sim = calib.sim_config_unbudgeted();
@@ -143,6 +182,30 @@ mod tests {
         let (w, r) = run_synth(&calib, 4, 1 << 14, 1, Method::Tcio, false);
         assert!(w.throughput().unwrap() > 0.0);
         assert!(r.throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn traced_synth_phase_sums_match_clocks() {
+        // The diag_trace acceptance criterion: for every method, each rank's
+        // exchange/IO/sync/compute attribution sums to its elapsed virtual
+        // time, and the run yields spans plus per-OST rows.
+        let calib = Calib::unscaled();
+        for method in [Method::Ocio, Method::Tcio, Method::Vanilla] {
+            let (rep, osts) = run_traced_synth(&calib, 4, 1 << 12, 1, method);
+            assert!(!osts.is_empty());
+            assert_eq!(rep.traces.len(), 4);
+            for (r, tr) in rep.traces.iter().enumerate() {
+                assert!(
+                    (tr.totals.total() - rep.clocks[r]).abs() <= 1e-9,
+                    "{method:?} rank {r}: phases {} vs clock {}",
+                    tr.totals.total(),
+                    rep.clocks[r]
+                );
+                assert!(!tr.spans.is_empty());
+            }
+            let json = mpisim::chrome_trace_json(&rep.traces);
+            assert!(json.starts_with("{\"traceEvents\":["));
+        }
     }
 
     #[test]

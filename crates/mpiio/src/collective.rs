@@ -26,11 +26,10 @@
 use crate::error::{IoError, Result};
 use crate::extents::ExtentSet;
 use crate::file::File;
-use mpisim::{Rank, ReduceOp};
+use mpisim::{Phase, Rank, ReduceOp};
 
 /// Tuning knobs of the two-phase implementation (ROMIO hints).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CollectiveConfig {
     /// Number of aggregator ranks (`cb_nodes`); `None` = all ranks.
     pub cb_nodes: Option<usize>,
@@ -41,7 +40,6 @@ pub struct CollectiveConfig {
     /// stripe size, per Liao & Choudhary's lock-boundary partitioning).
     pub align: Option<u64>,
 }
-
 
 /// Serialize a piece list `[(file_off, len, payload)]` for the exchange.
 fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
@@ -264,6 +262,8 @@ pub fn write_all_at(
                         dirty.insert(off, bytes.len() as u64);
                     }
                 }
+                let io_start = rank.now();
+                let mut written = 0u64;
                 let mut done = rank.now();
                 for &(off, len) in dirty.runs() {
                     let at = (off - ws) as usize;
@@ -275,10 +275,12 @@ pub fn write_all_at(
                         rank.now(),
                     )?;
                     done = done.max(t);
+                    written += len;
                     rank.stats.io_writes += 1;
                     rank.stats.io_write_bytes += len;
                 }
-                rank.sync_to(done);
+                rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+                rank.trace_mark("ocio_io", Phase::Io, io_start, written);
             }
         }
     }
@@ -362,6 +364,8 @@ pub fn read_all_at(
                     let _cb = rank.alloc(win_len as u64)?;
                     rank.note_mem_peak();
                     let mut wbuf = vec![0u8; win_len];
+                    let io_start = rank.now();
+                    let mut read = 0u64;
                     let mut done = rank.now();
                     for &(off, len) in wanted.runs() {
                         let at = (off - ws) as usize;
@@ -373,10 +377,12 @@ pub fn read_all_at(
                             rank.now(),
                         )?;
                         done = done.max(t);
+                        read += len;
                         rank.stats.io_reads += 1;
                         rank.stats.io_read_bytes += len;
                     }
-                    rank.sync_to(done);
+                    rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+                    rank.trace_mark("ocio_read", Phase::Io, io_start, read);
                     for (src, reqs) in per_rank_reqs.iter().enumerate() {
                         if reqs.is_empty() {
                             continue;
@@ -479,7 +485,9 @@ mod tests {
         for block in 0..nprocs * len_array {
             let expect = (block % nprocs) as u8 + 1;
             assert!(
-                bytes[block * 12..(block + 1) * 12].iter().all(|&b| b == expect),
+                bytes[block * 12..(block + 1) * 12]
+                    .iter()
+                    .all(|&b| b == expect),
                 "block {block} corrupted"
             );
         }
@@ -582,9 +590,19 @@ mod tests {
         let fs2 = Arc::clone(&fs);
         mpisim::run(4, SimConfig::default(), move |rk| {
             let mut f = File::open(rk, &fs2, "/e", Mode::WriteOnly).map_err(to_mpi)?;
-            let data = if rk.rank() < 2 { vec![rk.rank() as u8 + 1; 8] } else { Vec::new() };
-            write_all_at(rk, &mut f, rk.rank() as u64 * 8, &data, &CollectiveConfig::default())
-                .map_err(to_mpi)?;
+            let data = if rk.rank() < 2 {
+                vec![rk.rank() as u8 + 1; 8]
+            } else {
+                Vec::new()
+            };
+            write_all_at(
+                rk,
+                &mut f,
+                rk.rank() as u64 * 8,
+                &data,
+                &CollectiveConfig::default(),
+            )
+            .map_err(to_mpi)?;
             f.close(rk).map_err(to_mpi)?;
             Ok(())
         })
@@ -617,13 +635,21 @@ mod tests {
         // OCIO point at 48 GB.
         let fs = Pfs::new(2, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
-        let mut sim = SimConfig::default();
-        sim.mem_budget = Some(100); // bytes; domain buffer will exceed this
+        let sim = SimConfig {
+            mem_budget: Some(100), // bytes; domain buffer will exceed this
+            ..Default::default()
+        };
         let err = mpisim::run(2, sim, move |rk| {
             let mut f = File::open(rk, &fs2, "/oom", Mode::WriteOnly).map_err(to_mpi)?;
             let data = vec![7u8; 200];
-            write_all_at(rk, &mut f, rk.rank() as u64 * 200, &data, &CollectiveConfig::default())
-                .map_err(to_mpi)?;
+            write_all_at(
+                rk,
+                &mut f,
+                rk.rank() as u64 * 200,
+                &data,
+                &CollectiveConfig::default(),
+            )
+            .map_err(to_mpi)?;
             Ok(())
         })
         .unwrap_err();
@@ -641,8 +667,10 @@ mod tests {
         // within budget — the ablation claim.
         let fs = Pfs::new(2, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
-        let mut sim = SimConfig::default();
-        sim.mem_budget = Some(100);
+        let sim = SimConfig {
+            mem_budget: Some(100),
+            ..Default::default()
+        };
         let cfg = CollectiveConfig {
             cb_buffer: Some(64),
             ..Default::default()
@@ -671,8 +699,14 @@ mod tests {
         mpisim::run(2, SimConfig::default(), move |rk| {
             let mut f = File::open(rk, &fs2, "/sparse", Mode::ReadWrite).map_err(to_mpi)?;
             let data = vec![rk.rank() as u8 + 1; 8];
-            write_all_at(rk, &mut f, rk.rank() as u64 * 1000, &data, &CollectiveConfig::default())
-                .map_err(to_mpi)?;
+            write_all_at(
+                rk,
+                &mut f,
+                rk.rank() as u64 * 1000,
+                &data,
+                &CollectiveConfig::default(),
+            )
+            .map_err(to_mpi)?;
             Ok(())
         })
         .unwrap();

@@ -60,8 +60,10 @@ impl ExtentSet {
             new_end = new_end.max(self.runs[merge_end].0 + self.runs[merge_end].1);
             merge_end += 1;
         }
-        self.runs
-            .splice(start_idx..merge_end, std::iter::once((new_off, new_end - new_off)));
+        self.runs.splice(
+            start_idx..merge_end,
+            std::iter::once((new_off, new_end - new_off)),
+        );
     }
 
     /// Does the set fully cover `[off, off+len)`?

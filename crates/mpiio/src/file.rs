@@ -10,7 +10,7 @@
 use crate::error::{IoError, Result};
 use crate::sieve::{gather_into_span, scatter_from_span, SieveConfig};
 use crate::view::FileView;
-use mpisim::{Committed, Rank};
+use mpisim::{Committed, Phase, Rank};
 use pfs::{FileId, Pfs};
 use std::sync::Arc;
 
@@ -208,7 +208,9 @@ impl File {
                 return self.write_sieved(rank, &extents, data);
             }
         }
+        let start = rank.now();
         let mut cursor = 0usize;
+        let mut written = 0u64;
         let mut done = rank.now();
         for (file_off, len) in extents {
             let t = self.pfs.write_at(
@@ -220,10 +222,12 @@ impl File {
             )?;
             done = done.max(t);
             cursor += len as usize;
+            written += len;
             rank.stats.io_writes += 1;
             rank.stats.io_write_bytes += len;
         }
-        rank.sync_to(done);
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+        rank.trace_mark("indep_write", Phase::Io, start, written);
         Ok(())
     }
 
@@ -234,6 +238,7 @@ impl File {
     /// writers whose spans overlap would resurrect stale gap bytes.
     fn write_sieved(&mut self, rank: &mut Rank, extents: &[(u64, u64)], data: &[u8]) -> Result<()> {
         let (start, span_len) = SieveConfig::span(extents);
+        let t0 = rank.now();
         let _mem = rank.alloc(span_len)?;
         let t = self.pfs.write_rmw(
             self.fid,
@@ -247,7 +252,8 @@ impl File {
         rank.stats.io_reads += 1;
         rank.stats.io_writes += 1;
         rank.stats.io_write_bytes += span_len;
-        rank.sync_to(t);
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
+        rank.trace_mark("sieve_rmw", Phase::Io, t0, span_len);
         Ok(())
     }
 
@@ -262,7 +268,9 @@ impl File {
                 return self.read_sieved(rank, &extents, buf);
             }
         }
+        let start = rank.now();
         let mut cursor = 0usize;
+        let mut read = 0u64;
         let mut done = rank.now();
         for (file_off, len) in extents {
             let t = self.pfs.read_at(
@@ -274,25 +282,36 @@ impl File {
             )?;
             done = done.max(t);
             cursor += len as usize;
+            read += len;
             rank.stats.io_reads += 1;
             rank.stats.io_read_bytes += len;
         }
-        rank.sync_to(done);
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+        rank.trace_mark("indep_read", Phase::Io, start, read);
         Ok(())
     }
 
     /// Sieved read: one large request for the spanning range, then pick
     /// the wanted bytes out of it.
-    fn read_sieved(&mut self, rank: &mut Rank, extents: &[(u64, u64)], buf: &mut [u8]) -> Result<()> {
+    fn read_sieved(
+        &mut self,
+        rank: &mut Rank,
+        extents: &[(u64, u64)],
+        buf: &mut [u8],
+    ) -> Result<()> {
         let (start, span_len) = SieveConfig::span(extents);
+        let t0 = rank.now();
         let _mem = rank.alloc(span_len)?;
         let mut span = vec![0u8; span_len as usize];
-        let t = self.pfs.read_at(self.fid, rank.rank(), start, &mut span, rank.now())?;
+        let t = self
+            .pfs
+            .read_at(self.fid, rank.rank(), start, &mut span, rank.now())?;
         rank.stats.io_reads += 1;
         rank.stats.io_read_bytes += span_len;
         scatter_from_span(start, &span, extents, buf);
         rank.charge_memcpy(buf.len() as u64);
-        rank.sync_to(t);
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
+        rank.trace_mark("sieve_read", Phase::Io, t0, span_len);
         Ok(())
     }
 
@@ -467,7 +486,9 @@ mod tests {
         for block in 0..6 {
             let expect = (block % 2) as u8 + 1;
             assert!(
-                bytes[block * 12..(block + 1) * 12].iter().all(|&b| b == expect),
+                bytes[block * 12..(block + 1) * 12]
+                    .iter()
+                    .all(|&b| b == expect),
                 "block {block} should belong to rank {}",
                 expect - 1
             );
@@ -507,7 +528,7 @@ mod tests {
         // the sieved read-modify-write must not clobber them.
         let fs = Pfs::new(1, PfsConfig::default()).unwrap();
         let fid = fs.create("/sv").unwrap();
-        fs.write_at(fid, 0, 0, &vec![0xAAu8; 96], 0.0).unwrap();
+        fs.write_at(fid, 0, 0, &[0xAAu8; 96], 0.0).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(1, SimConfig::default(), move |rk| {
             let mut f = File::open(rk, &fs2, "/sv", Mode::ReadWrite)
@@ -533,7 +554,9 @@ mod tests {
         for block in 0..12 {
             let expect = if block % 2 == 0 { 0x55 } else { 0xAA };
             assert!(
-                bytes[block * 8..(block + 1) * 8].iter().all(|&b| b == expect),
+                bytes[block * 8..(block + 1) * 8]
+                    .iter()
+                    .all(|&b| b == expect),
                 "block {block} corrupted"
             );
         }

@@ -107,9 +107,8 @@ pub fn write_all_partitioned(
         }
     }
     // Aggregator i (a group index) owns [gmin + i·dsize, …).
-    let agg_index_of = |grank: usize| -> Option<usize> {
-        (0..naggs).find(|&i| i * g / naggs == grank)
-    };
+    let agg_index_of =
+        |grank: usize| -> Option<usize> { (0..naggs).find(|&i| i * g / naggs == grank) };
 
     // Exchange phase, scoped to the group.
     let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); g];
@@ -222,7 +221,9 @@ mod tests {
             assert_eq!(bytes.len(), 8 * 64, "groups={groups}");
             for r in 0..8 {
                 assert!(
-                    bytes[r * 64..(r + 1) * 64].iter().all(|&b| b == r as u8 + 1),
+                    bytes[r * 64..(r + 1) * 64]
+                        .iter()
+                        .all(|&b| b == r as u8 + 1),
                     "rank {r} region corrupted (groups={groups})"
                 );
             }

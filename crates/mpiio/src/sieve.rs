@@ -61,12 +61,7 @@ impl SieveConfig {
 
 /// Scatter `extents`-worth of bytes from a span buffer into `dst`
 /// (read sieving, user side).
-pub fn scatter_from_span(
-    span_start: u64,
-    span: &[u8],
-    extents: &[(u64, u64)],
-    dst: &mut [u8],
-) {
+pub fn scatter_from_span(span_start: u64, span: &[u8], extents: &[(u64, u64)], dst: &mut [u8]) {
     let mut cursor = 0usize;
     for &(off, len) in extents {
         let at = (off - span_start) as usize;

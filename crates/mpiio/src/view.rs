@@ -85,8 +85,10 @@ impl FileView {
         }
         // An identity view (one extent at 0 covering the whole extent) gets
         // the fast path.
-        let identity =
-            disp == 0 && tile.len() == 1 && tile[0].0 == 0 && tile[0].1 as usize == filetype.extent();
+        let identity = disp == 0
+            && tile.len() == 1
+            && tile[0].0 == 0
+            && tile[0].1 as usize == filetype.extent();
         Ok(FileView {
             disp,
             tile,
@@ -235,7 +237,8 @@ mod tests {
         // The paper's Fig. 2 view: etype = 12 contiguous bytes (int+double),
         // filetype = vector(LEN, 1, P) of etypes, disp = rank * 12.
         let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
-        let ftype = Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+        let ftype =
+            Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
         FileView::new(rank * 12, &etype, &ftype).unwrap()
     }
 
@@ -271,7 +274,7 @@ mod tests {
     #[test]
     fn access_beyond_one_filetype_tile_wraps() {
         let v = paper_view(0, 2, 2); // tile: blocks at 0 and 24, extent 48...
-        // tile data = 24 bytes; byte 24 of the stream is block 0 of tile 1.
+                                     // tile data = 24 bytes; byte 24 of the stream is block 0 of tile 1.
         let tile_extent = v.tile_extent;
         assert_eq!(v.map_range(24, 12), vec![(tile_extent, 12)]);
     }
@@ -307,7 +310,7 @@ mod tests {
     #[test]
     fn stream_len_for_file_counts_visible_bytes() {
         let v = paper_view(0, 2, 2); // blocks (0,12),(24,12); extent 36?
-        // extent of vector(2,1,2) of 12-byte etype = 12*(2+1)=36.
+                                     // extent of vector(2,1,2) of 12-byte etype = 12*(2+1)=36.
         assert_eq!(v.stream_len_for_file(0), 0);
         assert_eq!(v.stream_len_for_file(6), 6);
         assert_eq!(v.stream_len_for_file(12), 12);

@@ -299,7 +299,11 @@ mod tests {
         }
     }
 
-    fn write_both_ways(nprocs: usize, len_array: usize, cfg: CollectiveConfig) -> (Vec<u8>, Vec<u8>) {
+    fn write_both_ways(
+        nprocs: usize,
+        len_array: usize,
+        cfg: CollectiveConfig,
+    ) -> (Vec<u8>, Vec<u8>) {
         // The Fig. 2 interleaved pattern, written once with classic
         // two-phase and once view-based; files must be identical.
         let mut snaps = Vec::new();
@@ -313,7 +317,8 @@ mod tests {
                 let ftype =
                     Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
                         .commit();
-                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                    .map_err(to_mpi)?;
                 let data = vec![rk.rank() as u8 + 1; 12 * len_array];
                 if view_based {
                     let views = register_views(rk, &f).map_err(to_mpi)?;
@@ -365,7 +370,8 @@ mod tests {
                 let ftype =
                     Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
                         .commit();
-                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                    .map_err(to_mpi)?;
                 let data = vec![1u8; 12 * len_array];
                 if view_based {
                     let views = register_views(rk, &f).map_err(to_mpi)?;
@@ -409,7 +415,11 @@ mod tests {
         mpisim::run(3, SimConfig::default(), move |rk| {
             let mut f = File::open(rk, &fs2, "/e", Mode::WriteOnly).map_err(to_mpi)?;
             let views = register_views(rk, &f).map_err(to_mpi)?;
-            let data = if rk.rank() == 0 { vec![7u8; 24] } else { Vec::new() };
+            let data = if rk.rank() == 0 {
+                vec![7u8; 24]
+            } else {
+                Vec::new()
+            };
             write_all_view_based(rk, &mut f, &views, 0, &data, &CollectiveConfig::default())
                 .map_err(to_mpi)?;
             Ok(())
@@ -430,21 +440,31 @@ mod tests {
             let mut f = File::open(rk, &fs2, "/vbr", Mode::ReadWrite).map_err(to_mpi)?;
             let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
             let ftype =
-                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
-                    .commit();
-            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype).map_err(to_mpi)?;
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
             let data = vec![rk.rank() as u8 + 1; 12 * len_array];
             crate::collective::write_all_at(rk, &mut f, 0, &data, &CollectiveConfig::default())
                 .map_err(to_mpi)?;
             let views = register_views(rk, &f).map_err(to_mpi)?;
             let mut back = vec![0u8; 12 * len_array];
-            read_all_view_based(rk, &mut f, &views, 0, &mut back, &CollectiveConfig::default())
-                .map_err(to_mpi)?;
+            read_all_view_based(
+                rk,
+                &mut f,
+                &views,
+                0,
+                &mut back,
+                &CollectiveConfig::default(),
+            )
+            .map_err(to_mpi)?;
             Ok(back)
         })
         .unwrap();
         for (r, back) in rep.results.iter().enumerate() {
-            assert!(back.iter().all(|&b| b == r as u8 + 1), "rank {r} read bad data");
+            assert!(
+                back.iter().all(|&b| b == r as u8 + 1),
+                "rank {r} read bad data"
+            );
         }
     }
 
@@ -458,14 +478,22 @@ mod tests {
             let mut f = File::open(rk, &fs2, "/vbp", Mode::ReadWrite).map_err(to_mpi)?;
             let etype = Datatype::contiguous(8, Datatype::named(Named::Byte)).commit();
             let ftype = Datatype::vector(6, 1, 2, etype.datatype().clone()).commit();
-            f.set_view(rk, rk.rank() as u64 * 8, &etype, &ftype).map_err(to_mpi)?;
+            f.set_view(rk, rk.rank() as u64 * 8, &etype, &ftype)
+                .map_err(to_mpi)?;
             let data: Vec<u8> = (0..48).map(|i| (rk.rank() * 100 + i) as u8).collect();
             crate::collective::write_all_at(rk, &mut f, 0, &data, &CollectiveConfig::default())
                 .map_err(to_mpi)?;
             let views = register_views(rk, &f).map_err(to_mpi)?;
             let mut slice = vec![0u8; 16];
-            read_all_view_based(rk, &mut f, &views, 10, &mut slice, &CollectiveConfig::default())
-                .map_err(to_mpi)?;
+            read_all_view_based(
+                rk,
+                &mut f,
+                &views,
+                10,
+                &mut slice,
+                &CollectiveConfig::default(),
+            )
+            .map_err(to_mpi)?;
             let expect: Vec<u8> = (10..26).map(|i| (rk.rank() * 100 + i) as u8).collect();
             assert_eq!(slice, expect, "rank {}", rk.rank());
             Ok(())

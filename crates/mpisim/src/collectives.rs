@@ -75,7 +75,10 @@ impl Rendezvous {
     ) -> Option<RvResult> {
         let mut st = self.inner.lock();
         let my_gen = st.gen;
-        debug_assert!(st.slots[me].is_none(), "rank {me} double-entered a collective");
+        debug_assert!(
+            st.slots[me].is_none(),
+            "rank {me} double-entered a collective"
+        );
         st.slots[me] = Some(payload);
         st.arrived += 1;
         if t > st.max_t {
@@ -171,7 +174,9 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let mut gens = Vec::new();
                 for round in 0..50u8 {
-                    let r = rv.enter(me, vec![round, me as u8], round as f64, &abort).unwrap();
+                    let r = rv
+                        .enter(me, vec![round, me as u8], round as f64, &abort)
+                        .unwrap();
                     assert_eq!(r.payloads[0][0], round);
                     assert_eq!(r.payloads[1][0], round);
                     gens.push(r.gen);

@@ -68,7 +68,10 @@ pub enum Order {
 pub enum Datatype {
     Named(Named),
     /// `count` consecutive copies of `child`.
-    Contiguous { count: usize, child: Arc<Datatype> },
+    Contiguous {
+        count: usize,
+        child: Arc<Datatype>,
+    },
     /// `count` blocks of `blocklen` children, block starts separated by
     /// `stride` child extents.
     Vector {
@@ -398,7 +401,10 @@ impl Datatype {
             } => {
                 let mut lb = isize::MAX;
                 let mut ub = isize::MIN;
-                for ((&b, &d), c) in blocklens.iter().zip(displs_bytes.iter()).zip(children.iter())
+                for ((&b, &d), c) in blocklens
+                    .iter()
+                    .zip(displs_bytes.iter())
+                    .zip(children.iter())
                 {
                     if b == 0 {
                         continue;
@@ -499,7 +505,10 @@ impl Datatype {
                 displs_bytes,
                 children,
             } => {
-                for ((&b, &d), c) in blocklens.iter().zip(displs_bytes.iter()).zip(children.iter())
+                for ((&b, &d), c) in blocklens
+                    .iter()
+                    .zip(displs_bytes.iter())
+                    .zip(children.iter())
                 {
                     let ext = c.extent() as isize;
                     for j in 0..b {
@@ -963,8 +972,14 @@ mod tests {
         // together they must cover every element exactly once.
         let mut seen = vec![0u32; 16];
         for rank in 0..4 {
-            let t = Datatype::darray_block(rank, &[4, 4], &[2, 2], Order::C, Datatype::named(Named::Int))
-                .unwrap();
+            let t = Datatype::darray_block(
+                rank,
+                &[4, 4],
+                &[2, 2],
+                Order::C,
+                Datatype::named(Named::Int),
+            )
+            .unwrap();
             assert_eq!(t.size(), 16);
             for &(off, len) in t.commit().extents() {
                 assert_eq!(off % 4, 0);
@@ -1003,7 +1018,11 @@ mod tests {
         let c_r1 = Datatype::darray_block(1, &[4, 6], &[2, 2], Order::C, byte()).unwrap();
         let f_r1 = Datatype::darray_block(1, &[4, 6], &[2, 2], Order::Fortran, byte()).unwrap();
         assert_eq!(c_r1.commit().extents()[0].0, 3, "C: first elem at (0,3)");
-        assert_eq!(f_r1.commit().extents()[0].0, 2, "Fortran: first elem at (2,0) col-major");
+        assert_eq!(
+            f_r1.commit().extents()[0].0,
+            2,
+            "Fortran: first elem at (2,0) col-major"
+        );
     }
 
     #[test]

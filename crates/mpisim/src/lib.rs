@@ -36,9 +36,10 @@ pub mod net;
 pub mod p2p;
 pub mod rma;
 pub mod runtime;
-pub mod timeline;
 pub mod stats;
 pub mod subcomm;
+pub mod timeline;
+pub mod trace;
 
 pub use collectives::log2ceil;
 pub use datatype::{Committed, Datatype, Named, Order};
@@ -50,3 +51,4 @@ pub use rma::{Epoch, LockKind, Window};
 pub use runtime::{run, Rank, ReduceOp, SimConfig, SimReport};
 pub use stats::RankStats;
 pub use subcomm::SubComm;
+pub use trace::{chrome_trace_json, OstRow, Phase, PhaseTotals, RankTrace, Span, TraceReport};

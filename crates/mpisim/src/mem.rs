@@ -50,12 +50,10 @@ impl MemState {
                     budget: self.budget,
                 });
             }
-            match self.used.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::Relaxed);
                     return Ok(MemGuard {
@@ -140,7 +138,10 @@ mod tests {
         let _g = t.alloc(80).unwrap();
         match t.alloc(30) {
             Err(MpiError::OutOfMemory {
-                requested, used, budget, ..
+                requested,
+                used,
+                budget,
+                ..
             }) => {
                 assert_eq!(requested, 30);
                 assert_eq!(used, 80);

@@ -279,10 +279,11 @@ impl Fabric {
         };
         let excess = overlap.saturating_sub(self.cfg.congestion_free);
         let factor = 1.0
-            + self.cfg.congestion_coeff * excess as f64
-                / (self.cfg.congestion_free.max(1) as f64);
+            + self.cfg.congestion_coeff * excess as f64 / (self.cfg.congestion_free.max(1) as f64);
         if excess > 0 {
-            self.stats.congested_transfers.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .congested_transfers
+                .fetch_add(1, Ordering::Relaxed);
         }
         let dur = base_dur * factor;
 
@@ -406,9 +407,11 @@ mod tests {
 
     #[test]
     fn congestion_inflates_bursts() {
-        let mut cfg = NetConfig::default();
-        cfg.congestion_free = 4;
-        cfg.congestion_coeff = 0.5;
+        let cfg = NetConfig {
+            congestion_free: 4,
+            congestion_coeff: 0.5,
+            ..Default::default()
+        };
         let f = Fabric::new(64, cfg.clone());
         let bytes = 1 << 16;
         // Warm the connections so setup cost doesn't pollute the comparison.

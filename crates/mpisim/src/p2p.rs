@@ -24,6 +24,8 @@ pub(crate) struct Envelope {
     pub data: Vec<u8>,
     pub arrival: f64,
     pub seq: u64,
+    /// Trace span id of the send that produced this message (when tracing).
+    pub span: Option<u64>,
 }
 
 /// One rank's incoming-message queue.
@@ -50,10 +52,20 @@ pub struct Received {
     /// Depth of the pending-message queue at match time (drives the
     /// unexpected-queue matching cost; see `NetConfig::match_overhead`).
     pub queue_depth: usize,
+    /// Trace span id of the matching send on the source rank (the
+    /// cross-rank dependency edge; `None` when tracing is disabled).
+    pub send_span: Option<u64>,
 }
 
 impl Mailbox {
-    pub(crate) fn push(&self, src: usize, tag: Tag, data: Vec<u8>, arrival: f64) {
+    pub(crate) fn push(
+        &self,
+        src: usize,
+        tag: Tag,
+        data: Vec<u8>,
+        arrival: f64,
+        span: Option<u64>,
+    ) {
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
@@ -63,6 +75,7 @@ impl Mailbox {
             data,
             arrival,
             seq,
+            span,
         });
         self.cv.notify_all();
     }
@@ -96,6 +109,7 @@ impl Mailbox {
                 tag: e.tag,
                 arrival: e.arrival,
                 queue_depth: depth,
+                send_span: e.span,
             }
         })
     }
@@ -106,9 +120,7 @@ impl Mailbox {
     pub(crate) fn has_match(&self, src: Option<usize>, tag: Option<Tag>, now: f64) -> bool {
         let inner = self.inner.lock();
         inner.queue.iter().any(|e| {
-            e.arrival <= now
-                && src.is_none_or(|s| e.src == s)
-                && tag.is_none_or(|t| e.tag == t)
+            e.arrival <= now && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
         })
     }
 
@@ -130,9 +142,10 @@ impl Mailbox {
             let mut inner = self.inner.lock();
             // Re-check under the lock to avoid a lost wakeup between
             // try_match and wait.
-            let has_match = inner.queue.iter().any(|e| {
-                src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
-            });
+            let has_match = inner
+                .queue
+                .iter()
+                .any(|e| src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t));
             if has_match {
                 continue;
             }
@@ -151,7 +164,10 @@ pub enum Request {
     /// A posted isend: the sender side completes at `done`.
     Send { done: f64 },
     /// A posted irecv: matching is deferred to the wait.
-    Recv { src: Option<usize>, tag: Option<Tag> },
+    Recv {
+        src: Option<usize>,
+        tag: Option<Tag>,
+    },
 }
 
 #[cfg(test)]
@@ -162,8 +178,8 @@ mod tests {
     fn fifo_between_pair_by_arrival() {
         let mb = Mailbox::default();
         let abort = AtomicBool::new(false);
-        mb.push(0, 7, vec![1], 2.0);
-        mb.push(0, 7, vec![2], 1.0);
+        mb.push(0, 7, vec![1], 2.0, None);
+        mb.push(0, 7, vec![2], 1.0, None);
         // Earlier arrival wins even if pushed later.
         let r = mb.recv_blocking(Some(0), Some(7), &abort).unwrap();
         assert_eq!(r.data, vec![2]);
@@ -175,8 +191,8 @@ mod tests {
     fn equal_arrival_ties_break_by_sequence() {
         let mb = Mailbox::default();
         let abort = AtomicBool::new(false);
-        mb.push(0, 7, vec![1], 1.0);
-        mb.push(0, 7, vec![2], 1.0);
+        mb.push(0, 7, vec![1], 1.0, None);
+        mb.push(0, 7, vec![2], 1.0, None);
         let r = mb.recv_blocking(Some(0), Some(7), &abort).unwrap();
         assert_eq!(r.data, vec![1], "non-overtaking order must hold");
     }
@@ -185,7 +201,7 @@ mod tests {
     fn wildcard_source_and_tag() {
         let mb = Mailbox::default();
         let abort = AtomicBool::new(false);
-        mb.push(3, 9, vec![42], 1.0);
+        mb.push(3, 9, vec![42], 1.0, None);
         let r = mb.recv_blocking(None, None, &abort).unwrap();
         assert_eq!(r.src, 3);
         assert_eq!(r.tag, 9);
@@ -195,8 +211,8 @@ mod tests {
     fn tag_filtering_skips_nonmatching() {
         let mb = Mailbox::default();
         let abort = AtomicBool::new(false);
-        mb.push(0, 1, vec![1], 0.5);
-        mb.push(0, 2, vec![2], 1.0);
+        mb.push(0, 1, vec![1], 0.5, None);
+        mb.push(0, 2, vec![2], 1.0, None);
         let r = mb.recv_blocking(Some(0), Some(2), &abort).unwrap();
         assert_eq!(r.data, vec![2]);
     }
@@ -224,7 +240,7 @@ mod tests {
         let ab2 = Arc::clone(&abort);
         let h = std::thread::spawn(move || mb2.recv_blocking(None, None, &ab2));
         std::thread::sleep(std::time::Duration::from_millis(10));
-        mb.push(1, 1, vec![7], 3.0);
+        mb.push(1, 1, vec![7], 3.0, None);
         let r = h.join().unwrap().unwrap();
         assert_eq!(r.data, vec![7]);
         assert!((r.arrival - 3.0).abs() < f64::EPSILON);

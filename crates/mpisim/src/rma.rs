@@ -275,7 +275,8 @@ mod tests {
         let mut ep = Epoch::new(&w, 0, LockKind::Shared);
         let mut a = [0u8; 2];
         let mut b = [0u8; 3];
-        ep.get_gathered(&mut [(1, &mut a[..]), (5, &mut b[..])]).unwrap();
+        ep.get_gathered(&mut [(1, &mut a[..]), (5, &mut b[..])])
+            .unwrap();
         assert_eq!(a, [1, 2]);
         assert_eq!(b, [5, 6, 7]);
         assert_eq!(ep.get_msgs, vec![(5, 2)]);

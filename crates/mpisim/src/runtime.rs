@@ -6,6 +6,17 @@
 //! advances it directly; messaging reconciles clocks through arrival
 //! timestamps; collectives reconcile through the rendezvous maximum. The
 //! *makespan* of a simulation is the maximum final clock.
+//!
+//! Observability: every clock mutation goes through [`Rank::set_clock_as`]
+//! (or the helpers that call it), which attributes the elapsed delta to a
+//! [`Phase`] on the rank's tracer. Runtime operations self-classify —
+//! point-to-point, all-to-all and RMA time is `Exchange`, rendezvous
+//! collectives are `Sync` — while layers above tag their file-system waits
+//! with [`Rank::with_phase`]. The per-phase totals therefore sum to the
+//! final clock by construction. When `SimConfig::trace` is set, each
+//! operation additionally records a [`Span`](crate::trace::Span) with byte
+//! counts and cross-rank dependency edges, collected into
+//! [`SimReport::traces`].
 
 use crate::collectives::{log2ceil, Rendezvous};
 use crate::error::{MpiError, Result, SimError};
@@ -15,6 +26,7 @@ use crate::p2p::{Mailbox, Received, Request, Tag};
 use crate::rma::{Epoch, LockKind, WinShared, Window};
 use crate::stats::RankStats;
 use crate::subcomm::{SplitRegistry, SubComm};
+use crate::trace::{Phase, PhaseTotals, RankTrace, Tracer};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -33,6 +45,9 @@ pub struct SimConfig {
     pub net: NetConfig,
     /// Simulated memory budget per rank in bytes (`None` = unlimited).
     pub mem_budget: Option<u64>,
+    /// Record per-operation trace spans (phase totals are always kept).
+    /// Costs nothing when `false`.
+    pub trace: bool,
 }
 
 /// A collectively-created object plus the number of ranks that fetched it
@@ -48,6 +63,7 @@ pub(crate) struct Shared {
     /// Collectively-created objects keyed by rendezvous generation.
     registry: Mutex<HashMap<u64, RegistryEntry>>,
     abort: AtomicBool,
+    trace: bool,
 }
 
 impl Shared {
@@ -62,6 +78,7 @@ impl Shared {
                 .collect(),
             registry: Mutex::new(HashMap::new()),
             abort: AtomicBool::new(false),
+            trace: cfg.trace,
         }
     }
 
@@ -94,6 +111,8 @@ pub struct Rank {
     noise_seq: u64,
     /// Public, rank-local statistics (also collected into the report).
     pub stats: RankStats,
+    /// Clock-attribution and span-recording state.
+    tracer: Tracer,
 }
 
 impl Rank {
@@ -102,6 +121,7 @@ impl Rank {
             rank: id,
             state: Arc::clone(&shared.mem[id]),
         };
+        let trace = shared.trace;
         Rank {
             id,
             nprocs: shared.nprocs,
@@ -110,6 +130,7 @@ impl Rank {
             mem,
             noise_seq: 0x9E37_79B9_7F4A_7C15 ^ (id as u64),
             stats: RankStats::default(),
+            tracer: Tracer::new(id, trace),
         }
     }
 
@@ -128,22 +149,79 @@ impl Rank {
         self.clock
     }
 
-    /// Advance the local clock by `seconds` of compute.
+    /// Advance the local clock by `seconds`, attributed to the active
+    /// phase (compute unless inside [`Rank::with_phase`]).
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "time cannot run backwards");
-        self.clock += seconds;
+        let phase = self.tracer.current_phase();
+        self.advance_as(seconds, phase);
     }
 
-    /// Move the clock forward to at least `t` (no-op if already past).
+    /// Move the clock forward to at least `t` (no-op if already past),
+    /// attributed to the active phase.
     pub fn sync_to(&mut self, t: f64) {
+        let phase = self.tracer.current_phase();
+        self.set_clock_as(t, phase);
+    }
+
+    /// Charge a local memory copy of `bytes`, attributed to the active
+    /// phase.
+    pub fn charge_memcpy(&mut self, bytes: u64) {
+        let dt = bytes as f64 * self.shared.fabric.config().memcpy_byte_time;
+        let phase = self.tracer.current_phase();
+        self.advance_as(dt, phase);
+    }
+
+    /// The single funnel for "jump the clock to `t`": attributes the
+    /// positive delta to `phase`. Jumps backwards are clamped to no-ops —
+    /// the virtual clock is monotone.
+    fn set_clock_as(&mut self, t: f64, phase: Phase) {
         if t > self.clock {
+            self.tracer.attribute(phase, t - self.clock);
             self.clock = t;
         }
     }
 
-    /// Charge a local memory copy of `bytes`.
-    pub fn charge_memcpy(&mut self, bytes: u64) {
-        self.clock += bytes as f64 * self.shared.fabric.config().memcpy_byte_time;
+    /// The single funnel for "advance the clock by `dt`" with an explicit
+    /// phase attribution.
+    fn advance_as(&mut self, dt: f64, phase: Phase) {
+        if dt > 0.0 {
+            self.tracer.attribute(phase, dt);
+            self.clock += dt;
+        }
+    }
+
+    // ---- tracing ----
+
+    /// Is span recording on (`SimConfig::trace`)? Phase totals are kept
+    /// regardless.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Run `f` with clock time attributed to `phase` by default. Runtime
+    /// operations that know better still self-classify (p2p and RMA time
+    /// stays `Exchange`, rendezvous collectives stay `Sync`); everything
+    /// else — `advance`, `sync_to`, `charge_memcpy` — lands in `phase`.
+    /// Nests; the innermost phase wins.
+    pub fn with_phase<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.tracer.push_phase(phase);
+        let out = f(self);
+        self.tracer.pop_phase();
+        out
+    }
+
+    /// Record a span covering `[start, now]` for an instrumentation site
+    /// (e.g. an I/O layer marking a collective-buffer write). No-op unless
+    /// tracing is enabled.
+    pub fn trace_mark(&mut self, name: &'static str, phase: Phase, start: f64, bytes: u64) {
+        let end = self.clock;
+        self.tracer.record(name, phase, start, end, bytes, None);
+    }
+
+    /// This rank's per-phase time totals so far.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.tracer.totals()
     }
 
     pub fn net_config(&self) -> &NetConfig {
@@ -187,9 +265,21 @@ impl Rank {
         self.check_abort()?;
         self.check_rank(dst)?;
         debug_assert!(tag < TAG_INTERNAL_BASE, "tag collides with internal range");
-        let tr = self.shared.fabric.transfer(self.id, dst, data.len(), self.clock);
-        self.clock = tr.sender_done;
-        self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival);
+        let start = self.clock;
+        let tr = self
+            .shared
+            .fabric
+            .transfer(self.id, dst, data.len(), self.clock);
+        self.set_clock_as(tr.sender_done, Phase::Exchange);
+        let span = self.tracer.record(
+            "send",
+            Phase::Exchange,
+            start,
+            self.clock,
+            data.len() as u64,
+            None,
+        );
+        self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival, span);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         Ok(())
@@ -199,12 +289,26 @@ impl Rank {
     pub fn isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
-        let tr = self.shared.fabric.transfer(self.id, dst, data.len(), self.clock);
-        self.clock += self.shared.fabric.config().send_overhead;
-        self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival);
+        let start = self.clock;
+        let tr = self
+            .shared
+            .fabric
+            .transfer(self.id, dst, data.len(), self.clock);
+        self.advance_as(self.shared.fabric.config().send_overhead, Phase::Exchange);
+        let span = self.tracer.record(
+            "isend",
+            Phase::Exchange,
+            start,
+            self.clock,
+            data.len() as u64,
+            None,
+        );
+        self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival, span);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
-        Ok(Request::Send { done: tr.sender_done })
+        Ok(Request::Send {
+            done: tr.sender_done,
+        })
     }
 
     /// Blocking receive. `None` arguments are wildcards.
@@ -212,6 +316,7 @@ impl Rank {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
+        let start = self.clock;
         let r = self.shared.mailboxes[self.id]
             .recv_blocking(src, tag, &self.shared.abort)
             .ok_or(MpiError::Aborted)?;
@@ -219,9 +324,18 @@ impl Rank {
         // Completion: reconcile with the arrival, pay the receive overhead,
         // and pay the unexpected-queue matching cost for every message that
         // was pending when this one matched.
-        self.clock = self.clock.max(r.arrival)
+        let done = self.clock.max(r.arrival)
             + cfg.recv_overhead
             + r.queue_depth as f64 * cfg.match_overhead;
+        self.set_clock_as(done, Phase::Exchange);
+        self.tracer.record(
+            "recv",
+            Phase::Exchange,
+            start,
+            self.clock,
+            r.data.len() as u64,
+            r.send_span,
+        );
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += r.data.len() as u64;
         Ok(r)
@@ -240,7 +354,7 @@ impl Rank {
     pub fn wait(&mut self, req: Request) -> Result<Option<Received>> {
         match req {
             Request::Send { done } => {
-                self.clock = self.clock.max(done);
+                self.set_clock_as(done, Phase::Exchange);
                 Ok(None)
             }
             Request::Recv { src, tag } => {
@@ -275,21 +389,37 @@ impl Rank {
 
     /// Barrier: all clocks advance to `max + 2·α·⌈log₂ P⌉`.
     pub fn barrier(&mut self) -> Result<()> {
+        let start = self.clock;
         let rv = self.rendezvous(Vec::new())?;
         let cfg = self.shared.fabric.config();
-        self.clock = rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64;
+        self.set_clock_as(
+            rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
+            Phase::Sync,
+        );
+        self.tracer
+            .record("barrier", Phase::Sync, start, self.clock, 0, None);
         Ok(())
     }
 
     /// Gather one byte payload from every rank, delivered to all.
     pub fn allgather(&mut self, payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let start = self.clock;
         let rv = self.rendezvous(payload.to_vec())?;
         let cfg = self.shared.fabric.config();
         let total: usize = rv.payloads.iter().map(Vec::len).sum();
         let foreign = total - payload.len();
-        self.clock = rv.max_t
-            + cfg.latency * log2ceil(self.nprocs) as f64
-            + foreign as f64 * cfg.byte_time;
+        self.set_clock_as(
+            rv.max_t + cfg.latency * log2ceil(self.nprocs) as f64 + foreign as f64 * cfg.byte_time,
+            Phase::Sync,
+        );
+        self.tracer.record(
+            "allgather",
+            Phase::Sync,
+            start,
+            self.clock,
+            total as u64,
+            None,
+        );
         Ok(rv.payloads.iter().cloned().collect())
     }
 
@@ -328,30 +458,49 @@ impl Rank {
     /// Broadcast `root`'s payload to every rank (binomial-tree cost).
     pub fn bcast(&mut self, root: usize, payload: &[u8]) -> Result<Vec<u8>> {
         self.check_rank(root)?;
-        let contribution = if self.id == root { payload.to_vec() } else { Vec::new() };
+        let contribution = if self.id == root {
+            payload.to_vec()
+        } else {
+            Vec::new()
+        };
+        let start = self.clock;
         let rv = self.rendezvous(contribution)?;
         let cfg = self.shared.fabric.config();
         let bytes = rv.payloads[root].len();
-        self.clock = rv.max_t
-            + (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64;
+        self.set_clock_as(
+            rv.max_t + (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64,
+            Phase::Sync,
+        );
+        self.tracer
+            .record("bcast", Phase::Sync, start, self.clock, bytes as u64, None);
         Ok(rv.payloads[root].clone())
     }
 
     /// Gather every rank's payload at `root`; non-roots receive `None`.
     pub fn gather(&mut self, root: usize, payload: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         self.check_rank(root)?;
+        let start = self.clock;
         let rv = self.rendezvous(payload.to_vec())?;
         let cfg = self.shared.fabric.config();
         let total: usize = rv.payloads.iter().map(Vec::len).sum();
-        if self.id == root {
-            self.clock = rv.max_t
-                + cfg.latency * log2ceil(self.nprocs) as f64
-                + (total - payload.len()) as f64 * cfg.byte_time;
-            Ok(Some(rv.payloads.iter().cloned().collect()))
+        let out = if self.id == root {
+            self.set_clock_as(
+                rv.max_t
+                    + cfg.latency * log2ceil(self.nprocs) as f64
+                    + (total - payload.len()) as f64 * cfg.byte_time,
+                Phase::Sync,
+            );
+            Some(rv.payloads.iter().cloned().collect())
         } else {
-            self.clock = rv.max_t + cfg.latency * log2ceil(self.nprocs) as f64;
-            Ok(None)
-        }
+            self.set_clock_as(
+                rv.max_t + cfg.latency * log2ceil(self.nprocs) as f64,
+                Phase::Sync,
+            );
+            None
+        };
+        self.tracer
+            .record("gather", Phase::Sync, start, self.clock, total as u64, None);
+        Ok(out)
     }
 
     /// Scatter `root`'s per-rank payloads; every rank receives its slice.
@@ -373,10 +522,13 @@ impl Rank {
                 buf
             }
             (None, true) => {
-                return Err(MpiError::CollectiveMismatch("root must provide scatter payloads"))
+                return Err(MpiError::CollectiveMismatch(
+                    "root must provide scatter payloads",
+                ))
             }
             _ => Vec::new(),
         };
+        let start = self.clock;
         let rv = self.rendezvous(contribution)?;
         let cfg = self.shared.fabric.config();
         let blob = &rv.payloads[root];
@@ -392,9 +544,20 @@ impl Rank {
             pos += len;
         }
         let mine = parts.swap_remove(self.id);
-        self.clock = rv.max_t
-            + cfg.latency * log2ceil(self.nprocs) as f64
-            + mine.len() as f64 * cfg.byte_time;
+        self.set_clock_as(
+            rv.max_t
+                + cfg.latency * log2ceil(self.nprocs) as f64
+                + mine.len() as f64 * cfg.byte_time,
+            Phase::Sync,
+        );
+        self.tracer.record(
+            "scatter",
+            Phase::Sync,
+            start,
+            self.clock,
+            mine.len() as u64,
+            None,
+        );
         Ok(mine)
     }
 
@@ -402,11 +565,23 @@ impl Rank {
     /// all ranks (`MPI_Allreduce` on arrays).
     pub fn allreduce_u64_vec(&mut self, values: &[u64], op: ReduceOp) -> Result<Vec<u64>> {
         let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let start = self.clock;
         let rv = self.rendezvous(payload)?;
         let cfg = self.shared.fabric.config();
         let bytes = values.len() * 8;
-        self.clock = rv.max_t
-            + 2.0 * (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64;
+        self.set_clock_as(
+            rv.max_t
+                + 2.0 * (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64,
+            Phase::Sync,
+        );
+        self.tracer.record(
+            "allreduce",
+            Phase::Sync,
+            start,
+            self.clock,
+            bytes as u64,
+            None,
+        );
         let mut acc: Option<Vec<u64>> = None;
         for buf in rv.payloads.iter() {
             if buf.len() != bytes {
@@ -515,20 +690,38 @@ impl Rank {
 
     /// Barrier over a sub-communicator.
     pub fn barrier_in(&mut self, comm: &SubComm) -> Result<()> {
+        let start = self.clock;
         let rv = self.rendezvous_in(comm, Vec::new())?;
         let cfg = self.shared.fabric.config();
-        self.clock = rv.max_t + 2.0 * cfg.latency * comm.log2() as f64;
+        self.set_clock_as(
+            rv.max_t + 2.0 * cfg.latency * comm.log2() as f64,
+            Phase::Sync,
+        );
+        self.tracer
+            .record("barrier_in", Phase::Sync, start, self.clock, 0, None);
         Ok(())
     }
 
     /// Allgather over a sub-communicator (payloads indexed by group rank).
     pub fn allgather_in(&mut self, comm: &SubComm, payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let start = self.clock;
         let rv = self.rendezvous_in(comm, payload.to_vec())?;
         let cfg = self.shared.fabric.config();
         let total: usize = rv.payloads.iter().map(Vec::len).sum();
-        self.clock = rv.max_t
-            + cfg.latency * comm.log2() as f64
-            + (total - payload.len()) as f64 * cfg.byte_time;
+        self.set_clock_as(
+            rv.max_t
+                + cfg.latency * comm.log2() as f64
+                + (total - payload.len()) as f64 * cfg.byte_time,
+            Phase::Sync,
+        );
+        self.tracer.record(
+            "allgather_in",
+            Phase::Sync,
+            start,
+            self.clock,
+            total as u64,
+            None,
+        );
         Ok(rv.payloads.iter().cloned().collect())
     }
 
@@ -561,6 +754,8 @@ impl Rank {
             ));
         }
         let mi = comm.group_rank();
+        let start = self.clock;
+        let total: u64 = data.iter().map(|v| v.len() as u64).sum();
         let mut out: Vec<Vec<u8>> = (0..g).map(|_| Vec::new()).collect();
         out[mi] = std::mem::take(&mut data[mi]);
         let mut sends = Vec::with_capacity(g.saturating_sub(1));
@@ -578,6 +773,14 @@ impl Rank {
             out[src] = r.data;
         }
         self.waitall(sends)?;
+        self.tracer.record(
+            "alltoallv_burst_in",
+            Phase::Exchange,
+            start,
+            self.clock,
+            total,
+            None,
+        );
         Ok(out)
     }
 
@@ -612,6 +815,8 @@ impl Rank {
         }
         let me = self.id;
         let n = self.nprocs;
+        let start = self.clock;
+        let total: u64 = data.iter().map(|v| v.len() as u64).sum();
         let mut out: Vec<Vec<u8>> = (0..n).map(|_| Vec::new()).collect();
         out[me] = std::mem::take(&mut data[me]);
         let mut sends = Vec::with_capacity(n.saturating_sub(1));
@@ -620,12 +825,14 @@ impl Rank {
             let src = (me + n - k) % n;
             // Per-round software jitter (scheduling, progress engine).
             let noise = self.noise_sample();
-            self.advance(noise);
+            self.advance_as(noise, Phase::Exchange);
             sends.push(self.isend_internal(dst, TAG_ALLTOALLV, std::mem::take(&mut data[dst]))?);
             let r = self.recv(Some(src), Some(TAG_ALLTOALLV))?;
             out[src] = r.data;
         }
         self.waitall(sends)?;
+        self.tracer
+            .record("alltoallv", Phase::Exchange, start, self.clock, total, None);
         Ok(out)
     }
 
@@ -645,6 +852,8 @@ impl Rank {
         }
         let me = self.id;
         let n = self.nprocs;
+        let start = self.clock;
+        let total: u64 = data.iter().map(|v| v.len() as u64).sum();
         let mut out: Vec<Vec<u8>> = (0..n).map(|_| Vec::new()).collect();
         out[me] = std::mem::take(&mut data[me]);
         let mut sends = Vec::with_capacity(n.saturating_sub(1));
@@ -658,18 +867,40 @@ impl Rank {
             out[src] = r.data;
         }
         self.waitall(sends)?;
+        self.tracer.record(
+            "alltoallv_burst",
+            Phase::Exchange,
+            start,
+            self.clock,
+            total,
+            None,
+        );
         Ok(out)
     }
 
     fn isend_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
-        let tr = self.shared.fabric.transfer(self.id, dst, data.len(), self.clock);
-        self.clock += self.shared.fabric.config().send_overhead;
+        let start = self.clock;
+        let tr = self
+            .shared
+            .fabric
+            .transfer(self.id, dst, data.len(), self.clock);
+        self.advance_as(self.shared.fabric.config().send_overhead, Phase::Exchange);
+        let span = self.tracer.record(
+            "isend",
+            Phase::Exchange,
+            start,
+            self.clock,
+            data.len() as u64,
+            None,
+        );
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
-        self.shared.mailboxes[dst].push(self.id, tag, data, tr.arrival);
-        Ok(Request::Send { done: tr.sender_done })
+        self.shared.mailboxes[dst].push(self.id, tag, data, tr.arrival, span);
+        Ok(Request::Send {
+            done: tr.sender_done,
+        })
     }
 
     /// Collectively create (or fetch) a shared object. The closure runs on
@@ -679,9 +910,15 @@ impl Rank {
         &mut self,
         init: impl FnOnce() -> T,
     ) -> Result<Arc<T>> {
+        let start = self.clock;
         let rv = self.rendezvous(Vec::new())?;
         let cfg = self.shared.fabric.config();
-        self.clock = rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64;
+        self.set_clock_as(
+            rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
+            Phase::Sync,
+        );
+        self.tracer
+            .record("shared_state", Phase::Sync, start, self.clock, 0, None);
         let arc_any = {
             let mut reg = self.shared.registry.lock();
             let entry = reg
@@ -706,9 +943,21 @@ impl Rank {
     pub fn win_create(&mut self, local_size: usize) -> Result<Window> {
         let mem = self.alloc(local_size as u64)?;
         self.stats.mem_peak = self.stats.mem_peak.max(self.mem.peak());
+        let start = self.clock;
         let rv = self.rendezvous((local_size as u64).to_le_bytes().to_vec())?;
         let cfg = self.shared.fabric.config();
-        self.clock = rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64;
+        self.set_clock_as(
+            rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
+            Phase::Sync,
+        );
+        self.tracer.record(
+            "win_create",
+            Phase::Sync,
+            start,
+            self.clock,
+            local_size as u64,
+            None,
+        );
         let sizes: Vec<usize> = rv
             .payloads
             .iter()
@@ -716,9 +965,12 @@ impl Rank {
             .collect();
         let shared_win = {
             let mut reg = self.shared.registry.lock();
-            let entry = reg
-                .entry(rv.gen)
-                .or_insert_with(|| (Arc::new(WinShared::new(sizes)) as Arc<dyn Any + Send + Sync>, 0));
+            let entry = reg.entry(rv.gen).or_insert_with(|| {
+                (
+                    Arc::new(WinShared::new(sizes)) as Arc<dyn Any + Send + Sync>,
+                    0,
+                )
+            });
             entry.1 += 1;
             let a = Arc::clone(&entry.0);
             if entry.1 == self.nprocs {
@@ -746,7 +998,7 @@ impl Rank {
         self.check_abort()?;
         self.check_rank(target)?;
         // Lock request handshake.
-        self.clock += self.shared.fabric.config().rma_lock_cost;
+        self.advance_as(self.shared.fabric.config().rma_lock_cost, Phase::Exchange);
         Ok(Epoch::new(win, target, kind))
     }
 
@@ -758,6 +1010,7 @@ impl Rank {
         self.check_abort()?;
         let cfg = self.shared.fabric.config().clone();
         let me = self.id;
+        let epoch_start = self.clock;
         let target = ep.target;
         // Intrinsic (uncontended) duration of the epoch's transfers; used
         // to book the exclusive-lock token before the NIC-level costs are
@@ -778,23 +1031,37 @@ impl Rank {
             LockKind::Shared => self.clock,
         };
         let mut now = start;
+        let mut moved = 0u64;
         for &(bytes, parts) in &ep.put_msgs {
             let msg = bytes + parts * cfg.gather_header_bytes;
             let tr = self.shared.fabric.transfer(me, target, msg, now);
             now = tr.arrival;
             self.stats.puts += 1;
             self.stats.put_bytes += bytes as u64;
+            moved += bytes as u64;
         }
         for &(bytes, parts) in &ep.get_msgs {
             let msg = bytes + parts * cfg.gather_header_bytes;
             // Get is a round trip: request, then data target → origin.
-            let tr = self.shared.fabric.transfer(target, me, msg, now + cfg.latency);
+            let tr = self
+                .shared
+                .fabric
+                .transfer(target, me, msg, now + cfg.latency);
             now = tr.arrival;
             self.stats.gets += 1;
             self.stats.get_bytes += bytes as u64;
+            moved += bytes as u64;
         }
         self.stats.rma_epochs += 1;
-        self.clock = now + cfg.rma_lock_cost;
+        self.set_clock_as(now + cfg.rma_lock_cost, Phase::Exchange);
+        self.tracer.record(
+            "rma_epoch",
+            Phase::Exchange,
+            epoch_start,
+            self.clock,
+            moved,
+            None,
+        );
         Ok(())
     }
 
@@ -825,6 +1092,8 @@ pub struct SimReport<T> {
     pub stats: Vec<RankStats>,
     /// Fabric-wide counters.
     pub fabric: FabricStatsSnapshot,
+    /// Per-rank traces: phase totals always, spans when `SimConfig::trace`.
+    pub traces: Vec<RankTrace>,
 }
 
 impl<T> SimReport<T> {
@@ -839,7 +1108,11 @@ impl<T> SimReport<T> {
 }
 
 /// Entry point: run `body` on `nprocs` simulated ranks.
-pub fn run<T, F>(nprocs: usize, cfg: SimConfig, body: F) -> std::result::Result<SimReport<T>, SimError>
+pub fn run<T, F>(
+    nprocs: usize,
+    cfg: SimConfig,
+    body: F,
+) -> std::result::Result<SimReport<T>, SimError>
 where
     T: Send,
     F: Fn(&mut Rank) -> Result<T> + Sync,
@@ -854,7 +1127,7 @@ where
         Panic(String),
     }
 
-    let per_rank: Vec<(f64, RankStats, Outcome<T>)> = std::thread::scope(|s| {
+    let per_rank: Vec<(f64, RankStats, RankTrace, Outcome<T>)> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(nprocs);
         for i in 0..nprocs {
             let shared = Arc::clone(&shared);
@@ -881,17 +1154,22 @@ where
                             }
                         };
                         rank.note_mem_peak();
-                        (rank.clock, rank.stats, outcome)
+                        let trace =
+                            std::mem::replace(&mut rank.tracer, Tracer::new(i, false)).finish();
+                        (rank.clock, rank.stats, trace, outcome)
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
-        handles.into_iter().map(|h| h.join().expect("rank thread poisoned")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread poisoned"))
+            .collect()
     });
 
     // Prefer a root-cause error (not Aborted) from the lowest rank.
     let mut first_abort: Option<SimError> = None;
-    for (i, (_, _, outcome)) in per_rank.iter().enumerate() {
+    for (i, (_, _, _, outcome)) in per_rank.iter().enumerate() {
         match outcome {
             Outcome::Err(MpiError::Aborted) => {
                 first_abort.get_or_insert(SimError::RankFailed {
@@ -921,9 +1199,11 @@ where
     let mut results = Vec::with_capacity(nprocs);
     let mut clocks = Vec::with_capacity(nprocs);
     let mut stats = Vec::with_capacity(nprocs);
-    for (clock, st, outcome) in per_rank {
+    let mut traces = Vec::with_capacity(nprocs);
+    for (clock, st, trace, outcome) in per_rank {
         clocks.push(clock);
         stats.push(st);
+        traces.push(trace);
         match outcome {
             Outcome::Ok(v) => results.push(v),
             _ => unreachable!("errors handled above"),
@@ -936,6 +1216,7 @@ where
         makespan,
         stats,
         fabric: shared.fabric.stats.snapshot(),
+        traces,
     })
 }
 
@@ -986,7 +1267,10 @@ mod tests {
         let t0 = rep.results[0];
         assert!(t0 >= 3.0);
         for &t in &rep.results {
-            assert!((t - t0).abs() < 1e-12, "all ranks leave the barrier together");
+            assert!(
+                (t - t0).abs() < 1e-12,
+                "all ranks leave the barrier together"
+            );
         }
     }
 
@@ -1209,7 +1493,11 @@ mod tests {
     #[test]
     fn bcast_delivers_root_payload() {
         let rep = run(4, cfg(), |rk| {
-            let payload = if rk.rank() == 2 { vec![9, 8, 7] } else { Vec::new() };
+            let payload = if rk.rank() == 2 {
+                vec![9, 8, 7]
+            } else {
+                Vec::new()
+            };
             rk.bcast(2, &payload)
         })
         .unwrap();
@@ -1283,10 +1571,7 @@ mod tests {
         })
         .unwrap();
         // values 1,2,3,4 → inclusive 1,3,6,10; exclusive 0,1,3,6.
-        assert_eq!(
-            rep.results,
-            vec![(1, 0), (3, 1), (6, 3), (10, 6)]
-        );
+        assert_eq!(rep.results, vec![(1, 0), (3, 1), (6, 3), (10, 6)]);
     }
 
     #[test]
@@ -1323,6 +1608,91 @@ mod tests {
         .unwrap();
         let (_, after) = rep.results[1];
         assert!(after, "message must be probeable once arrived");
+    }
+
+    #[test]
+    fn phase_totals_sum_to_final_clock() {
+        let c = SimConfig {
+            trace: true,
+            ..cfg()
+        };
+        let rep = run(4, c, |rk| {
+            rk.advance(0.001 * (rk.rank() + 1) as f64);
+            if rk.rank() == 0 {
+                rk.send(1, 7, &[1; 256])?;
+            } else if rk.rank() == 1 {
+                rk.recv(Some(0), Some(7))?;
+            }
+            rk.barrier()?;
+            let _ = rk.allgather(&[rk.rank() as u8])?;
+            rk.with_phase(Phase::Io, |rk| rk.advance(0.002));
+            rk.charge_memcpy(1 << 20);
+            Ok(())
+        })
+        .unwrap();
+        for (r, tr) in rep.traces.iter().enumerate() {
+            assert!(
+                (tr.totals.total() - rep.clocks[r]).abs() < 1e-9,
+                "rank {r}: phase totals {} != clock {}",
+                tr.totals.total(),
+                rep.clocks[r]
+            );
+            assert!(tr.totals.get(Phase::Io) >= 0.002 - 1e-12, "rank {r}");
+            assert!(tr.totals.get(Phase::Sync) > 0.0, "rank {r}");
+            assert!(!tr.spans.is_empty(), "rank {r} recorded spans");
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_keeps_totals_but_no_spans() {
+        let rep = run(2, cfg(), |rk| {
+            rk.advance(0.5);
+            rk.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+        for (r, tr) in rep.traces.iter().enumerate() {
+            assert!(tr.spans.is_empty(), "no spans without SimConfig::trace");
+            assert!(
+                (tr.totals.total() - rep.clocks[r]).abs() < 1e-9,
+                "totals still conserve when spans are off"
+            );
+        }
+    }
+
+    #[test]
+    fn recv_span_carries_send_dependency() {
+        let c = SimConfig {
+            trace: true,
+            ..cfg()
+        };
+        let rep = run(2, c, |rk| {
+            if rk.rank() == 0 {
+                rk.send(1, 9, &[7; 64])?;
+            } else {
+                rk.recv(Some(0), Some(9))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let send = rep.traces[0]
+            .spans
+            .iter()
+            .find(|s| s.name == "send")
+            .expect("send span");
+        let recv = rep.traces[1]
+            .spans
+            .iter()
+            .find(|s| s.name == "recv")
+            .expect("recv span");
+        assert_eq!(
+            recv.dep,
+            Some(send.id),
+            "dependency edge links recv to send"
+        );
+        assert_eq!(send.bytes, 64);
+        assert_eq!(recv.bytes, 64);
+        assert!(recv.end >= send.start, "causality in virtual time");
     }
 
     #[test]
@@ -1432,7 +1802,7 @@ mod subcomm_tests {
         .unwrap();
         for (r, sums) in rep.results.iter().enumerate() {
             for (round, &s) in sums.iter().enumerate() {
-                let peers: u64 = if r % 2 == 0 { 0 + 2 } else { 1 + 3 };
+                let peers: u64 = if r % 2 == 0 { 2 } else { 1 + 3 };
                 assert_eq!(s, 2 * round as u64 + peers, "rank {r} round {round}");
             }
         }

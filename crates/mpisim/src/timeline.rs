@@ -105,8 +105,7 @@ impl Timeline {
         // Coalesce with neighbours when (nearly) adjacent to keep the
         // vector short (the common case: FIFO appends).
         let touches_prev = idx > 0 && start - self.busy[idx - 1].1 < Self::MERGE_SLACK;
-        let touches_next =
-            idx < self.busy.len() && self.busy[idx].0 - end < Self::MERGE_SLACK;
+        let touches_next = idx < self.busy.len() && self.busy[idx].0 - end < Self::MERGE_SLACK;
         match (touches_prev, touches_next) {
             (true, true) => {
                 self.busy[idx - 1].1 = self.busy[idx].1;
@@ -154,7 +153,10 @@ mod tests {
             t.reserve(i as f64, 0.1); // busy [i, i+0.1)
         }
         let start = t.reserve(0.0, 0.5);
-        assert!((start - 0.1).abs() < 1e-12, "expected backfill at 0.1, got {start}");
+        assert!(
+            (start - 0.1).abs() < 1e-12,
+            "expected backfill at 0.1, got {start}"
+        );
     }
 
     #[test]
@@ -173,7 +175,7 @@ mod tests {
         let mut t = Timeline::new();
         t.reserve(0.0, 1.0); // [0,1)
         t.reserve(1.5, 1.0); // [1.5,2.5)
-        // 0.5 gap at [1,1.5): a 0.4 fits, a 0.6 does not.
+                             // 0.5 gap at [1,1.5): a 0.4 fits, a 0.6 does not.
         assert_eq!(t.reserve(0.0, 0.4), 1.0);
         let s = t.reserve(0.0, 0.6);
         assert!(s >= 2.5, "0.6 must not fit before 2.5, got {s}");
@@ -193,9 +195,7 @@ mod tests {
     fn order_insensitive_total_completion() {
         // Booking the same demand in two different real-time orders must
         // give the same last-completion time.
-        let demands: Vec<(f64, f64)> = (0..50)
-            .map(|i| ((i % 7) as f64 * 0.3, 0.25))
-            .collect();
+        let demands: Vec<(f64, f64)> = (0..50).map(|i| ((i % 7) as f64 * 0.3, 0.25)).collect();
         let run = |order: &[usize]| {
             let mut t = Timeline::new();
             let mut last: f64 = 0.0;

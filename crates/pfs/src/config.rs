@@ -88,14 +88,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = PfsConfig::default();
-        c.stripe_size = 0;
+        let c = PfsConfig {
+            stripe_size: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PfsConfig::default();
-        c.stripe_count = 31;
+        let c = PfsConfig {
+            stripe_count: 31,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PfsConfig::default();
-        c.max_rpc = 0;
+        let c = PfsConfig {
+            max_rpc: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -43,7 +43,11 @@ pub enum PfsError {
     NotFound(String),
     AlreadyExists(String),
     InvalidFile(u32),
-    ReadPastEof { offset: u64, len: u64, file_len: u64 },
+    ReadPastEof {
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
     Config(String),
 }
 
@@ -53,7 +57,11 @@ impl fmt::Display for PfsError {
             PfsError::NotFound(p) => write!(f, "no such file: {p}"),
             PfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
             PfsError::InvalidFile(id) => write!(f, "invalid file id {id}"),
-            PfsError::ReadPastEof { offset, len, file_len } => write!(
+            PfsError::ReadPastEof {
+                offset,
+                len,
+                file_len,
+            } => write!(
                 f,
                 "read [{offset}, {}) past end of file ({file_len} bytes)",
                 offset + len
@@ -122,7 +130,21 @@ pub struct Pfs {
     /// every striped file. Exposed for failure-injection tests and the
     /// straggler experiments.
     ost_slowdown: Vec<Mutex<f64>>,
+    /// Per-OST service accounting (requests, bytes, busy/queue-wait time),
+    /// surfaced through [`Pfs::ost_report`] for the observability layer.
+    ost_metrics: Vec<Mutex<OstMetrics>>,
     pub stats: PfsStats,
+}
+
+/// Accumulated service metrics of one OST (virtual time).
+#[derive(Debug, Clone, Copy, Default)]
+struct OstMetrics {
+    requests: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    busy: f64,
+    queue_wait: f64,
+    lock_transfers: u64,
 }
 
 /// Metadata snapshot of one file (`stat`).
@@ -146,9 +168,14 @@ impl Pfs {
     pub fn new(nclients: usize, cfg: PfsConfig) -> Result<Arc<Pfs>> {
         cfg.validate().map_err(PfsError::Config)?;
         Ok(Arc::new(Pfs {
-            ost_busy: (0..cfg.num_osts).map(|_| Mutex::new(Timeline::new())).collect(),
+            ost_busy: (0..cfg.num_osts)
+                .map(|_| Mutex::new(Timeline::new()))
+                .collect(),
             client_busy: (0..nclients).map(|_| Mutex::new(Timeline::new())).collect(),
             ost_slowdown: (0..cfg.num_osts).map(|_| Mutex::new(1.0)).collect(),
+            ost_metrics: (0..cfg.num_osts)
+                .map(|_| Mutex::new(OstMetrics::default()))
+                .collect(),
             namespace: Mutex::new(HashMap::new()),
             files: RwLock::new(Vec::new()),
             locks: Mutex::new(LockManager::new()),
@@ -213,7 +240,8 @@ impl Pfs {
     pub fn delete(&self, path: &str) -> Result<()> {
         let id = {
             let mut ns = self.namespace.lock();
-            ns.remove(path).ok_or_else(|| PfsError::NotFound(path.to_string()))?
+            ns.remove(path)
+                .ok_or_else(|| PfsError::NotFound(path.to_string()))?
         };
         self.locks.lock().forget_file(id.0);
         // The file-id slot stays reserved (ids are stable); drop the bytes
@@ -365,14 +393,25 @@ impl Pfs {
     }
 
     /// Virtual-time cost of writing `[offset, offset+len)` (no data moved).
-    fn write_cost(&self, file: &FileState, id: FileId, client: usize, offset: u64, len: u64, now: f64) -> f64 {
+    fn write_cost(
+        &self,
+        file: &FileState,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        len: u64,
+        now: f64,
+    ) -> f64 {
         let mut done = now;
         let mut client_t = now;
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.write_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
             let stripe = pos / self.cfg.stripe_size;
-            let transfer = self.locks.lock().acquire(id.0, stripe, client, LockMode::Write);
+            let transfer = self
+                .locks
+                .lock()
+                .acquire(id.0, stripe, client, LockMode::Write);
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
                 self.cfg.lock_transfer
@@ -392,6 +431,14 @@ impl Pfs {
             let service_dur =
                 (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw) * self.slowdown(ost);
             let svc_start = reserve(&self.ost_busy[ost], arrive, service_dur);
+            {
+                let mut m = self.ost_metrics[ost].lock();
+                m.requests += 1;
+                m.bytes_written += len;
+                m.busy += service_dur;
+                m.queue_wait += (svc_start - arrive).max(0.0);
+                m.lock_transfers += transfer as u64;
+            }
             let piece_done = svc_start + service_dur;
             done = done.max(piece_done);
             // The client can pipeline the next piece once its link is free.
@@ -431,14 +478,25 @@ impl Pfs {
     }
 
     /// Virtual-time cost of reading `[offset, offset+len)` (no data moved).
-    fn read_cost(&self, file: &FileState, id: FileId, client: usize, offset: u64, len: u64, now: f64) -> f64 {
+    fn read_cost(
+        &self,
+        file: &FileState,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        len: u64,
+        now: f64,
+    ) -> f64 {
         let mut done = now;
         let mut client_t = now;
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.read_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
             let stripe = pos / self.cfg.stripe_size;
-            let transfer = self.locks.lock().acquire(id.0, stripe, client, LockMode::Read);
+            let transfer = self
+                .locks
+                .lock()
+                .acquire(id.0, stripe, client, LockMode::Read);
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
                 self.cfg.lock_transfer
@@ -450,6 +508,14 @@ impl Pfs {
             let service_dur =
                 (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * self.slowdown(ost);
             let svc_start = reserve(&self.ost_busy[ost], req_sent + lock_cost, service_dur);
+            {
+                let mut m = self.ost_metrics[ost].lock();
+                m.requests += 1;
+                m.bytes_read += len;
+                m.busy += service_dur;
+                m.queue_wait += (svc_start - (req_sent + lock_cost)).max(0.0);
+                m.lock_transfers += transfer as u64;
+            }
             // Response streams back over the client link.
             let link_dur = len as f64 * self.cfg.client_byte_time;
             let resp_start = reserve(&self.client_busy[client], svc_start + service_dur, link_dur);
@@ -464,6 +530,28 @@ impl Pfs {
     /// the file's bytes (no cost).
     pub fn snapshot_file(&self, id: FileId) -> Result<Vec<u8>> {
         Ok(self.file(id)?.data.lock().clone())
+    }
+
+    /// Per-OST service histogram for the observability layer: requests,
+    /// bytes, accumulated busy time, queue wait, and lock transfers, one
+    /// row per OST in index order.
+    pub fn ost_report(&self) -> Vec<mpisim::trace::OstRow> {
+        self.ost_metrics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let m = m.lock();
+                mpisim::trace::OstRow {
+                    ost: i,
+                    requests: m.requests,
+                    bytes_read: m.bytes_read,
+                    bytes_written: m.bytes_written,
+                    busy: m.busy,
+                    queue_wait: m.queue_wait,
+                    lock_transfers: m.lock_transfers,
+                }
+            })
+            .collect()
     }
 }
 
@@ -510,6 +598,51 @@ mod tests {
     }
 
     #[test]
+    fn ost_report_accounts_requests_and_bytes() {
+        let p = fs(2);
+        let id = p.create("/f").unwrap();
+        let data = vec![5u8; 4096];
+        let t = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_at(id, 1, 0, &mut buf, t).unwrap();
+        let rows = p.ost_report();
+        assert_eq!(rows.len(), p.config().num_osts);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.ost, i);
+        }
+        let written: u64 = rows.iter().map(|r| r.bytes_written).sum();
+        let read: u64 = rows.iter().map(|r| r.bytes_read).sum();
+        assert_eq!(written, 4096, "every written byte lands on some OST");
+        assert_eq!(read, 1024);
+        assert_eq!(written, p.stats.snapshot().bytes_written);
+        let reqs: u64 = rows.iter().map(|r| r.requests).sum();
+        let snap = p.stats.snapshot();
+        assert_eq!(reqs, snap.read_rpcs + snap.write_rpcs);
+        assert!(rows.iter().map(|r| r.busy).sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn ost_queue_wait_appears_under_contention() {
+        // Many clients hammer the same stripe range: with a single OST
+        // servicing serially, queue wait must accumulate.
+        let cfg = PfsConfig {
+            num_osts: 1,
+            stripe_count: 1,
+            ..Default::default()
+        };
+        let p = Pfs::new(8, cfg).unwrap();
+        let id = p.create("/hot").unwrap();
+        let chunk = vec![1u8; 65536];
+        for c in 0..8 {
+            p.write_at(id, c, (c as u64) * 65536, &chunk, 0.0).unwrap();
+        }
+        let rows = p.ost_report();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].queue_wait > 0.0, "concurrent arrivals must queue");
+        assert!(rows[0].busy > 0.0);
+    }
+
+    #[test]
     fn holes_read_as_zero() {
         let p = fs(1);
         let id = p.create("/f").unwrap();
@@ -543,11 +676,13 @@ mod tests {
 
     #[test]
     fn rpc_pieces_respect_stripes_and_max_rpc() {
-        let mut cfg = PfsConfig::default();
-        cfg.stripe_size = 100;
-        cfg.max_rpc = 250;
-        cfg.stripe_count = 2;
-        cfg.num_osts = 2;
+        let cfg = PfsConfig {
+            stripe_size: 100,
+            max_rpc: 250,
+            stripe_count: 2,
+            num_osts: 2,
+            ..Default::default()
+        };
         let p = Pfs::new(1, cfg).unwrap();
         // Crossing two stripe boundaries.
         let pieces = p.rpc_pieces(50, 200);
@@ -558,11 +693,13 @@ mod tests {
 
     #[test]
     fn max_rpc_splits_within_a_stripe() {
-        let mut cfg = PfsConfig::default();
-        cfg.stripe_size = 1000;
-        cfg.max_rpc = 300;
-        cfg.stripe_count = 1;
-        cfg.num_osts = 1;
+        let cfg = PfsConfig {
+            stripe_size: 1000,
+            max_rpc: 300,
+            stripe_count: 1,
+            num_osts: 1,
+            ..Default::default()
+        };
         let p = Pfs::new(1, cfg).unwrap();
         let pieces = p.rpc_pieces(0, 1000);
         assert_eq!(pieces, vec![(0, 300), (300, 300), (600, 300), (900, 100)]);
@@ -591,7 +728,10 @@ mod tests {
         // Eight 1 MiB pieces on distinct OSTs, pipelined over the client
         // link: must beat serial single-OST time.
         let serial = bytes as f64 / cfg.ost_write_bw;
-        assert!(t < serial, "striping must parallelize: {t} vs serial {serial}");
+        assert!(
+            t < serial,
+            "striping must parallelize: {t} vs serial {serial}"
+        );
         // But no faster than the client link can push the data.
         assert!(t >= bytes as f64 * cfg.client_byte_time);
     }
@@ -625,16 +765,20 @@ mod tests {
 
     #[test]
     fn aggregate_bandwidth_capped_by_osts() {
-        let mut cfg = PfsConfig::default();
-        cfg.num_osts = 4;
-        cfg.stripe_count = 4;
+        let cfg = PfsConfig {
+            num_osts: 4,
+            stripe_count: 4,
+            ..Default::default()
+        };
         let p = Pfs::new(16, cfg.clone()).unwrap();
         let id = p.create("/f").unwrap();
         let per_client = 4u64 << 20;
         let data = vec![0u8; per_client as usize];
         let mut done = 0.0f64;
         for c in 0..16usize {
-            let t = p.write_at(id, c, c as u64 * per_client, &data, 0.0).unwrap();
+            let t = p
+                .write_at(id, c, c as u64 * per_client, &data, 0.0)
+                .unwrap();
             done = done.max(t);
         }
         let floor = (16.0 * per_client as f64) / (4.0 * cfg.ost_write_bw);
@@ -689,10 +833,12 @@ mod failure_tests {
 
     #[test]
     fn degraded_ost_slows_its_stripes_only() {
-        let mut cfg = PfsConfig::default();
-        cfg.num_osts = 2;
-        cfg.stripe_count = 2;
-        cfg.stripe_size = 1 << 20;
+        let cfg = PfsConfig {
+            num_osts: 2,
+            stripe_count: 2,
+            stripe_size: 1 << 20,
+            ..Default::default()
+        };
         let p = Pfs::new(1, cfg).unwrap();
         let id = p.create("/f").unwrap();
         let data = vec![0u8; 1 << 20];

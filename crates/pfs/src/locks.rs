@@ -131,7 +131,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(1, 0, 0, LockMode::Read);
         lm.acquire(1, 0, 1, LockMode::Read);
-        assert!(lm.acquire(1, 0, 0, LockMode::Write), "shared upgrade revokes");
+        assert!(
+            lm.acquire(1, 0, 0, LockMode::Write),
+            "shared upgrade revokes"
+        );
     }
 
     #[test]

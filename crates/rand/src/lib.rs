@@ -1,0 +1,154 @@
+//! Drop-in subset of the `rand` crate API, vendored locally because the
+//! build environment has no registry access.
+//!
+//! Only the surface this workspace uses is provided: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random`]. The generator
+//! is xoshiro256++ (Blackman & Vigna) seeded through SplitMix64 — small,
+//! fast, and statistically strong enough for the workloads' Box–Muller
+//! sampling and property tests. Streams are fully deterministic per seed
+//! but are **not** bit-compatible with the upstream `rand::StdRng`
+//! (ChaCha12); nothing in this repo depends on the upstream streams.
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of primitive values, mirroring `rand`'s
+/// `Rng::random::<T>()` entry point.
+pub trait RngExt {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Uniform>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+/// Types that can be drawn uniformly from a 64-bit generator. The
+/// equivalent of `rand::distr::StandardUniform` support.
+pub trait Uniform {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for u64 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Uniform for bool {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with the standard 53-bit mantissa construction.
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for f32 {
+    /// Uniform in `[0, 1)` with the 24-bit mantissa construction.
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            sumsq += u * u;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+}

@@ -27,7 +27,7 @@ use crate::config::{ReadMode, SyncMode, TcioConfig};
 use crate::error::{Result, TcioError};
 use crate::segment::SegmentMap;
 use mpiio::ExtentSet;
-use mpisim::{Committed, LockKind, MemGuard, Rank, Window};
+use mpisim::{Committed, LockKind, MemGuard, Phase, Rank, Window};
 use parking_lot::Mutex;
 use pfs::{FileId, Pfs};
 use std::collections::BTreeMap;
@@ -82,7 +82,11 @@ impl SharedMeta {
     fn new(nprocs: usize, num_segments: usize) -> SharedMeta {
         SharedMeta {
             segs: (0..nprocs)
-                .map(|_| (0..num_segments).map(|_| Mutex::new(SegMeta::default())).collect())
+                .map(|_| {
+                    (0..num_segments)
+                        .map(|_| Mutex::new(SegMeta::default()))
+                        .collect()
+                })
                 .collect(),
         }
     }
@@ -237,7 +241,9 @@ impl<'a> TcioFile<'a> {
         };
         let target = base + offset;
         if target < 0 {
-            return Err(TcioError::Usage(format!("seek to negative offset {target}")));
+            return Err(TcioError::Usage(format!(
+                "seek to negative offset {target}"
+            )));
         }
         self.pos = target as u64;
         Ok(())
@@ -348,10 +354,12 @@ impl<'a> TcioFile<'a> {
             self.stats.window_switches += 1;
         }
         let rel = (off - window) as usize;
+        let t0 = rank.now();
         self.l1.buf[rel..rel + chunk.len()].copy_from_slice(chunk);
         rank.charge_memcpy(chunk.len() as u64);
         self.l1.extents.insert(rel as u64, chunk.len() as u64);
         self.stats.bytes_buffered += chunk.len() as u64;
+        rank.trace_mark("tcio_l1_fill", Phase::Compute, t0, chunk.len() as u64);
         Ok(())
     }
 
@@ -387,13 +395,20 @@ impl<'a> TcioFile<'a> {
         }
         let loc = self.locate_checked(window)?;
         debug_assert_eq!(loc.disp, 0);
+        let t0 = rank.now();
+        let flushed: u64 = self.l1.extents.runs().iter().map(|&(_, l)| l).sum();
         let seg_base = loc.segment as u64 * self.cfg.segment_size;
         let parts: Vec<(usize, &[u8])> = self
             .l1
             .extents
             .runs()
             .iter()
-            .map(|&(o, l)| ((seg_base + o) as usize, &self.l1.buf[o as usize..(o + l) as usize]))
+            .map(|&(o, l)| {
+                (
+                    (seg_base + o) as usize,
+                    &self.l1.buf[o as usize..(o + l) as usize],
+                )
+            })
             .collect();
         if self.cfg.sync == SyncMode::Fence {
             rank.win_fence(&self.win)?;
@@ -413,6 +428,7 @@ impl<'a> TcioFile<'a> {
         self.stats.flushes += 1;
         self.l1.extents.clear();
         self.l1.window_start = None;
+        rank.trace_mark("tcio_flush", Phase::Exchange, t0, flushed);
         Ok(())
     }
 
@@ -512,7 +528,10 @@ impl<'a> TcioFile<'a> {
         let mut ep = rank.win_lock(&self.win, owner, LockKind::Exclusive)?;
         if !meta.loaded {
             let file_off = self.map.file_offset(owner, segment);
-            let len = self.cfg.segment_size.min(self.file_len.saturating_sub(file_off));
+            let len = self
+                .cfg
+                .segment_size
+                .min(self.file_len.saturating_sub(file_off));
             if len > 0 {
                 let _tmp_mem = rank.alloc(len)?;
                 let mut tmp = vec![0u8; len as usize];
@@ -523,10 +542,12 @@ impl<'a> TcioFile<'a> {
                 // a real parallel run whichever reader first reached this
                 // segment (any time after open) would have triggered it.
                 // The triggering rank still waits for the completion.
+                let t0 = rank.now();
                 let t = self
                     .pfs
                     .read_at(self.fid, owner, file_off, &mut tmp, self.opened_at)?;
-                rank.sync_to(t);
+                rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
+                rank.trace_mark("tcio_load", Phase::Io, t0, len);
                 rank.stats.io_reads += 1;
                 rank.stats.io_read_bytes += len;
                 ep.put(seg_base as usize, &tmp).map_err(TcioError::Mpi)?;
@@ -560,7 +581,10 @@ impl<'a> TcioFile<'a> {
         for (off, buf) in pending {
             let loc = self.locate_checked(off)?;
             let disp = (loc.segment as u64 * self.cfg.segment_size + loc.disp) as usize;
-            groups.entry((loc.owner, loc.segment)).or_default().push((disp, buf));
+            groups
+                .entry((loc.owner, loc.segment))
+                .or_default()
+                .push((disp, buf));
         }
         for ((owner, segment), mut parts) in groups {
             self.with_loaded_segment(rank, owner, segment, &mut parts)?;
@@ -595,6 +619,8 @@ impl<'a> TcioFile<'a> {
     fn drain_l2(&mut self, rank: &mut Rank) -> Result<()> {
         let me = rank.rank();
         let s = self.cfg.segment_size;
+        let t0 = rank.now();
+        let mut drained = 0u64;
         let mut done = rank.now();
         for seg in 0..self.cfg.num_segments {
             let meta = self.meta.segs[me][seg].lock();
@@ -618,10 +644,12 @@ impl<'a> TcioFile<'a> {
             for &(_, l) in &runs {
                 rank.stats.io_writes += 1;
                 rank.stats.io_write_bytes += l;
+                drained += l;
             }
             done = done.max(t);
         }
-        rank.sync_to(done);
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+        rank.trace_mark("tcio_drain", Phase::Io, t0, drained);
         Ok(())
     }
 }
@@ -678,7 +706,9 @@ mod tests {
         for b in 0..nprocs * blocks_per_rank {
             let expect = (b % nprocs) as u8 + 1;
             assert!(
-                bytes[b * block..(b + 1) * block].iter().all(|&x| x == expect),
+                bytes[b * block..(b + 1) * block]
+                    .iter()
+                    .all(|&x| x == expect),
                 "block {b} corrupted"
             );
         }
@@ -736,8 +766,8 @@ mod tests {
         let fs = Pfs::new(2, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         let err = mpisim::run(2, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/o", TcioMode::Write, small_cfg(1))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/o", TcioMode::Write, small_cfg(1)).map_err(to_mpi)?;
             // Window index 4 → segment 2 on a 2-proc run, but only 1
             // segment is configured.
             match f.write_at(rk, 64 * 4, &[1]) {
@@ -757,8 +787,8 @@ mod tests {
         let (fs, _) = write_interleaved(nprocs, 8, 16, small_cfg(8));
         let fs2 = Arc::clone(&fs);
         let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8)).map_err(to_mpi)?;
             let me = rk.rank();
             let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 16]; 8];
             {
@@ -776,7 +806,10 @@ mod tests {
         .unwrap();
         for (r, bufs) in rep.results.iter().enumerate() {
             for buf in bufs {
-                assert!(buf.iter().all(|&b| b == r as u8 + 1), "rank {r} read bad data");
+                assert!(
+                    buf.iter().all(|&b| b == r as u8 + 1),
+                    "rank {r} read bad data"
+                );
             }
         }
     }
@@ -787,8 +820,8 @@ mod tests {
         let (fs, _) = write_interleaved(nprocs, 4, 16, small_cfg(8));
         let fs2 = Arc::clone(&fs);
         let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8)).map_err(to_mpi)?;
             let mut buf = vec![0u8; 16];
             let off = (rk.rank() * 16) as u64;
             f.read_at(rk, off, &mut buf).map_err(to_mpi)?;
@@ -809,8 +842,7 @@ mod tests {
         let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
             let mut cfg = small_cfg(8);
             cfg.read_mode = ReadMode::Eager;
-            let mut f =
-                TcioFile::open(rk, &fs2, "/t", TcioMode::Read, cfg).map_err(to_mpi)?;
+            let mut f = TcioFile::open(rk, &fs2, "/t", TcioMode::Read, cfg).map_err(to_mpi)?;
             let mut buf = vec![0u8; 16];
             let off = ((4 + rk.rank()) * 16) as u64 % 128;
             f.read_at(rk, off, &mut buf).map_err(to_mpi)?;
@@ -832,8 +864,8 @@ mod tests {
         let fs = Pfs::new(1, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(1, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/seq", TcioMode::Write, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/seq", TcioMode::Write, small_cfg(8)).map_err(to_mpi)?;
             f.write(rk, &[1, 2, 3]).map_err(to_mpi)?;
             f.write(rk, &[4, 5]).map_err(to_mpi)?;
             assert_eq!(f.position(), 5);
@@ -841,8 +873,8 @@ mod tests {
             f.write(rk, &[9]).map_err(to_mpi)?;
             f.close(rk).map_err(to_mpi)?;
 
-            let mut g = TcioFile::open(rk, &fs2, "/seq", TcioMode::Read, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut g =
+                TcioFile::open(rk, &fs2, "/seq", TcioMode::Read, small_cfg(8)).map_err(to_mpi)?;
             let mut buf = vec![0u8; 5];
             g.read(rk, &mut buf).map_err(to_mpi)?;
             g.fetch(rk).map_err(to_mpi)?;
@@ -859,12 +891,12 @@ mod tests {
         let fs = Pfs::new(1, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(1, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/eof", TcioMode::Write, small_cfg(4))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/eof", TcioMode::Write, small_cfg(4)).map_err(to_mpi)?;
             f.write(rk, &[1, 2, 3]).map_err(to_mpi)?;
             f.close(rk).map_err(to_mpi)?;
-            let mut g = TcioFile::open(rk, &fs2, "/eof", TcioMode::Read, small_cfg(4))
-                .map_err(to_mpi)?;
+            let mut g =
+                TcioFile::open(rk, &fs2, "/eof", TcioMode::Read, small_cfg(4)).map_err(to_mpi)?;
             let mut buf = vec![0u8; 4];
             assert!(matches!(
                 g.read_at(rk, 0, &mut buf),
@@ -881,8 +913,8 @@ mod tests {
         let fs = Pfs::new(1, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(1, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/m", TcioMode::Write, small_cfg(4))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/m", TcioMode::Write, small_cfg(4)).map_err(to_mpi)?;
             f.write(rk, &[1]).map_err(to_mpi)?;
             // Reading a write-mode handle is a usage error. The destination
             // buffer lives as long as the handle, which the API requires.
@@ -915,7 +947,10 @@ mod tests {
         .unwrap();
         let fid = fs.open("/typed").unwrap();
         let bytes = fs.snapshot_file(fid).unwrap();
-        assert_eq!(&bytes[..16], &[0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]);
+        assert_eq!(
+            &bytes[..16],
+            &[0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]
+        );
     }
 
     #[test]
@@ -923,8 +958,8 @@ mod tests {
         let fs = Pfs::new(1, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(1, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/ow", TcioMode::Write, small_cfg(4))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/ow", TcioMode::Write, small_cfg(4)).map_err(to_mpi)?;
             f.write_at(rk, 0, &[1; 10]).map_err(to_mpi)?;
             f.write_at(rk, 5, &[2; 10]).map_err(to_mpi)?;
             f.close(rk).map_err(to_mpi)?;
@@ -942,8 +977,8 @@ mod tests {
         let fs = Pfs::new(2, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         mpisim::run(2, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/sp", TcioMode::Write, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/sp", TcioMode::Write, small_cfg(8)).map_err(to_mpi)?;
             // Only rank 0 writes, and only 8 bytes far into the file.
             if rk.rank() == 0 {
                 f.write_at(rk, 300, &[7u8; 8]).map_err(to_mpi)?;
@@ -967,10 +1002,11 @@ mod tests {
         assert!(stats.iter().all(|s| s.window_switches >= 1));
         let fs2 = Arc::clone(&fs);
         let rep = mpisim::run(2, SimConfig::default(), move |rk| {
-            let mut f = TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8))
-                .map_err(to_mpi)?;
+            let mut f =
+                TcioFile::open(rk, &fs2, "/t", TcioMode::Read, small_cfg(8)).map_err(to_mpi)?;
             let mut buf = vec![0u8; 16];
-            f.read_at(rk, (rk.rank() * 16) as u64, &mut buf).map_err(to_mpi)?;
+            f.read_at(rk, (rk.rank() * 16) as u64, &mut buf)
+                .map_err(to_mpi)?;
             f.fetch(rk).map_err(to_mpi)?;
             let stats = f.close(rk).map_err(to_mpi)?;
             Ok(stats)

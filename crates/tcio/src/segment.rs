@@ -92,22 +92,38 @@ mod tests {
         // Offset in window 0 → rank 0, segment 0.
         assert_eq!(
             m.locate(5),
-            Location { owner: 0, segment: 0, disp: 5 }
+            Location {
+                owner: 0,
+                segment: 0,
+                disp: 5
+            }
         );
         // Window 1 → rank 1.
         assert_eq!(
             m.locate(s + 7),
-            Location { owner: 1, segment: 0, disp: 7 }
+            Location {
+                owner: 1,
+                segment: 0,
+                disp: 7
+            }
         );
         // Window 4 wraps to rank 0, segment 1.
         assert_eq!(
             m.locate(4 * s),
-            Location { owner: 0, segment: 1, disp: 0 }
+            Location {
+                owner: 0,
+                segment: 1,
+                disp: 0
+            }
         );
         // Window 6 → rank 2, segment 1.
         assert_eq!(
             m.locate(6 * s + 123),
-            Location { owner: 2, segment: 1, disp: 123 }
+            Location {
+                owner: 2,
+                segment: 1,
+                disp: 123
+            }
         );
     }
 

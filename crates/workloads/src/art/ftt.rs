@@ -134,17 +134,18 @@ impl FttTree {
 
     /// Deterministic variable value for `(level, var, idx)`.
     pub fn var(&self, level: usize, var: usize, idx: u32) -> f64 {
-        let h = mix(
-            self.cell_id
-                .wrapping_add(((level as u64) << 48) | ((var as u64) << 40) | idx as u64),
-        );
+        let h = mix(self
+            .cell_id
+            .wrapping_add(((level as u64) << 48) | ((var as u64) << 40) | idx as u64));
         // Map to a well-behaved float in [0, 1).
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Flag array bytes at `level`.
     pub fn flags_bytes(&self, level: usize) -> Vec<u8> {
-        (0..self.ncells[level]).map(|i| self.flag(level, i)).collect()
+        (0..self.ncells[level])
+            .map(|i| self.flag(level, i))
+            .collect()
     }
 
     /// Variable array bytes at `(level, var)`.
@@ -207,8 +208,9 @@ mod tests {
 
     #[test]
     fn different_cells_give_different_trees() {
-        let shapes: std::collections::HashSet<Vec<u32>> =
-            (0..200).map(|c| FttTree::generate(c, &cfg()).ncells).collect();
+        let shapes: std::collections::HashSet<Vec<u32>> = (0..200)
+            .map(|c| FttTree::generate(c, &cfg()).ncells)
+            .collect();
         assert!(shapes.len() > 1, "trees must vary in shape");
     }
 

@@ -295,15 +295,24 @@ fn read_pieces(my_trees: &[(usize, Vec<FttTree>)], seg_off: &[u64], vars: usize)
         let mut cursor = seg_off[*seg];
         for t in trees {
             let hs = t.header_size() as usize;
-            pieces.push(Piece { off: cursor, len: hs });
+            pieces.push(Piece {
+                off: cursor,
+                len: hs,
+            });
             cursor += hs as u64;
             for l in 0..t.levels() {
                 let fs = t.flags_size(l) as usize;
-                pieces.push(Piece { off: cursor, len: fs });
+                pieces.push(Piece {
+                    off: cursor,
+                    len: fs,
+                });
                 cursor += fs as u64;
                 for _ in 0..vars {
                     let vs = t.var_size(l) as usize;
-                    pieces.push(Piece { off: cursor, len: vs });
+                    pieces.push(Piece {
+                        off: cursor,
+                        len: vs,
+                    });
                     cursor += vs as u64;
                 }
             }
@@ -446,7 +455,7 @@ mod tests {
     fn round_robin_assignment_partitions_segments() {
         let c = tiny_cfg();
         let p = plan(&c);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for r in 0..3 {
             for s in my_segments(&p, r, 3) {
                 assert!(!seen[s], "segment {s} assigned twice");
@@ -470,7 +479,11 @@ mod tests {
         .unwrap();
         let total_w: u64 = rep.results.iter().map(|(w, _)| w.bytes).sum();
         let fid = fs.open("/art").unwrap();
-        assert_eq!(fs.len(fid).unwrap(), total_w, "file size == sum of rank bytes");
+        assert_eq!(
+            fs.len(fid).unwrap(),
+            total_w,
+            "file size == sum of rank bytes"
+        );
     }
 
     #[test]

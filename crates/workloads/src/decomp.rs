@@ -57,13 +57,7 @@ pub fn slab_extents(grid: Grid3, rank: usize, nprocs: usize) -> Vec<(u64, u64)> 
 ///
 /// Returns the rank's file extents: one run per owned (y, z) row — the
 /// Fig. 1 pattern of many small strided blocks.
-pub fn cube_extents(
-    grid: Grid3,
-    rank: usize,
-    px: usize,
-    py: usize,
-    pz: usize,
-) -> Vec<(u64, u64)> {
+pub fn cube_extents(grid: Grid3, rank: usize, px: usize, py: usize, pz: usize) -> Vec<(u64, u64)> {
     assert!(rank < px * py * pz, "rank out of range");
     assert!(
         grid.nx.is_multiple_of(px) && grid.ny.is_multiple_of(py) && grid.nz.is_multiple_of(pz),
@@ -132,11 +126,11 @@ mod tests {
 
     #[test]
     fn slabs_handle_uneven_division() {
-        let g = Grid3 {
-            nz: 5,
-            ..grid()
-        };
-        let total: u64 = (0..4).flat_map(|r| slab_extents(g, r, 4)).map(|(_, l)| l).sum();
+        let g = Grid3 { nz: 5, ..grid() };
+        let total: u64 = (0..4)
+            .flat_map(|r| slab_extents(g, r, 4))
+            .map(|(_, l)| l)
+            .sum();
         assert_eq!(total, g.file_size());
     }
 

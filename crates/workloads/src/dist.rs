@@ -50,7 +50,9 @@ impl Normal {
 
     /// `n` samples clamped to positive integers (segment lengths).
     pub fn sample_lengths(&mut self, n: usize) -> Vec<u32> {
-        (0..n).map(|_| self.sample().round().max(1.0) as u32).collect()
+        (0..n)
+            .map(|_| self.sample().round().max(1.0) as u32)
+            .collect()
     }
 }
 

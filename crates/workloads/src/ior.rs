@@ -166,7 +166,13 @@ pub fn write(
                         )
                         .commit();
                         f.set_view(rk, 0, &et, &ft)?;
-                        mpiio::write_all_at(rk, &mut f, p.offset(me, nprocs, s, 0), &buffer, &ccfg)?;
+                        mpiio::write_all_at(
+                            rk,
+                            &mut f,
+                            p.offset(me, nprocs, s, 0),
+                            &buffer,
+                            &ccfg,
+                        )?;
                     }
                 }
                 f.close(rk)?;

@@ -85,7 +85,9 @@ impl SynthParams {
             return Err(WlError::Config("need at least one array".into()));
         }
         if self.size_access == 0 || self.len_array == 0 {
-            return Err(WlError::Config("len_array and size_access must be positive".into()));
+            return Err(WlError::Config(
+                "len_array and size_access must be positive".into(),
+            ));
         }
         if !self.len_array.is_multiple_of(self.size_access) {
             return Err(WlError::Config(format!(
@@ -144,7 +146,11 @@ pub fn gen_arrays(rank: &mut Rank, p: &SynthParams) -> Result<Arrays> {
         .type_sizes
         .iter()
         .enumerate()
-        .map(|(j, &ts)| (0..p.len_array * ts).map(|i| content_byte(me, j, i)).collect())
+        .map(|(j, &ts)| {
+            (0..p.len_array * ts)
+                .map(|i| content_byte(me, j, i))
+                .collect()
+        })
         .collect();
     Ok(Arrays { data, _mem: mem })
 }
@@ -153,7 +159,11 @@ pub fn gen_arrays(rank: &mut Rank, p: &SynthParams) -> Result<Arrays> {
 pub fn zeroed_arrays(rank: &mut Rank, p: &SynthParams) -> Result<Arrays> {
     let mem = rank.alloc(p.bytes_per_rank())?;
     rank.note_mem_peak();
-    let data = p.type_sizes.iter().map(|&ts| vec![0u8; p.len_array * ts]).collect();
+    let data = p
+        .type_sizes
+        .iter()
+        .map(|&ts| vec![0u8; p.len_array * ts])
+        .collect();
     Ok(Arrays { data, _mem: mem })
 }
 
@@ -228,7 +238,8 @@ pub fn write_tcio(
     let nprocs = rank.nprocs() as u64;
     let me = rank.rank() as u64;
     let bs = p.block_size() as u64;
-    let cfg = cfg.unwrap_or_else(|| TcioConfig::for_file_size(p.file_size(rank.nprocs()), rank.nprocs()));
+    let cfg =
+        cfg.unwrap_or_else(|| TcioConfig::for_file_size(p.file_size(rank.nprocs()), rank.nprocs()));
     let (metrics, ()) = timed(rank, p.bytes_per_rank(), |rk| {
         // [program3-begin] — the I/O-essential lines of the paper's
         // Program 3, counted by `bench --bin table3_effort`.
@@ -266,7 +277,8 @@ pub fn read_tcio(
     let me_id = rank.rank();
     let me = me_id as u64;
     let bs = p.block_size() as u64;
-    let cfg = cfg.unwrap_or_else(|| TcioConfig::for_file_size(p.file_size(rank.nprocs()), rank.nprocs()));
+    let cfg =
+        cfg.unwrap_or_else(|| TcioConfig::for_file_size(p.file_size(rank.nprocs()), rank.nprocs()));
     let type_sizes = p.type_sizes.clone();
     let size_access = p.size_access;
     let accesses = p.accesses();
@@ -274,7 +286,8 @@ pub fn read_tcio(
         let mut f = TcioFile::open(rk, pfs, path, TcioMode::Read, cfg)?;
         // Hand out disjoint mutable sub-slices of each array, front to
         // back, as the lazy-read destinations.
-        let mut cursors: Vec<&mut [u8]> = arrays.data.iter_mut().map(|a| a.as_mut_slice()).collect();
+        let mut cursors: Vec<&mut [u8]> =
+            arrays.data.iter_mut().map(|a| a.as_mut_slice()).collect();
         for a in 0..accesses {
             let mut pos = me * bs + a as u64 * bs * nprocs;
             for (j, ts) in type_sizes.iter().enumerate() {
@@ -339,8 +352,8 @@ pub fn write_ocio(
         // Steps 3–10: open, build the derived datatypes, set the view.
         let mut f = mpiio::File::open(rk, pfs, path, mpiio::Mode::WriteOnly)?;
         let etype = Datatype::contiguous(p.block_size(), Datatype::named(Named::Byte)).commit();
-        let ftype = Datatype::vector(p.accesses(), 1, nprocs as isize, etype.datatype().clone())
-            .commit();
+        let ftype =
+            Datatype::vector(p.accesses(), 1, nprocs as isize, etype.datatype().clone()).commit();
         f.set_view(rk, me * p.block_size() as u64, &etype, &ftype)?;
         // Step 11: a single collective write.
         mpiio::write_all_at(rk, &mut f, 0, &buffer, ccfg)?;
@@ -507,7 +520,10 @@ mod tests {
         assert_eq!(p.bytes_per_rank(), 96);
         assert_eq!(p.file_size(4), 384);
         assert!(SynthParams::with_types("x", 8, 1).is_err());
-        assert!(SynthParams::with_types("i", 7, 2).is_err(), "LEN % SIZE != 0");
+        assert!(
+            SynthParams::with_types("i", 7, 2).is_err(),
+            "LEN % SIZE != 0"
+        );
         assert!(SynthParams::with_types("", 8, 1).is_err());
     }
 

@@ -27,8 +27,7 @@ fn run(method: Method, nprocs: usize, p: &SynthParams) -> (f64, u64, Vec<u8>) {
     let fs2 = Arc::clone(&fs);
     let p2 = p.clone();
     let report = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
-        synthetic::write_with(method, rk, &fs2, &p2, "/interleaved.dat")
-            .map_err(WlError::into_mpi)
+        synthetic::write_with(method, rk, &fs2, &p2, "/interleaved.dat").map_err(WlError::into_mpi)
     })
     .expect("run");
     let elapsed = report.results[0].elapsed;

@@ -45,12 +45,12 @@ fn main() {
     let fs_w = Arc::clone(&fs);
     let report = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
         let cfg = TcioConfig::for_file_size(grid.file_size(), rk.nprocs());
-        let mut f =
-            TcioFile::open(rk, &fs_w, "/field.dat", TcioMode::Write, cfg).expect("open");
+        let mut f = TcioFile::open(rk, &fs_w, "/field.dat", TcioMode::Write, cfg).expect("open");
         let extents = cube_extents(grid, rk.rank(), 2, 2, 2);
         let nruns = extents.len();
         for (off, len) in extents {
-            f.write_at(rk, off, &cell_bytes(off, len as usize)).expect("write");
+            f.write_at(rk, off, &cell_bytes(off, len as usize))
+                .expect("write");
         }
         let stats = f.close(rk).expect("close");
         Ok((nruns, stats.flushes))
@@ -72,8 +72,7 @@ fn main() {
         let total: u64 = extents.iter().map(|&(_, l)| l).sum();
         let mut buf = vec![0u8; total as usize];
         {
-            let mut f =
-                TcioFile::open(rk, &fs_r, "/field.dat", TcioMode::Read, cfg).expect("open");
+            let mut f = TcioFile::open(rk, &fs_r, "/field.dat", TcioMode::Read, cfg).expect("open");
             let mut rest = buf.as_mut_slice();
             for &(off, len) in &extents {
                 let (piece, tail) = rest.split_at_mut(len as usize);

@@ -89,6 +89,37 @@ fn art_snapshots_interoperate_between_methods() {
 }
 
 #[test]
+fn art_checkpoint_byte_identical_across_methods() {
+    // The ART dump is seeded, so whichever I/O path carries it — TCIO,
+    // per-record independent writes, or per-tree buffered writes — the
+    // bytes that land in the PFS must be identical.
+    let cfg = small_art();
+    for nprocs in [2, 4] {
+        let mut reference: Option<Vec<u8>> = None;
+        for method in [
+            ArtMethod::Tcio,
+            ArtMethod::Vanilla,
+            ArtMethod::VanillaBuffered,
+        ] {
+            let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let cfg2 = cfg.clone();
+            mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+                art::dump(rk, &fs2, &cfg2, method, "/ck").map_err(WlError::into_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/ck").unwrap();
+            let bytes = fs.snapshot_file(fid).unwrap();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => assert_eq!(r, &bytes, "{method:?} differs from TCIO at P={nprocs}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn ocio_oom_experiment_matches_fig6() {
     // The Fig. 6 mechanism in miniature: a budget that fits TCIO's
     // footprint (arrays + level-2 share + one segment) but not OCIO's
@@ -116,13 +147,9 @@ fn ocio_oom_experiment_matches_fig6() {
                     );
                     synthetic::write_tcio(rk, &fs, &p2, "/oom", Some(cfg))
                 }
-                Method::Ocio => synthetic::write_ocio(
-                    rk,
-                    &fs,
-                    &p2,
-                    "/oom",
-                    &mpiio::CollectiveConfig::default(),
-                ),
+                Method::Ocio => {
+                    synthetic::write_ocio(rk, &fs, &p2, "/oom", &mpiio::CollectiveConfig::default())
+                }
                 Method::Vanilla => unreachable!(),
             }
             .map_err(WlError::into_mpi)?;

@@ -1,0 +1,219 @@
+//! Property-style tests on the substrate invariants: datatype flattening
+//! against naive oracles, timeline scheduling laws, and workload geometry.
+//! Cases are generated from fixed seeds (or enumerated exhaustively), so
+//! every failure is reproducible from the seed in its assertion message.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn pick(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
+
+/// A subarray type's extents must equal a naive triple-loop walk of the
+/// selected region, in both orderings.
+#[test]
+fn subarray_matches_naive_walk() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x5ABA ^ seed);
+        let ndims = pick(&mut rng, 1, 4) as usize;
+        let sizes: Vec<usize> = (0..ndims).map(|_| pick(&mut rng, 1, 6) as usize).collect();
+        let mut starts = Vec::new();
+        let mut subsizes = Vec::new();
+        for &n in &sizes {
+            let start = pick(&mut rng, 0, 100) as usize % n;
+            let sub = 1 + pick(&mut rng, 0, 100) as usize % (n - start);
+            starts.push(start);
+            subsizes.push(sub);
+        }
+        let fortran = rng.random::<bool>();
+        let order = if fortran {
+            mpisim::Order::Fortran
+        } else {
+            mpisim::Order::C
+        };
+        let t = mpisim::Datatype::subarray(
+            sizes.clone(),
+            subsizes.clone(),
+            starts.clone(),
+            order,
+            mpisim::Datatype::named(mpisim::Named::Byte),
+        )
+        .unwrap();
+        let c = t.commit();
+        // Naive oracle: mark every selected element.
+        let total: usize = sizes.iter().product();
+        let mut want = vec![false; total];
+        let n = sizes.len();
+        let mut strides = vec![1usize; n];
+        if fortran {
+            for d in 1..n {
+                strides[d] = strides[d - 1] * sizes[d - 1];
+            }
+        } else {
+            for d in (0..n.saturating_sub(1)).rev() {
+                strides[d] = strides[d + 1] * sizes[d + 1];
+            }
+        }
+        let mut idx = vec![0usize; n];
+        loop {
+            let mut at = 0usize;
+            for d in 0..n {
+                at += (starts[d] + idx[d]) * strides[d];
+            }
+            want[at] = true;
+            let mut done = true;
+            for d in 0..n {
+                idx[d] += 1;
+                if idx[d] < subsizes[d] {
+                    done = false;
+                    break;
+                }
+                idx[d] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        let mut got = vec![false; total];
+        for &(off, len) in c.extents() {
+            for i in 0..len {
+                got[off as usize + i] = true;
+            }
+        }
+        assert_eq!(got, want, "seed {seed}: sizes {sizes:?} starts {starts:?}");
+        assert_eq!(c.size(), subsizes.iter().product::<usize>());
+    }
+}
+
+/// Timeline laws: grants never precede `earliest`, never overlap, and
+/// total busy time is conserved.
+#[test]
+fn timeline_grants_are_legal() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x71ED ^ seed);
+        let nops = pick(&mut rng, 1, 80) as usize;
+        let mut t = mpisim::timeline::Timeline::new();
+        let mut grants: Vec<(f64, f64)> = Vec::new();
+        let mut total = 0.0f64;
+        for _ in 0..nops {
+            let earliest = pick(&mut rng, 0, 1000) as f64 * 1e-4;
+            let dur = pick(&mut rng, 1, 50) as f64 * 1e-4;
+            let start = t.reserve(earliest, dur);
+            assert!(
+                start >= earliest - 1e-12,
+                "seed {seed}: grant {start} before earliest {earliest}"
+            );
+            grants.push((start, start + dur));
+            total += dur;
+        }
+        grants.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in grants.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0 + 1e-9,
+                "seed {seed}: grants overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!((t.total_busy() - total).abs() < 1e-9, "seed {seed}");
+    }
+}
+
+/// IOR offsets: for any legal geometry, the transfers of all ranks tile
+/// the file exactly (no overlap, no hole), strided or segmented.
+/// Exhaustive over the seed suite's parameter ranges.
+#[test]
+fn ior_geometry_tiles_the_file() {
+    for nprocs in 1usize..6 {
+        for segments in 1usize..4 {
+            for transfers in 1u64..6 {
+                for xfer in 1u64..5 {
+                    for strided in [false, true] {
+                        let p = workloads::ior::IorParams {
+                            segments,
+                            block_size: transfers * xfer * 8,
+                            transfer_size: xfer * 8,
+                            strided,
+                        };
+                        p.validate().unwrap();
+                        let unit = p.transfer_size;
+                        let slots = (p.file_size(nprocs) / unit) as usize;
+                        let mut seen = vec![false; slots];
+                        for r in 0..nprocs {
+                            for s in 0..segments {
+                                for t in 0..p.transfers_per_block() {
+                                    let off = p.offset(r, nprocs, s, t);
+                                    assert_eq!(off % unit, 0);
+                                    let slot = (off / unit) as usize;
+                                    assert!(!seen[slot], "overlap at {off}");
+                                    seen[slot] = true;
+                                }
+                            }
+                        }
+                        assert!(seen.iter().all(|&b| b));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// TCIO segment mapping: locate() and file_offset() are mutually inverse,
+/// and every offset's window start is owner-aligned.
+#[test]
+fn segment_map_inverse_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E63 ^ seed);
+        let s = 1u64 << pick(&mut rng, 4, 16);
+        let nprocs = pick(&mut rng, 1, 80) as usize;
+        let offset = pick(&mut rng, 0, 1_000_000_000);
+        let m = tcio::SegmentMap::new(s, nprocs);
+        let loc = m.locate(offset);
+        assert!(loc.owner < nprocs, "seed {seed}");
+        assert!(loc.disp < s, "seed {seed}");
+        let back = m.file_offset(loc.owner, loc.segment) + loc.disp;
+        assert_eq!(back, offset, "seed {seed}");
+        let w = m.window_start(offset);
+        assert_eq!(w % s, 0, "seed {seed}");
+        assert_eq!(m.locate(w).owner, loc.owner, "seed {seed}");
+        assert_eq!(m.locate(w).segment, loc.segment, "seed {seed}");
+    }
+}
+
+/// FLASH offsets partition the checkpoint for arbitrary geometry.
+/// Exhaustive over the seed suite's parameter ranges.
+#[test]
+fn flash_offsets_partition() {
+    for nxb in 1usize..5 {
+        for guards in 0usize..3 {
+            for blocks in 1usize..4 {
+                for vars in 1usize..4 {
+                    for nprocs in 1usize..5 {
+                        let p = workloads::flash::FlashParams {
+                            nxb,
+                            guards,
+                            blocks_per_rank: blocks,
+                            num_vars: vars,
+                        };
+                        let unit = p.interior_var_bytes() as u64;
+                        let slots = (p.file_size(nprocs) / unit) as usize;
+                        let mut seen = vec![false; slots];
+                        for r in 0..nprocs {
+                            for b in 0..blocks {
+                                for v in 0..vars {
+                                    let off = p.var_offset(r, nprocs, b, v);
+                                    assert_eq!(off % unit, 0);
+                                    let slot = (off / unit) as usize;
+                                    assert!(!seen[slot]);
+                                    seen[slot] = true;
+                                }
+                            }
+                        }
+                        assert!(seen.iter().all(|&b| b));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -15,9 +15,11 @@ fn degraded_ost_slows_the_whole_collective_job() {
     let p = SynthParams::with_types("i,d", 4096, 1).unwrap();
     let mut times = Vec::new();
     for degrade in [false, true] {
-        let mut cfg = pfs::PfsConfig::default();
-        cfg.num_osts = 4;
-        cfg.stripe_count = 4;
+        let cfg = pfs::PfsConfig {
+            num_osts: 4,
+            stripe_count: 4,
+            ..Default::default()
+        };
         let fs = pfs::Pfs::new(nprocs, cfg).unwrap();
         if degrade {
             fs.set_ost_slowdown(0, 20.0).unwrap();
@@ -25,7 +27,8 @@ fn degraded_ost_slows_the_whole_collective_job() {
         let fs2 = Arc::clone(&fs);
         let p2 = p.clone();
         let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
-            let w = synthetic::write_tcio(rk, &fs2, &p2, "/deg", None).map_err(WlError::into_mpi)?;
+            let w =
+                synthetic::write_tcio(rk, &fs2, &p2, "/deg", None).map_err(WlError::into_mpi)?;
             synthetic::read_tcio(rk, &fs2, &p2, "/deg", None).map_err(WlError::into_mpi)?;
             Ok(w.elapsed)
         })
@@ -149,7 +152,11 @@ fn art_buffered_vanilla_sits_between_baselines() {
     };
     let nprocs = 4;
     let mut elapsed = Vec::new();
-    for method in [ArtMethod::Tcio, ArtMethod::VanillaBuffered, ArtMethod::Vanilla] {
+    for method in [
+        ArtMethod::Tcio,
+        ArtMethod::VanillaBuffered,
+        ArtMethod::Vanilla,
+    ] {
         let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
         let cfg2 = cfg.clone();
@@ -162,8 +169,14 @@ fn art_buffered_vanilla_sits_between_baselines() {
         elapsed.push(rep.results[0]);
     }
     let (tcio, sieved, vanilla) = (elapsed[0], elapsed[1], elapsed[2]);
-    assert!(sieved < vanilla, "per-tree buffering must beat plain vanilla: {sieved} vs {vanilla}");
-    assert!(tcio < sieved, "TCIO must beat per-process buffering: {tcio} vs {sieved}");
+    assert!(
+        sieved < vanilla,
+        "per-tree buffering must beat plain vanilla: {sieved} vs {vanilla}"
+    );
+    assert!(
+        tcio < sieved,
+        "TCIO must beat per-process buffering: {tcio} vs {sieved}"
+    );
 }
 
 #[test]
@@ -220,16 +233,14 @@ fn memory_budget_interacts_with_sieving() {
             min_extents: 2,
             min_density: 0.0,
         }));
-        let etype = mpisim::Datatype::contiguous(64, mpisim::Datatype::named(mpisim::Named::Byte))
-            .commit();
+        let etype =
+            mpisim::Datatype::contiguous(64, mpisim::Datatype::named(mpisim::Named::Byte)).commit();
         let ftype = mpisim::Datatype::vector(8, 1, 4, etype.datatype().clone()).commit();
         f.set_view(rk, 0, &etype, &ftype)
             .map_err(|e| mpisim::MpiError::InvalidDatatype(e.to_string()))?;
         // Span = 8 blocks × 4 stride × 64 B ≈ 1.8 KiB > 256 B budget.
         match f.write_at(rk, 0, &[1u8; 512]) {
-            Err(mpiio::IoError::Mpi(e @ mpisim::MpiError::OutOfMemory { .. })) => {
-                Err::<(), _>(e)
-            }
+            Err(mpiio::IoError::Mpi(e @ mpisim::MpiError::OutOfMemory { .. })) => Err::<(), _>(e),
             other => panic!("expected OOM from sieve buffer, got {other:?}"),
         }
     })
