@@ -1,0 +1,134 @@
+//! Fault-intensity sweep: run the Table II dump-then-restart workload
+//! under a fault plan scaled from inert (intensity 0) to full strength
+//! (intensity 1), for TCIO and OCIO, and report the slowdown curves plus
+//! resilience counters as JSON on stdout.
+//!
+//!   cargo run --release --bin chaos_sweep -- \
+//!       --procs 8 --len 65536 --points 5 [--plan plans/mixed.toml]
+//!
+//! Without `--plan` a built-in mixed plan is used (OST brownout + outage,
+//! message delay, one straggler rank, elevated request overhead).
+
+use bench::{runner, Args, Calib};
+use chaos::{Fault, FaultPlan};
+use workloads::synthetic::Method;
+
+/// The built-in full-intensity plan: one fault from every family that the
+/// synthetic workload exercises, windowed so outages lift well before the
+/// retry budget runs out.
+fn builtin_plan() -> FaultPlan {
+    FaultPlan::new(0xC0FFEE)
+        .with(Fault::OstSlowdown {
+            ost: 0,
+            factor: 4.0,
+            from: 0.0,
+            until: 1e9,
+        })
+        // Outage on OST 0: stripe 0 of the first file always lands there,
+        // so the plan bites even when a small file spans a single stripe.
+        .with(Fault::OstOutage {
+            ost: 0,
+            from: 0.0,
+            until: 0.05,
+        })
+        .with(Fault::RequestOverhead {
+            extra: 100.0e-6,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(Fault::MessageDelay {
+            delay: 50.0e-6,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(Fault::RankStall {
+            rank: 1,
+            from: 0.0,
+            until: 0.02,
+        })
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let nprocs = args.get_usize("procs", 8);
+    let len = args.get_usize("len", 1 << 16);
+    let size_access = args.get_usize("size-access", 1);
+    let points = args.get_usize("points", 5).max(2);
+    let scale = args.get_u64("scale", 1);
+    let calib = if scale == 1 {
+        Calib::unscaled()
+    } else {
+        Calib::paper(scale)
+    };
+    let plan = match args.get("plan") {
+        None => builtin_plan(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fault plan {path}: {e}");
+                std::process::exit(2);
+            });
+            FaultPlan::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bad fault plan {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+    };
+
+    let methods = [(Method::Tcio, "tcio"), (Method::Ocio, "ocio")];
+    let mut baselines = [0.0f64; 2];
+    let mut out = String::from("{\n  \"points\": [\n");
+    for p in 0..points {
+        let k = p as f64 / (points - 1) as f64;
+        let engine = plan.scaled(k).build().unwrap_or_else(|e| {
+            eprintln!("fault plan rejected at intensity {k}: {e}");
+            std::process::exit(2);
+        });
+        let mut cells = Vec::new();
+        for (m, (method, name)) in methods.iter().enumerate() {
+            let r = runner::run_synth_chaos(
+                &calib,
+                nprocs,
+                len,
+                size_access,
+                *method,
+                Some(engine.clone()),
+            );
+            let total = r.write_s + r.read_s;
+            if p == 0 {
+                baselines[m] = total;
+            }
+            let slowdown = total / baselines[m];
+            eprintln!(
+                "intensity {k:.2} {name}: write {:.4}s read {:.4}s slowdown {:.3}x \
+                 retries {} stalls {} transients {}",
+                r.write_s, r.read_s, slowdown, r.io_retries, r.chaos_stalls, r.transient_errors
+            );
+            cells.push(format!(
+                "\"{name}\": {{\"write_s\": {}, \"read_s\": {}, \"slowdown\": {}, \
+                 \"io_retries\": {}, \"chaos_stalls\": {}, \"transient_errors\": {}}}",
+                json_f(r.write_s),
+                json_f(r.read_s),
+                json_f(slowdown),
+                r.io_retries,
+                r.chaos_stalls,
+                r.transient_errors
+            ));
+        }
+        out.push_str(&format!(
+            "    {{\"intensity\": {}, {}}}{}\n",
+            json_f(k),
+            cells.join(", "),
+            if p + 1 < points { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

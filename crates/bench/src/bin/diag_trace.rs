@@ -5,9 +5,14 @@
 //!   cargo run --release --bin diag_trace -- \
 //!       --procs 8 --len 65536 --size-access 1 --methods tcio,ocio,vanilla \
 //!       --out trace
+//!
+//! Pass `--fault-plan plans/ost_outage.toml` to run the same workload
+//! under a deterministic fault plan; injected faults and retries show up
+//! as `chaos_stall` / `io_retry` spans in the exported trace.
 
 use bench::{runner, Args, Calib};
 use mpisim::{chrome_trace_json, Phase, TraceReport};
+use std::sync::Arc;
 use workloads::synthetic::Method;
 
 fn parse_methods(spec: &str) -> Vec<Method> {
@@ -32,6 +37,20 @@ fn main() {
     let size_access = args.get_usize("size-access", 1);
     let methods = parse_methods(args.get("methods").unwrap_or("tcio,ocio,vanilla"));
     let out = args.get("out").unwrap_or("trace");
+    let engine = args.get("fault-plan").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = chaos::FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad fault plan {path}: {e}");
+            std::process::exit(2);
+        });
+        plan.build().unwrap_or_else(|e| {
+            eprintln!("bad fault plan {path}: {e}");
+            std::process::exit(2);
+        })
+    });
     let calib = if scale == 1 {
         Calib::unscaled()
     } else {
@@ -40,7 +59,14 @@ fn main() {
 
     for method in methods {
         let label = format!("{method:?}").to_lowercase();
-        let (rep, osts) = runner::run_traced_synth(&calib, nprocs, len, size_access, method);
+        let (rep, osts) = runner::run_traced_synth_chaos(
+            &calib,
+            nprocs,
+            len,
+            size_access,
+            method,
+            engine.as_ref().map(Arc::clone),
+        );
         let report = TraceReport::new(&rep.traces).with_osts(osts);
 
         println!("== {label}: interleaved arrays, {nprocs} ranks, LEN {len} ==");
@@ -63,6 +89,11 @@ fn main() {
             report.imbalance(Phase::Io)
         );
         assert!(worst <= 1e-9, "phase attribution leaked virtual time");
+        if engine.is_some() {
+            let retries: u64 = rep.stats.iter().map(|s| s.io_retries).sum();
+            let stalls: u64 = rep.stats.iter().map(|s| s.chaos_stalls).sum();
+            println!("fault plan: {retries} io retries, {stalls} stall windows absorbed");
+        }
 
         let path = format!("{out}_{label}.json");
         std::fs::write(&path, chrome_trace_json(&rep.traces)).expect("write trace json");

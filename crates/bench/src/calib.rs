@@ -90,6 +90,7 @@ impl Calib {
             net: self.net.clone(),
             mem_budget: Some(self.mem_budget_virtual / self.scale_inv),
             trace: false,
+            chaos: None,
         }
     }
 
@@ -99,6 +100,7 @@ impl Calib {
             net: self.net.clone(),
             mem_budget: None,
             trace: false,
+            chaos: None,
         }
     }
 

@@ -123,14 +123,32 @@ pub fn run_traced_synth(
     size_access: usize,
     method: Method,
 ) -> (mpisim::SimReport<f64>, Vec<mpisim::OstRow>) {
+    run_traced_synth_chaos(calib, nprocs, len_virtual, size_access, method, None)
+}
+
+/// [`run_traced_synth`] with an optional fault plan attached to both the
+/// runtime (stalls, slowdowns, message faults) and the file system (OST
+/// faults, lock storms).
+pub fn run_traced_synth_chaos(
+    calib: &Calib,
+    nprocs: usize,
+    len_virtual: usize,
+    size_access: usize,
+    method: Method,
+    engine: Option<Arc<chaos::ChaosEngine>>,
+) -> (mpisim::SimReport<f64>, Vec<mpisim::OstRow>) {
     let len_real = (len_virtual as u64 / calib.scale_inv).max(1) as usize;
     let len_real = len_real.div_ceil(size_access) * size_access;
     let p = SynthParams::with_types("i,d", len_real, size_access).expect("valid params");
     let sim = mpisim::SimConfig {
         trace: true,
+        chaos: engine.clone(),
         ..calib.sim_config_unbudgeted()
     };
     let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    if let Some(e) = engine {
+        fs.attach_chaos(e).expect("fault plan fits the PFS layout");
+    }
     let fs2 = Arc::clone(&fs);
     let p2 = p.clone();
     let rep = mpisim::run(nprocs, sim, move |rk| {
@@ -141,6 +159,76 @@ pub fn run_traced_synth(
     .expect("traced run");
     let osts = fs.ost_report();
     (rep, osts)
+}
+
+/// One dump-then-restart run under a fault plan, for the `chaos_sweep`
+/// binary: Table II workload, returning per-phase elapsed times and the
+/// resilience counters aggregated across ranks.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRun {
+    /// Write-phase elapsed virtual seconds (max across ranks).
+    pub write_s: f64,
+    /// Read-phase elapsed virtual seconds.
+    pub read_s: f64,
+    /// Total transient-fault retries across all ranks.
+    pub io_retries: u64,
+    /// Total fault-plan stall windows absorbed across all ranks.
+    pub chaos_stalls: u64,
+    /// Transient refusals issued by the file system.
+    pub transient_errors: u64,
+}
+
+pub fn run_synth_chaos(
+    calib: &Calib,
+    nprocs: usize,
+    len_virtual: usize,
+    size_access: usize,
+    method: Method,
+    engine: Option<Arc<chaos::ChaosEngine>>,
+) -> ChaosRun {
+    let len_real = (len_virtual as u64 / calib.scale_inv).max(1) as usize;
+    let len_real = len_real.div_ceil(size_access) * size_access;
+    let p = SynthParams::with_types("i,d", len_real, size_access).expect("valid params");
+    let sim = mpisim::SimConfig {
+        chaos: engine.clone(),
+        ..calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    if let Some(e) = engine {
+        fs.attach_chaos(e).expect("fault plan fits the PFS layout");
+    }
+    let seg = calib.segment_size;
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let base_tcfg =
+            TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
+        let tcfg = move || base_tcfg.clone();
+        let ccfg = mpiio::CollectiveConfig::default;
+        let w = match method {
+            Method::Tcio => synthetic::write_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
+            Method::Ocio => synthetic::write_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
+            Method::Vanilla => synthetic::write_vanilla(rk, &fs2, &p2, "/synth"),
+        }
+        .map_err(WlError::into_mpi)?;
+        let r = match method {
+            Method::Tcio => synthetic::read_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
+            Method::Ocio => synthetic::read_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
+            Method::Vanilla => synthetic::read_vanilla(rk, &fs2, &p2, "/synth"),
+        }
+        .map_err(WlError::into_mpi)?;
+        Ok((w.elapsed, r.elapsed))
+    })
+    .expect("chaos run completes (retries and fallbacks absorb the plan)");
+    let write_s = rep.results.iter().map(|&(w, _)| w).fold(0.0f64, f64::max);
+    let read_s = rep.results.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    ChaosRun {
+        write_s,
+        read_s,
+        io_retries: rep.stats.iter().map(|s| s.io_retries).sum(),
+        chaos_stalls: rep.stats.iter().map(|s| s.chaos_stalls).sum(),
+        transient_errors: fs.stats.snapshot().transient_errors,
+    }
 }
 
 /// ART dump + restart at `nprocs`: returns (write MB/s, read MB/s, bytes).

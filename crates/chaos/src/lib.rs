@@ -1,0 +1,741 @@
+//! # chaos — deterministic fault injection for the simulation stack
+//!
+//! The paper evaluates TCIO on a healthy Lustre/InfiniBand testbed; this
+//! crate lets the simulator study the same algorithms when the testbed
+//! *misbehaves* — slow or dead OSTs, lock-revocation storms, message-delay
+//! spikes, connection-cache flushes, and straggling ranks — all triggered
+//! in **virtual time**, so every run with the same seed and the same
+//! [`FaultPlan`] is bit-identical.
+//!
+//! The crate sits below `mpisim`/`pfs` in the dependency graph and knows
+//! nothing about them: it compiles a declarative plan into a
+//! [`ChaosEngine`], a set of pure virtual-time queries that the consumers
+//! poll at their cost-model decision points:
+//!
+//! * `pfs` asks for per-OST service factors, outage windows (surfaced as
+//!   `PfsError::Transient`), elevated per-request overhead, and whether a
+//!   revocation storm is active;
+//! * `mpisim`'s fabric asks for per-message delay spikes and
+//!   connection-cache flush generations; the runtime asks for per-rank
+//!   stall windows and compute slowdowns;
+//! * `mpiio`/`tcio` ask which ranks are stalled (straggler aggregators) and
+//!   read the [`RetryPolicy`] that budgets their exponential backoff.
+//!
+//! Faults are *windows* `[from, until)` on the virtual-time axis (except
+//! [`Fault::ConnFlush`], an instant). Because the queries are pure
+//! functions of virtual time, no wall-clock state leaks into a simulation:
+//! determinism is by construction, which is what makes chaos runs usable
+//! as regression tests.
+//!
+//! Plans come from the [`FaultPlan`] builder API or from a TOML-subset
+//! text format (see [`FaultPlan::parse`]).
+
+mod plan;
+
+pub use plan::PlanError;
+
+use std::sync::Arc;
+
+/// One injected fault. All times are virtual seconds; all windows are
+/// half-open `[from, until)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// OST `ost` serves requests `factor`× slower inside the window
+    /// (`factor ≥ 1`). Composes multiplicatively with other slowdowns
+    /// covering the same instant.
+    OstSlowdown {
+        ost: usize,
+        factor: f64,
+        from: f64,
+        until: f64,
+    },
+    /// OST `ost` refuses service inside the window: accesses touching it
+    /// fail with a transient error carrying `retry_after = until`.
+    OstOutage { ost: usize, from: f64, until: f64 },
+    /// Every file-system RPC pays `extra` additional request overhead
+    /// inside the window (metadata-server brownout).
+    RequestOverhead { extra: f64, from: f64, until: f64 },
+    /// Extent-lock revocation storm: every lock acquisition inside the
+    /// window behaves as a conflicting transfer (revoke + re-grant), even
+    /// from the current holder.
+    LockStorm { from: f64, until: f64 },
+    /// Every fabric message transmitted inside the window arrives an extra
+    /// `delay` seconds late (switch congestion / route flap).
+    MessageDelay { delay: f64, from: f64, until: f64 },
+    /// All connection caches are invalidated at instant `at`: the first
+    /// transfer of each source rank after `at` pays connection setup again.
+    ConnFlush { at: f64 },
+    /// Rank `rank` is descheduled for the window: the first runtime
+    /// operation it attempts inside `[from, until)` stalls until `until`.
+    RankStall { rank: usize, from: f64, until: f64 },
+    /// Rank `rank`'s local work runs `factor`× slower inside the window.
+    RankSlowdown {
+        rank: usize,
+        factor: f64,
+        from: f64,
+        until: f64,
+    },
+}
+
+impl Fault {
+    fn validate(&self) -> Result<(), String> {
+        let check_window = |from: f64, until: f64| {
+            if !(from.is_finite() && until.is_finite()) || from < 0.0 || until < from {
+                Err(format!("bad fault window [{from}, {until})"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_factor = |factor: f64| {
+            if !factor.is_finite() || factor < 1.0 {
+                Err(format!("slowdown factor {factor} must be ≥ 1"))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            Fault::OstSlowdown {
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                check_window(from, until)?;
+                check_factor(factor)
+            }
+            Fault::OstOutage { from, until, .. } => check_window(from, until),
+            Fault::RequestOverhead { extra, from, until } => {
+                check_window(from, until)?;
+                if !extra.is_finite() || extra < 0.0 {
+                    return Err(format!("bad extra overhead {extra}"));
+                }
+                Ok(())
+            }
+            Fault::LockStorm { from, until } => check_window(from, until),
+            Fault::MessageDelay { delay, from, until } => {
+                check_window(from, until)?;
+                if !delay.is_finite() || delay < 0.0 {
+                    return Err(format!("bad message delay {delay}"));
+                }
+                Ok(())
+            }
+            Fault::ConnFlush { at } => {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(format!("bad flush instant {at}"));
+                }
+                Ok(())
+            }
+            Fault::RankStall { from, until, .. } => check_window(from, until),
+            Fault::RankSlowdown {
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                check_window(from, until)?;
+                check_factor(factor)
+            }
+        }
+    }
+
+    /// Scale the fault's *intensity* by `k ∈ [0, 1]`: window lengths and
+    /// magnitudes shrink linearly toward "no fault". Used by the sweep
+    /// binary to trace slowdown curves.
+    fn scaled(&self, k: f64) -> Fault {
+        let w = |from: f64, until: f64| (from, from + (until - from) * k);
+        let f = |factor: f64| 1.0 + (factor - 1.0) * k;
+        match *self {
+            Fault::OstSlowdown {
+                ost,
+                factor,
+                from,
+                until,
+            } => {
+                let (from, until) = w(from, until);
+                Fault::OstSlowdown {
+                    ost,
+                    factor: f(factor),
+                    from,
+                    until,
+                }
+            }
+            Fault::OstOutage { ost, from, until } => {
+                let (from, until) = w(from, until);
+                Fault::OstOutage { ost, from, until }
+            }
+            Fault::RequestOverhead { extra, from, until } => {
+                let (from, until) = w(from, until);
+                Fault::RequestOverhead {
+                    extra: extra * k,
+                    from,
+                    until,
+                }
+            }
+            Fault::LockStorm { from, until } => {
+                let (from, until) = w(from, until);
+                Fault::LockStorm { from, until }
+            }
+            Fault::MessageDelay { delay, from, until } => {
+                let (from, until) = w(from, until);
+                Fault::MessageDelay {
+                    delay: delay * k,
+                    from,
+                    until,
+                }
+            }
+            Fault::ConnFlush { at } => Fault::ConnFlush { at },
+            Fault::RankStall { rank, from, until } => {
+                let (from, until) = w(from, until);
+                Fault::RankStall { rank, from, until }
+            }
+            Fault::RankSlowdown {
+                rank,
+                factor,
+                from,
+                until,
+            } => {
+                let (from, until) = w(from, until);
+                Fault::RankSlowdown {
+                    rank,
+                    factor: f(factor),
+                    from,
+                    until,
+                }
+            }
+        }
+    }
+}
+
+/// Retry budget for consumers that turn transient faults into
+/// retry-with-exponential-backoff (`mpiio`, `tcio`). Backoff is paid in
+/// *virtual* time, so a retry storm shows up in the makespan, not in
+/// wall-clock test duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: f64,
+    /// Cap on a single backoff wait.
+    pub max_backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: 1.0e-3,
+            max_backoff: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff wait after failed attempt number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        (self.base_backoff * (1u64 << exp) as f64).min(self.max_backoff)
+    }
+}
+
+/// A declarative fault plan: a seed, a retry policy, and a list of faults.
+/// Build with the fluent API or parse with [`FaultPlan::parse`]; compile
+/// into an engine with [`FaultPlan::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub retry: RetryPolicy,
+    pub faults: Vec<Fault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            retry: RetryPolicy::default(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Append a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> FaultPlan {
+        self.retry = retry;
+        self
+    }
+
+    /// A plan with every fault's intensity scaled by `k ∈ [0, 1]`
+    /// (`k = 0` ⇒ all windows empty ⇒ behaviourally fault-free).
+    /// `ConnFlush` is an instant, not a window: it cannot shrink, so it is
+    /// dropped entirely at `k = 0` to honor the fault-free contract.
+    pub fn scaled(&self, k: f64) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            retry: self.retry,
+            faults: self
+                .faults
+                .iter()
+                .filter(|f| k > 0.0 || !matches!(f, Fault::ConnFlush { .. }))
+                .map(|f| f.scaled(k))
+                .collect(),
+        }
+    }
+
+    /// Validate and compile into an engine.
+    pub fn build(self) -> Result<Arc<ChaosEngine>, PlanError> {
+        for f in &self.faults {
+            f.validate().map_err(PlanError::Invalid)?;
+        }
+        Ok(Arc::new(ChaosEngine::compile(self)))
+    }
+}
+
+/// SplitMix64 — the deterministic seed scrambler used to derive per-site
+/// pseudo-random decisions from `(plan seed, site key)` without any shared
+/// mutable state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The compiled plan: immutable, shared via `Arc` by every layer of one
+/// simulation. All queries are pure functions of virtual time.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    plan: FaultPlan,
+    /// Sorted instants of connection-cache flushes.
+    conn_flushes: Vec<f64>,
+    /// Largest OST index any fault names (for attach-time validation).
+    max_ost: Option<usize>,
+    /// Largest rank index any fault names.
+    max_rank: Option<usize>,
+}
+
+impl ChaosEngine {
+    fn compile(plan: FaultPlan) -> ChaosEngine {
+        let mut conn_flushes: Vec<f64> = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ConnFlush { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        conn_flushes.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        let max_ost = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::OstSlowdown { ost, .. } | Fault::OstOutage { ost, .. } => Some(*ost),
+                _ => None,
+            })
+            .max();
+        let max_rank = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::RankStall { rank, .. } | Fault::RankSlowdown { rank, .. } => Some(*rank),
+                _ => None,
+            })
+            .max();
+        ChaosEngine {
+            plan,
+            conn_flushes,
+            max_ost,
+            max_rank,
+        }
+    }
+
+    /// Convenience: an engine that injects nothing.
+    pub fn none() -> Arc<ChaosEngine> {
+        FaultPlan::new(0).build().expect("empty plan is valid")
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn retry(&self) -> RetryPolicy {
+        self.plan.retry
+    }
+
+    /// True when no fault can ever trigger (plans scaled to zero still
+    /// carry zero-length windows, which never contain any instant).
+    pub fn is_inert(&self) -> bool {
+        self.plan.faults.iter().all(|f| match *f {
+            Fault::ConnFlush { .. } => false,
+            Fault::OstSlowdown { from, until, .. }
+            | Fault::OstOutage { from, until, .. }
+            | Fault::RequestOverhead { from, until, .. }
+            | Fault::LockStorm { from, until }
+            | Fault::MessageDelay { from, until, .. }
+            | Fault::RankStall { from, until, .. }
+            | Fault::RankSlowdown { from, until, .. } => until <= from,
+        })
+    }
+
+    /// Largest OST index named by any fault (attach-time bounds check).
+    pub fn max_ost(&self) -> Option<usize> {
+        self.max_ost
+    }
+
+    /// Largest rank index named by any fault.
+    pub fn max_rank(&self) -> Option<usize> {
+        self.max_rank
+    }
+
+    /// A deterministic pseudo-random `f64` in `[0, 1)` derived from the
+    /// plan seed and a caller-chosen site key. Equal inputs give equal
+    /// outputs across runs — the only "randomness" chaos ever uses.
+    pub fn unit_hash(&self, site: u64) -> f64 {
+        (splitmix64(self.plan.seed ^ site) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    // ---- pfs-facing queries ----
+
+    /// Multiplicative service-time factor for `ost` at instant `t`.
+    pub fn ost_factor(&self, ost: usize, t: f64) -> f64 {
+        let mut f = 1.0;
+        for fault in &self.plan.faults {
+            if let Fault::OstSlowdown {
+                ost: o,
+                factor,
+                from,
+                until,
+            } = *fault
+            {
+                if o == ost && from <= t && t < until {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// If `ost` is in outage at `t`, the instant the outage lifts.
+    pub fn ost_outage_until(&self, ost: usize, t: f64) -> Option<f64> {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::OstOutage {
+                    ost: o,
+                    from,
+                    until,
+                } if o == ost && from <= t && t < until => Some(until),
+                _ => None,
+            })
+            .fold(None, |acc, u| Some(acc.map_or(u, |a: f64| a.max(u))))
+    }
+
+    /// Extra per-RPC request overhead at `t`.
+    pub fn extra_request_overhead(&self, t: f64) -> f64 {
+        self.plan
+            .faults
+            .iter()
+            .map(|f| match *f {
+                Fault::RequestOverhead { extra, from, until } if from <= t && t < until => extra,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Is a lock-revocation storm active at `t`?
+    pub fn lock_storm(&self, t: f64) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(*f, Fault::LockStorm { from, until } if from <= t && t < until))
+    }
+
+    // ---- fabric-facing queries ----
+
+    /// Extra in-network delay for a message transmitted at `t`.
+    pub fn message_delay(&self, t: f64) -> f64 {
+        self.plan
+            .faults
+            .iter()
+            .map(|f| match *f {
+                Fault::MessageDelay { delay, from, until } if from <= t && t < until => delay,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of connection-cache flush instants at or before `t`. A source
+    /// whose remembered generation is smaller must cold-start its
+    /// connection cache.
+    pub fn conn_flush_generation(&self, t: f64) -> u64 {
+        self.conn_flushes.partition_point(|&at| at <= t) as u64
+    }
+
+    // ---- runtime-facing queries ----
+
+    /// If `rank` is inside a stall window at `t`, the instant it wakes.
+    pub fn rank_stall_until(&self, rank: usize, t: f64) -> Option<f64> {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::RankStall {
+                    rank: r,
+                    from,
+                    until,
+                } if r == rank && from <= t && t < until => Some(until),
+                _ => None,
+            })
+            .fold(None, |acc, u| Some(acc.map_or(u, |a: f64| a.max(u))))
+    }
+
+    /// Is `rank` stalled at `t`? (Straggler-aggregator query used by the
+    /// I/O layers to shrink aggregator sets / reroute flushes.)
+    pub fn is_stalled(&self, rank: usize, t: f64) -> bool {
+        self.rank_stall_until(rank, t).is_some()
+    }
+
+    /// Is `rank` stalled at `t` or scheduled to stall later? The planning
+    /// query behind graceful degradation: when the I/O layers pick
+    /// aggregators at time `t`, a rank with a stall window still ahead is a
+    /// known straggler and gets routed around. Because all ranks leave the
+    /// agreement collective with *identical* clocks, evaluating this at
+    /// `now()` right after an allreduce yields the same answer everywhere —
+    /// no extra communication needed.
+    pub fn stall_ahead(&self, rank: usize, t: f64) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(*f, Fault::RankStall { rank: r, from, until } if r == rank && until > t && from < until)
+        })
+    }
+
+    /// Multiplicative local-work slowdown of `rank` at `t`.
+    pub fn rank_slowdown(&self, rank: usize, t: f64) -> f64 {
+        let mut f = 1.0;
+        for fault in &self.plan.faults {
+            if let Fault::RankSlowdown {
+                rank: r,
+                factor,
+                from,
+                until,
+            } = *fault
+            {
+                if r == rank && from <= t && t < until {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert_and_identity() {
+        let e = ChaosEngine::none();
+        assert!(e.is_inert());
+        assert_eq!(e.ost_factor(0, 1.0), 1.0);
+        assert_eq!(e.ost_outage_until(0, 1.0), None);
+        assert_eq!(e.extra_request_overhead(1.0), 0.0);
+        assert!(!e.lock_storm(1.0));
+        assert_eq!(e.message_delay(1.0), 0.0);
+        assert_eq!(e.conn_flush_generation(f64::MAX), 0);
+        assert_eq!(e.rank_stall_until(3, 1.0), None);
+        assert_eq!(e.rank_slowdown(3, 1.0), 1.0);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let e = FaultPlan::new(1)
+            .with(Fault::OstSlowdown {
+                ost: 2,
+                factor: 4.0,
+                from: 1.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.ost_factor(2, 0.999), 1.0);
+        assert_eq!(e.ost_factor(2, 1.0), 4.0);
+        assert_eq!(e.ost_factor(2, 1.999), 4.0);
+        assert_eq!(e.ost_factor(2, 2.0), 1.0);
+        assert_eq!(e.ost_factor(0, 1.5), 1.0, "other OSTs unaffected");
+    }
+
+    #[test]
+    fn overlapping_slowdowns_compose() {
+        let e = FaultPlan::new(1)
+            .with(Fault::OstSlowdown {
+                ost: 0,
+                factor: 2.0,
+                from: 0.0,
+                until: 10.0,
+            })
+            .with(Fault::OstSlowdown {
+                ost: 0,
+                factor: 3.0,
+                from: 5.0,
+                until: 10.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.ost_factor(0, 1.0), 2.0);
+        assert_eq!(e.ost_factor(0, 6.0), 6.0);
+    }
+
+    #[test]
+    fn outage_reports_lift_time() {
+        let e = FaultPlan::new(1)
+            .with(Fault::OstOutage {
+                ost: 1,
+                from: 0.5,
+                until: 1.5,
+            })
+            .with(Fault::OstOutage {
+                ost: 1,
+                from: 1.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.ost_outage_until(1, 0.4), None);
+        assert_eq!(e.ost_outage_until(1, 0.6), Some(1.5));
+        assert_eq!(
+            e.ost_outage_until(1, 1.2),
+            Some(2.0),
+            "overlap: latest lift"
+        );
+        assert_eq!(e.ost_outage_until(0, 1.2), None);
+    }
+
+    #[test]
+    fn conn_flush_generations_count_instants() {
+        let e = FaultPlan::new(1)
+            .with(Fault::ConnFlush { at: 1.0 })
+            .with(Fault::ConnFlush { at: 3.0 })
+            .build()
+            .unwrap();
+        assert!(!e.is_inert());
+        assert_eq!(e.conn_flush_generation(0.5), 0);
+        assert_eq!(e.conn_flush_generation(1.0), 1);
+        assert_eq!(e.conn_flush_generation(2.0), 1);
+        assert_eq!(e.conn_flush_generation(3.5), 2);
+    }
+
+    #[test]
+    fn stall_and_slowdown_per_rank() {
+        let e = FaultPlan::new(1)
+            .with(Fault::RankStall {
+                rank: 2,
+                from: 1.0,
+                until: 4.0,
+            })
+            .with(Fault::RankSlowdown {
+                rank: 1,
+                factor: 8.0,
+                from: 0.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.rank_stall_until(2, 2.0), Some(4.0));
+        assert!(e.is_stalled(2, 1.0));
+        assert!(!e.is_stalled(2, 4.0));
+        assert!(!e.is_stalled(0, 2.0));
+        assert_eq!(e.rank_slowdown(1, 1.0), 8.0);
+        assert_eq!(e.rank_slowdown(1, 3.0), 1.0);
+        assert_eq!(e.max_rank(), Some(2));
+    }
+
+    #[test]
+    fn scaled_to_zero_is_inert() {
+        let plan = FaultPlan::new(7)
+            .with(Fault::OstOutage {
+                ost: 0,
+                from: 1.0,
+                until: 2.0,
+            })
+            .with(Fault::MessageDelay {
+                delay: 1e-3,
+                from: 0.0,
+                until: 5.0,
+            })
+            .with(Fault::LockStorm {
+                from: 0.0,
+                until: 1.0,
+            });
+        let zero = plan.scaled(0.0).build().unwrap();
+        assert!(zero.is_inert());
+        let half = plan.scaled(0.5).build().unwrap();
+        assert_eq!(half.ost_outage_until(0, 1.25), Some(1.5));
+        assert_eq!(half.message_delay(1.0), 0.5e-3);
+        let full = plan.scaled(1.0).build().unwrap();
+        assert_eq!(full.plan(), &plan);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        assert!(FaultPlan::new(0)
+            .with(Fault::OstSlowdown {
+                ost: 0,
+                factor: 0.5,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with(Fault::OstOutage {
+                ost: 0,
+                from: 2.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with(Fault::MessageDelay {
+                delay: f64::NAN,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: 1.0,
+            max_backoff: 5.0,
+        };
+        assert_eq!(p.backoff(1), 1.0);
+        assert_eq!(p.backoff(2), 2.0);
+        assert_eq!(p.backoff(3), 4.0);
+        assert_eq!(p.backoff(4), 5.0, "capped");
+    }
+
+    #[test]
+    fn unit_hash_is_deterministic_and_site_sensitive() {
+        let a = FaultPlan::new(42).build().unwrap();
+        let b = FaultPlan::new(42).build().unwrap();
+        assert_eq!(a.unit_hash(7), b.unit_hash(7));
+        assert_ne!(a.unit_hash(7), a.unit_hash(8));
+        let c = FaultPlan::new(43).build().unwrap();
+        assert_ne!(a.unit_hash(7), c.unit_hash(7));
+        assert!((0.0..1.0).contains(&a.unit_hash(7)));
+    }
+}

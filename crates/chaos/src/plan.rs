@@ -1,0 +1,490 @@
+//! Text format for [`FaultPlan`](crate::FaultPlan): a TOML subset parsed
+//! by hand (the workspace is offline — no serde). Grammar:
+//!
+//! ```toml
+//! # top-level scalars
+//! seed = 42
+//!
+//! [retry]                 # optional; overrides RetryPolicy defaults
+//! max_attempts = 6
+//! base_backoff = 0.001
+//! max_backoff = 0.25
+//!
+//! [[fault]]               # one section per fault
+//! kind = "ost_outage"     # see kind table below
+//! ost = 3
+//! from = 0.002
+//! until = 0.010
+//! ```
+//!
+//! Supported value forms: unsigned integers, floats (including `1e-3`
+//! notation), double-quoted strings, `true`/`false`. `#` starts a comment.
+//!
+//! | `kind`             | required keys                         |
+//! |--------------------|---------------------------------------|
+//! | `ost_slowdown`     | `ost`, `factor`, `from`, `until`      |
+//! | `ost_outage`       | `ost`, `from`, `until`                |
+//! | `request_overhead` | `extra`, `from`, `until`              |
+//! | `lock_storm`       | `from`, `until`                       |
+//! | `message_delay`    | `delay`, `from`, `until`              |
+//! | `conn_flush`       | `at`                                  |
+//! | `rank_stall`       | `rank`, `from`, `until`               |
+//! | `rank_slowdown`    | `rank`, `factor`, `from`, `until`     |
+
+use crate::{Fault, FaultPlan, RetryPolicy};
+
+/// Why a plan failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Syntax error with 1-based line number.
+    Syntax { line: usize, msg: String },
+    /// Structurally valid text but semantically bad values.
+    Invalid(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Syntax { line, msg } => write!(f, "fault plan line {line}: {msg}"),
+            PlanError::Invalid(msg) => write!(f, "invalid fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_f64(&self, key: &str, line: usize) -> Result<f64, PlanError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            _ => Err(PlanError::Syntax {
+                line,
+                msg: format!("`{key}` must be a number"),
+            }),
+        }
+    }
+
+    fn as_usize(&self, key: &str, line: usize) -> Result<usize, PlanError> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Ok(*n as usize)
+            }
+            _ => Err(PlanError::Syntax {
+                line,
+                msg: format!("`{key}` must be a non-negative integer"),
+            }),
+        }
+    }
+}
+
+/// One parsed `key = value` with its source line (for error reporting).
+struct Entry {
+    key: String,
+    value: Value,
+    line: usize,
+}
+
+/// Accumulates the entries of the section currently being parsed.
+struct Section {
+    name: String,
+    start_line: usize,
+    entries: Vec<Entry>,
+}
+
+impl Section {
+    fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        let i = self.entries.iter().position(|e| e.key == key)?;
+        let e = self.entries.remove(i);
+        Some((e.value, e.line))
+    }
+
+    fn require(&mut self, key: &str) -> Result<(Value, usize), PlanError> {
+        self.take(key).ok_or_else(|| PlanError::Syntax {
+            line: self.start_line,
+            msg: format!("section `{}` is missing key `{key}`", self.name),
+        })
+    }
+
+    fn require_f64(&mut self, key: &str) -> Result<f64, PlanError> {
+        let (v, line) = self.require(key)?;
+        v.as_f64(key, line)
+    }
+
+    fn require_usize(&mut self, key: &str) -> Result<usize, PlanError> {
+        let (v, line) = self.require(key)?;
+        v.as_usize(key, line)
+    }
+
+    fn finish(self) -> Result<(), PlanError> {
+        if let Some(e) = self.entries.first() {
+            return Err(PlanError::Syntax {
+                line: e.line,
+                msg: format!("unknown key `{}` in section `{}`", e.key, self.name),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, PlanError> {
+    let raw = raw.trim();
+    if raw.starts_with('"') {
+        if raw.len() >= 2 && raw.ends_with('"') && !raw[1..raw.len() - 1].contains('"') {
+            return Ok(Value::Str(raw[1..raw.len() - 1].to_string()));
+        }
+        return Err(PlanError::Syntax {
+            line,
+            msg: format!("malformed string {raw}"),
+        });
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    raw.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| PlanError::Syntax {
+            line,
+            msg: format!("cannot parse value `{raw}`"),
+        })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn fault_from_section(mut s: Section) -> Result<Fault, PlanError> {
+    let (kind_v, kind_line) = s.require("kind")?;
+    let kind = match kind_v {
+        Value::Str(k) => k,
+        _ => {
+            return Err(PlanError::Syntax {
+                line: kind_line,
+                msg: "`kind` must be a string".into(),
+            })
+        }
+    };
+    let fault = match kind.as_str() {
+        "ost_slowdown" => Fault::OstSlowdown {
+            ost: s.require_usize("ost")?,
+            factor: s.require_f64("factor")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "ost_outage" => Fault::OstOutage {
+            ost: s.require_usize("ost")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "request_overhead" => Fault::RequestOverhead {
+            extra: s.require_f64("extra")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "lock_storm" => Fault::LockStorm {
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "message_delay" => Fault::MessageDelay {
+            delay: s.require_f64("delay")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "conn_flush" => Fault::ConnFlush {
+            at: s.require_f64("at")?,
+        },
+        "rank_stall" => Fault::RankStall {
+            rank: s.require_usize("rank")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "rank_slowdown" => Fault::RankSlowdown {
+            rank: s.require_usize("rank")?,
+            factor: s.require_f64("factor")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        other => {
+            return Err(PlanError::Syntax {
+                line: kind_line,
+                msg: format!("unknown fault kind `{other}`"),
+            })
+        }
+    };
+    s.finish()?;
+    Ok(fault)
+}
+
+fn retry_from_section(mut s: Section) -> Result<RetryPolicy, PlanError> {
+    let mut retry = RetryPolicy::default();
+    if let Some((v, line)) = s.take("max_attempts") {
+        let n = v.as_usize("max_attempts", line)?;
+        if n == 0 || n > u32::MAX as usize {
+            return Err(PlanError::Syntax {
+                line,
+                msg: "`max_attempts` must be ≥ 1".into(),
+            });
+        }
+        retry.max_attempts = n as u32;
+    }
+    if let Some((v, line)) = s.take("base_backoff") {
+        retry.base_backoff = v.as_f64("base_backoff", line)?;
+    }
+    if let Some((v, line)) = s.take("max_backoff") {
+        retry.max_backoff = v.as_f64("max_backoff", line)?;
+    }
+    s.finish()?;
+    if !(retry.base_backoff.is_finite()
+        && retry.base_backoff >= 0.0
+        && retry.max_backoff.is_finite()
+        && retry.max_backoff >= 0.0)
+    {
+        return Err(PlanError::Invalid(
+            "retry backoffs must be finite and ≥ 0".into(),
+        ));
+    }
+    Ok(retry)
+}
+
+impl FaultPlan {
+    /// Parse a plan from the TOML-subset text format documented at the top
+    /// of this module. The result still needs [`FaultPlan::build`] to be
+    /// validated and compiled.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        enum Target {
+            Top,
+            Retry(Section),
+            Fault(Section),
+        }
+        let mut plan = FaultPlan::new(0);
+        let mut target = Target::Top;
+        let close = |t: Target, plan: &mut FaultPlan| -> Result<(), PlanError> {
+            match t {
+                Target::Top => Ok(()),
+                Target::Retry(s) => {
+                    plan.retry = retry_from_section(s)?;
+                    Ok(())
+                }
+                Target::Fault(s) => {
+                    plan.faults.push(fault_from_section(s)?);
+                    Ok(())
+                }
+            }
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                let prev = std::mem::replace(&mut target, Target::Top);
+                close(prev, &mut plan)?;
+                if header.trim() != "fault" {
+                    return Err(PlanError::Syntax {
+                        line: line_no,
+                        msg: format!("unknown array section `[[{}]]`", header.trim()),
+                    });
+                }
+                target = Target::Fault(Section {
+                    name: "fault".into(),
+                    start_line: line_no,
+                    entries: Vec::new(),
+                });
+            } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let prev = std::mem::replace(&mut target, Target::Top);
+                close(prev, &mut plan)?;
+                if header.trim() != "retry" {
+                    return Err(PlanError::Syntax {
+                        line: line_no,
+                        msg: format!("unknown section `[{}]`", header.trim()),
+                    });
+                }
+                target = Target::Retry(Section {
+                    name: "retry".into(),
+                    start_line: line_no,
+                    entries: Vec::new(),
+                });
+            } else if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim().to_string();
+                let value = parse_value(value, line_no)?;
+                match &mut target {
+                    Target::Top => match key.as_str() {
+                        "seed" => {
+                            plan.seed = match value {
+                                Value::Num(n) if n >= 0.0 && n.fract() == 0.0 => n as u64,
+                                _ => {
+                                    return Err(PlanError::Syntax {
+                                        line: line_no,
+                                        msg: "`seed` must be a non-negative integer".into(),
+                                    })
+                                }
+                            };
+                        }
+                        other => {
+                            return Err(PlanError::Syntax {
+                                line: line_no,
+                                msg: format!("unknown top-level key `{other}`"),
+                            })
+                        }
+                    },
+                    Target::Retry(s) | Target::Fault(s) => s.entries.push(Entry {
+                        key,
+                        value,
+                        line: line_no,
+                    }),
+                }
+            } else {
+                return Err(PlanError::Syntax {
+                    line: line_no,
+                    msg: format!("cannot parse `{line}`"),
+                });
+            }
+        }
+        close(target, &mut plan)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_plan() {
+        let text = r#"
+            # a comment
+            seed = 99
+
+            [retry]
+            max_attempts = 4
+            base_backoff = 2e-3
+            max_backoff = 0.5
+
+            [[fault]]
+            kind = "ost_outage"   # trailing comment
+            ost = 3
+            from = 0.002
+            until = 0.010
+
+            [[fault]]
+            kind = "message_delay"
+            delay = 1.5e-4
+            from = 0.0
+            until = 0.02
+
+            [[fault]]
+            kind = "conn_flush"
+            at = 0.005
+        "#;
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 99);
+        assert_eq!(
+            plan.retry,
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff: 2e-3,
+                max_backoff: 0.5
+            }
+        );
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::OstOutage {
+                    ost: 3,
+                    from: 0.002,
+                    until: 0.010
+                },
+                Fault::MessageDelay {
+                    delay: 1.5e-4,
+                    from: 0.0,
+                    until: 0.02
+                },
+                Fault::ConnFlush { at: 0.005 },
+            ]
+        );
+        plan.build().unwrap();
+    }
+
+    #[test]
+    fn parses_every_kind() {
+        let text = r#"
+            [[fault]]
+            kind = "ost_slowdown"
+            ost = 0
+            factor = 3.0
+            from = 0.0
+            until = 1.0
+            [[fault]]
+            kind = "request_overhead"
+            extra = 1e-4
+            from = 0.0
+            until = 1.0
+            [[fault]]
+            kind = "lock_storm"
+            from = 0.0
+            until = 1.0
+            [[fault]]
+            kind = "rank_stall"
+            rank = 1
+            from = 0.0
+            until = 1.0
+            [[fault]]
+            kind = "rank_slowdown"
+            rank = 2
+            factor = 2.0
+            from = 0.0
+            until = 1.0
+        "#;
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.faults.len(), 5);
+        plan.build().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_errors_carry_line_numbers() {
+        let err = FaultPlan::parse("seed = 1\nbogus line").unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Syntax {
+                line: 2,
+                msg: "cannot parse `bogus line`".into()
+            }
+        );
+
+        let err = FaultPlan::parse("[[fault]]\nkind = \"nope\"").unwrap_err();
+        assert!(matches!(err, PlanError::Syntax { line: 2, .. }));
+
+        let err = FaultPlan::parse("[[fault]]\nkind = \"lock_storm\"\nfrom = 0.0").unwrap_err();
+        assert!(matches!(err, PlanError::Syntax { line: 1, .. }), "{err}");
+
+        let err =
+            FaultPlan::parse("[[fault]]\nkind = \"conn_flush\"\nat = 0.0\nwhat = 1").unwrap_err();
+        assert!(matches!(err, PlanError::Syntax { line: 4, .. }));
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_rejected() {
+        assert!(FaultPlan::parse("[nope]").is_err());
+        assert!(FaultPlan::parse("[[nope]]").is_err());
+        assert!(FaultPlan::parse("what = 1").is_err());
+        assert!(FaultPlan::parse("[retry]\nwhat = 1").is_err());
+    }
+}

@@ -127,6 +127,11 @@ fn decode_requests(buf: &[u8]) -> Result<Vec<(u64, u64)>> {
 pub(crate) struct Domains {
     pub(crate) gmin: u64,
     pub(crate) naggs: usize,
+    /// The rank serving each aggregator index. Normally the evenly-spread
+    /// `i * nprocs / naggs` mapping; under fault injection, ranks with a
+    /// stall window ahead are excluded (graceful degradation), so the set
+    /// can be sparser than the spread.
+    pub(crate) agg_ranks: Vec<usize>,
     pub(crate) dsize: u64,
     pub(crate) gmax: u64,
     pub(crate) rounds: u64,
@@ -135,13 +140,13 @@ pub(crate) struct Domains {
 
 impl Domains {
     /// Aggregator index → its rank.
-    pub(crate) fn agg_rank(&self, i: usize, nprocs: usize) -> usize {
-        i * nprocs / self.naggs
+    pub(crate) fn agg_rank(&self, i: usize, _nprocs: usize) -> usize {
+        self.agg_ranks[i]
     }
 
     /// Which aggregator index (if any) does this rank serve as?
-    pub(crate) fn my_agg_index(&self, rank: usize, nprocs: usize) -> Option<usize> {
-        (0..self.naggs).find(|&i| self.agg_rank(i, nprocs) == rank)
+    pub(crate) fn my_agg_index(&self, rank: usize, _nprocs: usize) -> Option<usize> {
+        self.agg_ranks.iter().position(|&r| r == rank)
     }
 
     /// Aggregator i's domain `[start, end)`.
@@ -173,6 +178,25 @@ pub(crate) fn compute_domains(
     }
     let nprocs = rank.nprocs();
     let naggs = cfg.cb_nodes.unwrap_or(nprocs).clamp(1, nprocs);
+    let mut agg_ranks: Vec<usize> = (0..naggs).map(|i| i * nprocs / naggs).collect();
+    // Graceful degradation: drop aggregators with a stall window still
+    // ahead. Both allreduces above are symmetric (equal payloads on every
+    // rank), so all ranks exit with *identical* clocks — evaluating the
+    // pure-function stall query here yields the same shrunk set everywhere
+    // without extra communication. If every candidate is a straggler,
+    // keep the original set (someone has to do the I/O).
+    if let Some(engine) = rank.chaos() {
+        let t = rank.now();
+        let healthy: Vec<usize> = agg_ranks
+            .iter()
+            .copied()
+            .filter(|&r| !engine.stall_ahead(r, t))
+            .collect();
+        if !healthy.is_empty() {
+            agg_ranks = healthy;
+        }
+    }
+    let naggs = agg_ranks.len();
     let mut dsize = (gmax - gmin).div_ceil(naggs as u64);
     if let Some(a) = cfg.align {
         if a > 0 {
@@ -184,6 +208,7 @@ pub(crate) fn compute_domains(
     Ok(Some(Domains {
         gmin,
         naggs,
+        agg_ranks,
         dsize,
         gmax,
         rounds,
@@ -267,13 +292,11 @@ pub fn write_all_at(
                 let mut done = rank.now();
                 for &(off, len) in dirty.runs() {
                     let at = (off - ws) as usize;
-                    let t = file.pfs().write_at(
-                        file.file_id(),
-                        rank.rank(),
-                        off,
-                        &buf[at..at + len as usize],
-                        rank.now(),
-                    )?;
+                    let pfs = file.pfs().clone();
+                    let fid = file.file_id();
+                    let t = crate::retry::pfs_retry(rank, |rk| {
+                        pfs.write_at(fid, rk.rank(), off, &buf[at..at + len as usize], rk.now())
+                    })?;
                     done = done.max(t);
                     written += len;
                     rank.stats.io_writes += 1;
@@ -369,13 +392,12 @@ pub fn read_all_at(
                     let mut done = rank.now();
                     for &(off, len) in wanted.runs() {
                         let at = (off - ws) as usize;
-                        let t = file.pfs().read_at(
-                            file.file_id(),
-                            rank.rank(),
-                            off,
-                            &mut wbuf[at..at + len as usize],
-                            rank.now(),
-                        )?;
+                        let pfs = file.pfs().clone();
+                        let fid = file.file_id();
+                        let dst = &mut wbuf[at..at + len as usize];
+                        let t = crate::retry::pfs_retry(rank, |rk| {
+                            pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                        })?;
                         done = done.max(t);
                         read += len;
                         rank.stats.io_reads += 1;

@@ -213,13 +213,12 @@ impl File {
         let mut written = 0u64;
         let mut done = rank.now();
         for (file_off, len) in extents {
-            let t = self.pfs.write_at(
-                self.fid,
-                rank.rank(),
-                file_off,
-                &data[cursor..cursor + len as usize],
-                rank.now(),
-            )?;
+            let pfs = &self.pfs;
+            let fid = self.fid;
+            let slice = &data[cursor..cursor + len as usize];
+            let t = crate::retry::pfs_retry(rank, |rk| {
+                pfs.write_at(fid, rk.rank(), file_off, slice, rk.now())
+            })?;
             done = done.max(t);
             cursor += len as usize;
             written += len;
@@ -240,14 +239,18 @@ impl File {
         let (start, span_len) = SieveConfig::span(extents);
         let t0 = rank.now();
         let _mem = rank.alloc(span_len)?;
-        let t = self.pfs.write_rmw(
-            self.fid,
-            rank.rank(),
-            start,
-            span_len,
-            &mut |span| gather_into_span(start, span, extents, data),
-            rank.now(),
-        )?;
+        let pfs = &self.pfs;
+        let fid = self.fid;
+        let t = crate::retry::pfs_retry(rank, |rk| {
+            pfs.write_rmw(
+                fid,
+                rk.rank(),
+                start,
+                span_len,
+                &mut |span| gather_into_span(start, span, extents, data),
+                rk.now(),
+            )
+        })?;
         rank.charge_memcpy(data.len() as u64);
         rank.stats.io_reads += 1;
         rank.stats.io_writes += 1;
@@ -273,13 +276,12 @@ impl File {
         let mut read = 0u64;
         let mut done = rank.now();
         for (file_off, len) in extents {
-            let t = self.pfs.read_at(
-                self.fid,
-                rank.rank(),
-                file_off,
-                &mut buf[cursor..cursor + len as usize],
-                rank.now(),
-            )?;
+            let pfs = &self.pfs;
+            let fid = self.fid;
+            let dst = &mut buf[cursor..cursor + len as usize];
+            let t = crate::retry::pfs_retry(rank, |rk| {
+                pfs.read_at(fid, rk.rank(), file_off, dst, rk.now())
+            })?;
             done = done.max(t);
             cursor += len as usize;
             read += len;
@@ -303,9 +305,11 @@ impl File {
         let t0 = rank.now();
         let _mem = rank.alloc(span_len)?;
         let mut span = vec![0u8; span_len as usize];
-        let t = self
-            .pfs
-            .read_at(self.fid, rank.rank(), start, &mut span, rank.now())?;
+        let pfs = &self.pfs;
+        let fid = self.fid;
+        let t = crate::retry::pfs_retry(rank, |rk| {
+            pfs.read_at(fid, rk.rank(), start, &mut span, rk.now())
+        })?;
         rank.stats.io_reads += 1;
         rank.stats.io_read_bytes += span_len;
         scatter_from_span(start, &span, extents, buf);

@@ -19,6 +19,7 @@ pub mod error;
 pub mod extents;
 pub mod file;
 pub mod parcoll;
+pub mod retry;
 pub mod sieve;
 pub mod view;
 pub mod viewcoll;
@@ -28,6 +29,7 @@ pub use error::{IoError, Result};
 pub use extents::ExtentSet;
 pub use file::{File, Mode, Whence};
 pub use parcoll::write_all_partitioned;
+pub use retry::pfs_retry;
 pub use sieve::SieveConfig;
 pub use view::FileView;
 pub use viewcoll::{read_all_view_based, register_views, write_all_view_based, RegisteredViews};

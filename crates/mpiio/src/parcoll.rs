@@ -151,16 +151,15 @@ pub fn write_all_partitioned(
                     dirty.insert(off, bytes.len() as u64);
                 }
             }
+            let pfs = file.pfs().clone();
+            let fid = file.file_id();
             let mut done = rank.now();
             for &(off, len) in dirty.runs() {
                 let at = (off - ws) as usize;
-                let t = file.pfs().write_at(
-                    file.file_id(),
-                    rank.rank(),
-                    off,
-                    &buf[at..at + len as usize],
-                    rank.now(),
-                )?;
+                let slice = &buf[at..at + len as usize];
+                let t = crate::retry::pfs_retry(rank, |rk| {
+                    pfs.write_at(fid, rk.rank(), off, slice, rk.now())
+                })?;
                 done = done.max(t);
                 rank.stats.io_writes += 1;
                 rank.stats.io_write_bytes += len;

@@ -131,16 +131,15 @@ pub fn write_all_view_based(
                     }
                     rank.charge_memcpy(len);
                 }
+                let pfs = file.pfs().clone();
+                let fid = file.file_id();
                 let mut done = rank.now();
                 for &(off, len) in dirty.runs() {
                     let at = (off - ws) as usize;
-                    let t = file.pfs().write_at(
-                        file.file_id(),
-                        rank.rank(),
-                        off,
-                        &buf[at..at + len as usize],
-                        rank.now(),
-                    )?;
+                    let slice = &buf[at..at + len as usize];
+                    let t = crate::retry::pfs_retry(rank, |rk| {
+                        pfs.write_at(fid, rk.rank(), off, slice, rk.now())
+                    })?;
                     done = done.max(t);
                     rank.stats.io_writes += 1;
                     rank.stats.io_write_bytes += len;
@@ -239,17 +238,16 @@ pub fn read_all_view_based(
                     let win_len = (we - ws) as usize;
                     let _cb = rank.alloc(win_len as u64)?;
                     rank.note_mem_peak();
+                    let pfs = file.pfs().clone();
+                    let fid = file.file_id();
                     let mut wbuf = vec![0u8; win_len];
                     let mut done = rank.now();
                     for &(off, len) in wanted.runs() {
                         let at = (off - ws) as usize;
-                        let t = file.pfs().read_at(
-                            file.file_id(),
-                            rank.rank(),
-                            off,
-                            &mut wbuf[at..at + len as usize],
-                            rank.now(),
-                        )?;
+                        let dst = &mut wbuf[at..at + len as usize];
+                        let t = crate::retry::pfs_retry(rank, |rk| {
+                            pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                        })?;
                         done = done.max(t);
                         rank.stats.io_reads += 1;
                         rank.stats.io_read_bytes += len;

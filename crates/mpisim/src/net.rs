@@ -24,6 +24,7 @@ use crate::timeline::Timeline;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Tunable constants of the network model. All times are seconds, all
 /// bandwidth terms are seconds-per-byte.
@@ -150,6 +151,9 @@ impl FabricStats {
 struct LruSet {
     cap: usize,
     entries: VecDeque<usize>,
+    /// Last chaos connection-flush generation this cache has seen; when the
+    /// engine reports a newer one, the cache cold-starts.
+    flush_gen: u64,
 }
 
 impl LruSet {
@@ -157,6 +161,7 @@ impl LruSet {
         LruSet {
             cap,
             entries: VecDeque::with_capacity(cap),
+            flush_gen: 0,
         }
     }
 
@@ -213,6 +218,8 @@ pub struct Fabric {
     rx_busy: Vec<Mutex<Timeline>>,
     conns: Vec<Mutex<LruSet>>,
     inflight: Mutex<Inflight>,
+    /// Fault-injection engine (message-delay spikes, connection flushes).
+    chaos: Option<Arc<chaos::ChaosEngine>>,
     pub stats: FabricStats,
 }
 
@@ -225,6 +232,14 @@ fn reserve(slot: &Mutex<Timeline>, earliest: f64, dur: f64) -> f64 {
 
 impl Fabric {
     pub fn new(nprocs: usize, cfg: NetConfig) -> Self {
+        Fabric::new_with_chaos(nprocs, cfg, None)
+    }
+
+    pub fn new_with_chaos(
+        nprocs: usize,
+        cfg: NetConfig,
+        chaos: Option<Arc<chaos::ChaosEngine>>,
+    ) -> Self {
         Fabric {
             tx_busy: (0..nprocs).map(|_| Mutex::new(Timeline::new())).collect(),
             rx_busy: (0..nprocs).map(|_| Mutex::new(Timeline::new())).collect(),
@@ -232,6 +247,7 @@ impl Fabric {
                 .map(|_| Mutex::new(LruSet::new(cfg.conn_cache)))
                 .collect(),
             inflight: Mutex::new(Inflight::default()),
+            chaos,
             stats: FabricStats::default(),
             cfg,
         }
@@ -259,8 +275,15 @@ impl Fabric {
         }
 
         let conn = {
-            let hit = self.conns[src].lock().touch(dst);
-            if hit {
+            let mut cache = self.conns[src].lock();
+            if let Some(engine) = &self.chaos {
+                let gen = engine.conn_flush_generation(start);
+                if gen > cache.flush_gen {
+                    cache.entries.clear();
+                    cache.flush_gen = gen;
+                }
+            }
+            if cache.touch(dst) {
                 0.0
             } else {
                 self.stats.conn_misses.fetch_add(1, Ordering::Relaxed);
@@ -288,7 +311,13 @@ impl Fabric {
         let dur = base_dur * factor;
 
         let tx_start = reserve(&self.tx_busy[src], ready, dur);
-        let rx_start = reserve(&self.rx_busy[dst], tx_start + self.cfg.latency, dur);
+        // Injected in-network delay: evaluated at the transmit instant, paid
+        // on the wire between the two NICs (the sender is not held up).
+        let delay = match &self.chaos {
+            Some(engine) => engine.message_delay(tx_start),
+            None => 0.0,
+        };
+        let rx_start = reserve(&self.rx_busy[dst], tx_start + self.cfg.latency + delay, dur);
         Transfer {
             arrival: rx_start + dur,
             sender_done: tx_start + dur,

@@ -48,6 +48,11 @@ pub struct SimConfig {
     /// Record per-operation trace spans (phase totals are always kept).
     /// Costs nothing when `false`.
     pub trace: bool,
+    /// Fault-injection engine (`None` = healthy machine, zero cost).
+    /// Runtime operations poll it for rank-stall windows and compute
+    /// slowdowns; the fabric polls it for message delays and
+    /// connection-cache flushes.
+    pub chaos: Option<Arc<chaos::ChaosEngine>>,
 }
 
 /// A collectively-created object plus the number of ranks that fetched it
@@ -64,13 +69,14 @@ pub(crate) struct Shared {
     registry: Mutex<HashMap<u64, RegistryEntry>>,
     abort: AtomicBool,
     trace: bool,
+    chaos: Option<Arc<chaos::ChaosEngine>>,
 }
 
 impl Shared {
     fn new(nprocs: usize, cfg: &SimConfig) -> Self {
         Shared {
             nprocs,
-            fabric: Fabric::new(nprocs, cfg.net.clone()),
+            fabric: Fabric::new_with_chaos(nprocs, cfg.net.clone(), cfg.chaos.clone()),
             mailboxes: (0..nprocs).map(|_| Mailbox::default()).collect(),
             rendezvous: Rendezvous::new(nprocs),
             mem: (0..nprocs)
@@ -79,6 +85,7 @@ impl Shared {
             registry: Mutex::new(HashMap::new()),
             abort: AtomicBool::new(false),
             trace: cfg.trace,
+            chaos: cfg.chaos.clone(),
         }
     }
 
@@ -150,9 +157,14 @@ impl Rank {
     }
 
     /// Advance the local clock by `seconds`, attributed to the active
-    /// phase (compute unless inside [`Rank::with_phase`]).
+    /// phase (compute unless inside [`Rank::with_phase`]). Local work is
+    /// stretched by any active chaos rank-slowdown window.
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "time cannot run backwards");
+        let seconds = match &self.shared.chaos {
+            Some(e) => seconds * e.rank_slowdown(self.id, self.clock),
+            None => seconds,
+        };
         let phase = self.tracer.current_phase();
         self.advance_as(seconds, phase);
     }
@@ -188,6 +200,34 @@ impl Rank {
         if dt > 0.0 {
             self.tracer.attribute(phase, dt);
             self.clock += dt;
+        }
+    }
+
+    // ---- fault injection ----
+
+    /// The fault-injection engine attached to this simulation, if any.
+    /// Layers above (mpiio/tcio) use it for straggler queries and the
+    /// retry policy.
+    pub fn chaos(&self) -> Option<&Arc<chaos::ChaosEngine>> {
+        self.shared.chaos.as_ref()
+    }
+
+    /// Stall checkpoint: if this rank sits inside an injected stall window
+    /// *right now*, park it until the window lifts. Called at the entry of
+    /// every runtime operation (p2p, collectives, RMA epochs), which is
+    /// where a descheduled process would actually be caught. The wait is
+    /// attributed to `Compute` (the rank is not communicating — it is
+    /// simply not running) and recorded as a `chaos_stall` span.
+    fn chaos_checkpoint(&mut self) {
+        let Some(engine) = &self.shared.chaos else {
+            return;
+        };
+        if let Some(until) = engine.rank_stall_until(self.id, self.clock) {
+            let start = self.clock;
+            self.set_clock_as(until, Phase::Compute);
+            self.stats.chaos_stalls += 1;
+            self.tracer
+                .record("chaos_stall", Phase::Compute, start, self.clock, 0, None);
         }
     }
 
@@ -264,6 +304,7 @@ impl Rank {
     pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<()> {
         self.check_abort()?;
         self.check_rank(dst)?;
+        self.chaos_checkpoint();
         debug_assert!(tag < TAG_INTERNAL_BASE, "tag collides with internal range");
         let start = self.clock;
         let tr = self
@@ -289,6 +330,7 @@ impl Rank {
     pub fn isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
+        self.chaos_checkpoint();
         let start = self.clock;
         let tr = self
             .shared
@@ -316,6 +358,7 @@ impl Rank {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
+        self.chaos_checkpoint();
         let start = self.clock;
         let r = self.shared.mailboxes[self.id]
             .recv_blocking(src, tag, &self.shared.abort)
@@ -376,6 +419,7 @@ impl Rank {
     // ---- collectives ----
 
     fn rendezvous(&mut self, payload: Vec<u8>) -> Result<crate::collectives::RvResult> {
+        self.chaos_checkpoint();
         let entry_t = self.clock;
         let rv = self
             .shared
@@ -678,6 +722,7 @@ impl Rank {
         comm: &SubComm,
         payload: Vec<u8>,
     ) -> Result<crate::collectives::RvResult> {
+        self.chaos_checkpoint();
         let entry_t = self.clock;
         let rv = comm
             .rendezvous
@@ -881,6 +926,7 @@ impl Rank {
     fn isend_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
+        self.chaos_checkpoint();
         let start = self.clock;
         let tr = self
             .shared
@@ -997,6 +1043,7 @@ impl Rank {
     ) -> Result<Epoch<'w>> {
         self.check_abort()?;
         self.check_rank(target)?;
+        self.chaos_checkpoint();
         // Lock request handshake.
         self.advance_as(self.shared.fabric.config().rma_lock_cost, Phase::Exchange);
         Ok(Epoch::new(win, target, kind))
@@ -1008,6 +1055,7 @@ impl Rank {
     /// epochs skip the token and only contend at the NIC ports.
     pub fn win_unlock(&mut self, ep: Epoch<'_>) -> Result<()> {
         self.check_abort()?;
+        self.chaos_checkpoint();
         let cfg = self.shared.fabric.config().clone();
         let me = self.id;
         let epoch_start = self.clock;

@@ -22,6 +22,10 @@ pub struct RankStats {
     pub mem_peak: u64,
     /// Virtual time spent blocked in collectives (arrival → release).
     pub collective_wait: f64,
+    /// I/O operations retried after a transient fault (chaos injection).
+    pub io_retries: u64,
+    /// Injected rank-stall windows this rank actually hit.
+    pub chaos_stalls: u64,
 }
 
 impl RankStats {
@@ -43,6 +47,8 @@ impl RankStats {
         self.io_write_bytes += other.io_write_bytes;
         self.mem_peak = self.mem_peak.max(other.mem_peak);
         self.collective_wait += other.collective_wait;
+        self.io_retries += other.io_retries;
+        self.chaos_stalls += other.chaos_stalls;
     }
 }
 

@@ -38,7 +38,7 @@ use std::sync::Arc;
 pub struct FileId(u32);
 
 /// Errors from file-system operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PfsError {
     NotFound(String),
     AlreadyExists(String),
@@ -49,6 +49,13 @@ pub enum PfsError {
         file_len: u64,
     },
     Config(String),
+    /// An OST the access touches is in a (injected) transient outage.
+    /// Retrying at or after `retry_after` virtual seconds can succeed; the
+    /// upper layers turn this into bounded exponential backoff.
+    Transient {
+        ost: usize,
+        retry_after: f64,
+    },
 }
 
 impl fmt::Display for PfsError {
@@ -67,7 +74,18 @@ impl fmt::Display for PfsError {
                 offset + len
             ),
             PfsError::Config(msg) => write!(f, "bad pfs config: {msg}"),
+            PfsError::Transient { ost, retry_after } => write!(
+                f,
+                "transient failure on OST {ost}; retry after t={retry_after}"
+            ),
         }
+    }
+}
+
+impl PfsError {
+    /// Is this error worth retrying (after its backoff hint)?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PfsError::Transient { .. })
     }
 }
 
@@ -90,6 +108,8 @@ pub struct PfsStats {
     pub bytes_read: AtomicU64,
     pub bytes_written: AtomicU64,
     pub lock_transfers: AtomicU64,
+    /// Accesses rejected with [`PfsError::Transient`] (OST outages).
+    pub transient_errors: AtomicU64,
 }
 
 /// Snapshot of [`PfsStats`].
@@ -100,6 +120,7 @@ pub struct PfsStatsSnapshot {
     pub bytes_read: u64,
     pub bytes_written: u64,
     pub lock_transfers: u64,
+    pub transient_errors: u64,
 }
 
 impl PfsStats {
@@ -110,6 +131,7 @@ impl PfsStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             lock_transfers: self.lock_transfers.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,6 +155,9 @@ pub struct Pfs {
     /// Per-OST service accounting (requests, bytes, busy/queue-wait time),
     /// surfaced through [`Pfs::ost_report`] for the observability layer.
     ost_metrics: Vec<Mutex<OstMetrics>>,
+    /// Fault-injection engine (outages, slow OSTs, lock storms, overhead
+    /// brownouts). `None` = healthy storage, zero cost.
+    chaos: Mutex<Option<Arc<chaos::ChaosEngine>>>,
     pub stats: PfsStats,
 }
 
@@ -180,9 +205,32 @@ impl Pfs {
             files: RwLock::new(Vec::new()),
             locks: Mutex::new(LockManager::new()),
             next_ost_base: Mutex::new(0),
+            chaos: Mutex::new(None),
             stats: PfsStats::default(),
             cfg,
         }))
+    }
+
+    /// Attach a fault-injection engine. Rejects plans naming OSTs this file
+    /// system does not have — the old behaviour here was an index panic
+    /// deep inside the cost model; now it is a typed config error at
+    /// attach time.
+    pub fn attach_chaos(&self, engine: Arc<chaos::ChaosEngine>) -> Result<()> {
+        if let Some(max) = engine.max_ost() {
+            if max >= self.cfg.num_osts {
+                return Err(PfsError::Config(format!(
+                    "fault plan names OST {max}, but only {} OSTs exist",
+                    self.cfg.num_osts
+                )));
+            }
+        }
+        *self.chaos.lock() = Some(engine);
+        Ok(())
+    }
+
+    /// The attached fault-injection engine, if any.
+    pub fn chaos(&self) -> Option<Arc<chaos::ChaosEngine>> {
+        self.chaos.lock().clone()
     }
 
     pub fn config(&self) -> &PfsConfig {
@@ -291,8 +339,36 @@ impl Pfs {
         Ok(())
     }
 
-    fn slowdown(&self, ost: usize) -> f64 {
-        *self.ost_slowdown[ost].lock()
+    /// Total service-time multiplier of `ost` at virtual time `t`: the
+    /// manually-set degradation times any chaos slowdown window. Unknown
+    /// OST indices report healthy instead of panicking (bounds problems
+    /// are caught at `attach_chaos`/`set_ost_slowdown` time).
+    fn slowdown_at(&self, ost: usize, t: f64, engine: Option<&chaos::ChaosEngine>) -> f64 {
+        let base = self.ost_slowdown.get(ost).map_or(1.0, |s| *s.lock());
+        match engine {
+            Some(e) => base * e.ost_factor(ost, t),
+            None => base,
+        }
+    }
+
+    /// If any OST under `[offset, offset+len)` is in an injected outage at
+    /// `now`, fail with [`PfsError::Transient`] carrying the lift time.
+    fn outage_check(&self, file: &FileState, offset: u64, len: u64, now: f64) -> Result<()> {
+        let guard = self.chaos.lock();
+        let Some(engine) = guard.as_ref() else {
+            return Ok(());
+        };
+        for (pos, _) in self.rpc_pieces(offset, len) {
+            let ost = self.ost_for(file, pos / self.cfg.stripe_size);
+            if let Some(until) = engine.ost_outage_until(ost, now) {
+                self.stats.transient_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(PfsError::Transient {
+                    ost,
+                    retry_after: until,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// File metadata.
@@ -347,6 +423,9 @@ impl Pfs {
             return Ok(now);
         }
         let file = self.file(id)?;
+        // Fail before touching any bytes: a refused write must leave the
+        // file exactly as it was so the caller can retry wholesale.
+        self.outage_check(&file, offset, data.len() as u64, now)?;
         // Apply the bytes (correctness path).
         {
             let mut d = file.data.lock();
@@ -378,6 +457,7 @@ impl Pfs {
             return Ok(now);
         }
         let file = self.file(id)?;
+        self.outage_check(&file, offset, len, now)?;
         let readable;
         {
             let mut d = file.data.lock();
@@ -402,16 +482,21 @@ impl Pfs {
         len: u64,
         now: f64,
     ) -> f64 {
+        let engine = self.chaos.lock().clone();
         let mut done = now;
         let mut client_t = now;
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.write_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
             let stripe = pos / self.cfg.stripe_size;
-            let transfer = self
+            let acquired = self
                 .locks
                 .lock()
                 .acquire(id.0, stripe, client, LockMode::Write);
+            // A revocation storm forces a revoke + re-grant even for the
+            // current holder.
+            let storm = engine.as_ref().is_some_and(|e| e.lock_storm(client_t));
+            let transfer = acquired || storm;
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
                 self.cfg.lock_transfer
@@ -419,17 +504,20 @@ impl Pfs {
                 0.0
             };
             // Client marshals the request and streams the payload.
+            let extra_overhead = engine
+                .as_ref()
+                .map_or(0.0, |e| e.extra_request_overhead(client_t));
             let link_dur = len as f64 * self.cfg.client_byte_time;
             let send_start = reserve(
                 &self.client_busy[client],
-                client_t + self.cfg.request_overhead,
+                client_t + self.cfg.request_overhead + extra_overhead,
                 link_dur,
             );
             let arrive = send_start + link_dur + lock_cost;
             // OST services the piece (degraded OSTs run slower).
             let ost = self.ost_for(file, stripe);
-            let service_dur =
-                (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw) * self.slowdown(ost);
+            let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw)
+                * self.slowdown_at(ost, arrive, engine.as_deref());
             let svc_start = reserve(&self.ost_busy[ost], arrive, service_dur);
             {
                 let mut m = self.ost_metrics[ost].lock();
@@ -462,6 +550,7 @@ impl Pfs {
             return Ok(now);
         }
         let file = self.file(id)?;
+        self.outage_check(&file, offset, buf.len() as u64, now)?;
         {
             let d = file.data.lock();
             let end = offset as usize + buf.len();
@@ -487,26 +576,32 @@ impl Pfs {
         len: u64,
         now: f64,
     ) -> f64 {
+        let engine = self.chaos.lock().clone();
         let mut done = now;
         let mut client_t = now;
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.read_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
             let stripe = pos / self.cfg.stripe_size;
-            let transfer = self
+            let acquired = self
                 .locks
                 .lock()
                 .acquire(id.0, stripe, client, LockMode::Read);
+            let storm = engine.as_ref().is_some_and(|e| e.lock_storm(client_t));
+            let transfer = acquired || storm;
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
                 self.cfg.lock_transfer
             } else {
                 0.0
             };
-            let req_sent = client_t + self.cfg.request_overhead;
+            let extra_overhead = engine
+                .as_ref()
+                .map_or(0.0, |e| e.extra_request_overhead(client_t));
+            let req_sent = client_t + self.cfg.request_overhead + extra_overhead;
             let ost = self.ost_for(file, stripe);
-            let service_dur =
-                (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * self.slowdown(ost);
+            let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw)
+                * self.slowdown_at(ost, req_sent + lock_cost, engine.as_deref());
             let svc_start = reserve(&self.ost_busy[ost], req_sent + lock_cost, service_dur);
             {
                 let mut m = self.ost_metrics[ost].lock();
@@ -870,6 +965,173 @@ mod failure_tests {
         assert!(p.set_ost_slowdown(999, 2.0).is_err());
         assert!(p.set_ost_slowdown(0, 0.5).is_err());
         assert!(p.set_ost_slowdown(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn chaos_outage_is_transient_and_leaves_bytes_untouched() {
+        let cfg = PfsConfig {
+            num_osts: 2,
+            stripe_count: 2,
+            stripe_size: 1 << 20,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 0, &[9u8; 64], 0.0).unwrap();
+        let engine = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::OstOutage {
+                ost: 0,
+                from: 0.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(engine).unwrap();
+        // Stripe 0 lives on OST 0: refused during the outage window.
+        let err = p.write_at(id, 0, 0, &[1u8; 64], 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            PfsError::Transient {
+                ost: 0,
+                retry_after: 2.0
+            }
+        );
+        assert!(err.is_transient());
+        assert_eq!(
+            p.snapshot_file(id).unwrap(),
+            vec![9u8; 64],
+            "refused write must not mutate the file"
+        );
+        let mut buf = [0u8; 4];
+        assert!(p.read_at(id, 0, 0, &mut buf, 1.5).is_err());
+        // The window obeys retry_after: the same access succeeds at t=2.
+        p.write_at(id, 0, 0, &[1u8; 64], 2.0).unwrap();
+        // Stripe 1 (OST 1) is unaffected throughout.
+        p.write_at(id, 0, 1 << 20, &[2u8; 8], 1.0).unwrap();
+        assert_eq!(p.stats.snapshot().transient_errors, 2);
+    }
+
+    #[test]
+    fn chaos_slowdown_composes_with_manual_degradation() {
+        let cfg = PfsConfig {
+            num_osts: 1,
+            stripe_count: 1,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        let data = vec![0u8; 1 << 20];
+        let healthy = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let engine = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::OstSlowdown {
+                ost: 0,
+                factor: 4.0,
+                from: 0.0,
+                until: 1e9,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(engine).unwrap();
+        let t0 = 100.0;
+        let slowed = p.write_at(id, 0, 0, &data, t0).unwrap() - t0;
+        assert!(
+            slowed > 2.0 * healthy,
+            "4x window must slow service: {slowed} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn chaos_lock_storm_forces_transfers_for_sole_writer() {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/f").unwrap();
+        let mut t = 0.0;
+        for _ in 0..4 {
+            t = p.write_at(id, 0, 0, &[1u8; 16], t).unwrap();
+        }
+        assert_eq!(
+            p.stats.snapshot().lock_transfers,
+            0,
+            "sole writer never conflicts when healthy"
+        );
+        let engine = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::LockStorm {
+                from: 0.0,
+                until: 1e9,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(engine).unwrap();
+        for _ in 0..4 {
+            t = p.write_at(id, 0, 0, &[1u8; 16], t).unwrap();
+        }
+        assert_eq!(
+            p.stats.snapshot().lock_transfers,
+            4,
+            "storm revokes even the holder's lock"
+        );
+    }
+
+    #[test]
+    fn chaos_request_overhead_brownout_slows_small_writes() {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/f").unwrap();
+        let healthy = p.write_at(id, 0, 0, &[1u8; 8], 0.0).unwrap();
+        let engine = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::RequestOverhead {
+                extra: 10.0 * healthy,
+                from: 50.0,
+                until: 1e9,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(engine).unwrap();
+        let t0 = 100.0;
+        let browned = p.write_at(id, 0, 0, &[1u8; 8], t0).unwrap() - t0;
+        assert!(browned > 5.0 * healthy, "{browned} vs {healthy}");
+    }
+
+    #[test]
+    fn attach_chaos_validates_ost_indices() {
+        let cfg = PfsConfig {
+            num_osts: 2,
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let bad = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::OstOutage {
+                ost: 7,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .unwrap();
+        assert!(matches!(p.attach_chaos(bad), Err(PfsError::Config(_))));
+        assert!(p.chaos().is_none(), "failed attach leaves no engine");
+        let ok = chaos::FaultPlan::new(1)
+            .with(chaos::Fault::OstOutage {
+                ost: 1,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(ok).unwrap();
+        assert!(p.chaos().is_some());
+    }
+
+    #[test]
+    fn inert_engine_changes_no_costs() {
+        let p = Pfs::new(2, PfsConfig::default()).unwrap();
+        let id = p.create("/f").unwrap();
+        let data = vec![3u8; 3 << 20];
+        let t_healthy = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let q = Pfs::new(2, PfsConfig::default()).unwrap();
+        q.attach_chaos(chaos::ChaosEngine::none()).unwrap();
+        let qid = q.create("/f").unwrap();
+        let t_inert = q.write_at(qid, 0, 0, &data, 0.0).unwrap();
+        assert_eq!(t_healthy, t_inert, "empty plan must be zero-cost");
+        assert_eq!(p.snapshot_file(id).unwrap(), q.snapshot_file(qid).unwrap());
     }
 
     #[test]

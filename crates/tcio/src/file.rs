@@ -61,6 +61,9 @@ pub struct TcioStats {
     pub read_requests: u64,
     /// Blocks split across a segment boundary (spills, §IV.A).
     pub spills: u64,
+    /// Level-1 flushes that bypassed level-2 because the segment owner
+    /// was stalled by a fault plan (graceful degradation).
+    pub l1_fallbacks: u64,
 }
 
 /// Shared per-segment bookkeeping, co-located with the level-2 window.
@@ -395,6 +398,17 @@ impl<'a> TcioFile<'a> {
         }
         let loc = self.locate_checked(window)?;
         debug_assert_eq!(loc.disp, 0);
+        // Graceful degradation: if the fault plan has the segment owner
+        // stalled (now or ahead), parking the window in its level-2 buffer
+        // would strand the bytes behind the straggler's drain at close.
+        // Ship them straight to the file system instead.
+        if loc.owner != rank.rank()
+            && rank
+                .chaos()
+                .is_some_and(|e| e.stall_ahead(loc.owner, rank.now()))
+        {
+            return self.flush_l1_direct(rank, window);
+        }
         let t0 = rank.now();
         let flushed: u64 = self.l1.extents.runs().iter().map(|&(_, l)| l).sum();
         let seg_base = loc.segment as u64 * self.cfg.segment_size;
@@ -429,6 +443,35 @@ impl<'a> TcioFile<'a> {
         self.l1.extents.clear();
         self.l1.window_start = None;
         rank.trace_mark("tcio_flush", Phase::Exchange, t0, flushed);
+        Ok(())
+    }
+
+    /// Level-1 fallback flush: write the buffered runs directly to the
+    /// file (with transient-fault retries), leaving the stalled owner's
+    /// level-2 segment untouched so close does not re-drain these bytes.
+    fn flush_l1_direct(&mut self, rank: &mut Rank, window: u64) -> Result<()> {
+        let t0 = rank.now();
+        let flushed: u64 = self.l1.extents.runs().iter().map(|&(_, l)| l).sum();
+        let runs: Vec<(u64, u64)> = self.l1.extents.runs().to_vec();
+        let pfs = Arc::clone(&self.pfs);
+        let fid = self.fid;
+        let me = rank.rank();
+        let mut done = rank.now();
+        for (o, l) in runs {
+            let slice = &self.l1.buf[o as usize..(o + l) as usize];
+            let t = mpiio::pfs_retry(rank, |rk| {
+                pfs.write_at(fid, me, window + o, slice, rk.now())
+            })?;
+            done = done.max(t);
+            rank.stats.io_writes += 1;
+            rank.stats.io_write_bytes += l;
+        }
+        rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+        self.stats.flushes += 1;
+        self.stats.l1_fallbacks += 1;
+        self.l1.extents.clear();
+        self.l1.window_start = None;
+        rank.trace_mark("tcio_l1_fallback", Phase::Io, t0, flushed);
         Ok(())
     }
 
@@ -543,9 +586,17 @@ impl<'a> TcioFile<'a> {
                 // segment (any time after open) would have triggered it.
                 // The triggering rank still waits for the completion.
                 let t0 = rank.now();
-                let t = self
-                    .pfs
-                    .read_at(self.fid, owner, file_off, &mut tmp, self.opened_at)?;
+                let pfs = Arc::clone(&self.pfs);
+                let fid = self.fid;
+                let opened_at = self.opened_at;
+                // First attempt keeps the open-time pricing; retries must
+                // re-issue at the backed-off clock or the outage never lifts.
+                let mut first = true;
+                let t = mpiio::pfs_retry(rank, |rk| {
+                    let at = if first { opened_at } else { rk.now() };
+                    first = false;
+                    pfs.read_at(fid, owner, file_off, &mut tmp, at)
+                })?;
                 rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
                 rank.trace_mark("tcio_load", Phase::Io, t0, len);
                 rank.stats.io_reads += 1;
@@ -631,16 +682,28 @@ impl<'a> TcioFile<'a> {
             let seg_base = (seg as u64 * s) as usize;
             let runs: Vec<(u64, u64)> = meta.valid.runs().to_vec();
             drop(meta);
-            let now = rank.now();
-            let t = self.win.with_local(|region| -> pfs::Result<f64> {
-                let mut t = now;
-                for &(o, l) in &runs {
-                    let slice = &region[seg_base + o as usize..seg_base + (o + l) as usize];
-                    let tt = self.pfs.write_at(self.fid, me, file_base + o, slice, now)?;
-                    t = t.max(tt);
-                }
-                Ok(t)
-            })?;
+            // Copy the runs out of the window so each write can be retried
+            // (the epoch-free local region cannot be borrowed across the
+            // virtual-time backoff inside `pfs_retry`).
+            let chunks: Vec<(u64, Vec<u8>)> = self.win.with_local(|region| {
+                runs.iter()
+                    .map(|&(o, l)| {
+                        (
+                            o,
+                            region[seg_base + o as usize..seg_base + (o + l) as usize].to_vec(),
+                        )
+                    })
+                    .collect()
+            });
+            let pfs = Arc::clone(&self.pfs);
+            let fid = self.fid;
+            let mut t = rank.now();
+            for (o, bytes) in &chunks {
+                let tt = mpiio::pfs_retry(rank, |rk| {
+                    pfs.write_at(fid, me, file_base + o, bytes, rk.now())
+                })?;
+                t = t.max(tt);
+            }
             for &(_, l) in &runs {
                 rank.stats.io_writes += 1;
                 rank.stats.io_write_bytes += l;

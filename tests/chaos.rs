@@ -1,0 +1,344 @@
+//! Integration tests for the deterministic fault-injection subsystem:
+//! zero-cost-off, lock-storm correctness, bit-exact determinism, and the
+//! end-to-end TCIO/OCIO resilience criteria.
+
+use std::sync::Arc;
+use tcio::{TcioConfig, TcioFile, TcioMode};
+
+fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+    mpisim::MpiError::InvalidDatatype(e.to_string())
+}
+
+/// A fault plan touching every family the interleaved workload exercises.
+fn mixed_plan() -> chaos::FaultPlan {
+    chaos::FaultPlan::new(7)
+        .with(chaos::Fault::OstSlowdown {
+            ost: 0,
+            factor: 3.0,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(chaos::Fault::OstOutage {
+            ost: 2,
+            from: 0.0,
+            until: 0.01,
+        })
+        .with(chaos::Fault::RequestOverhead {
+            extra: 80.0e-6,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(chaos::Fault::MessageDelay {
+            delay: 30.0e-6,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(chaos::Fault::RankStall {
+            rank: 1,
+            from: 0.0,
+            until: 0.004,
+        })
+        .with(chaos::Fault::RankSlowdown {
+            rank: 3,
+            factor: 1.5,
+            from: 0.0,
+            until: 1e9,
+        })
+        .with(chaos::Fault::ConnFlush { at: 0.002 })
+        .with(chaos::Fault::LockStorm {
+            from: 0.0,
+            until: 0.001,
+        })
+}
+
+/// Owner-local, OST-disjoint TCIO dump + restart: rank r's data lives in
+/// its own level-2 segment and on its own OST, so virtual times do not
+/// depend on host thread scheduling. Returns (clocks, makespan, retries,
+/// stalls, bytes).
+fn deterministic_tcio_run(
+    engine: Option<Arc<chaos::ChaosEngine>>,
+    trace: bool,
+) -> (Vec<f64>, f64, u64, u64, Vec<u8>) {
+    let nprocs = 4;
+    let seg: u64 = 1 << 16;
+    let pcfg = pfs::PfsConfig {
+        stripe_size: seg,
+        stripe_count: 4,
+        num_osts: 4,
+        ..Default::default()
+    };
+    let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+    if let Some(e) = &engine {
+        fs.attach_chaos(Arc::clone(e)).unwrap();
+    }
+    let sim = mpisim::SimConfig {
+        trace,
+        chaos: engine,
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let cfg = TcioConfig {
+            segment_size: seg,
+            num_segments: 1,
+            ..Default::default()
+        };
+        let mut f =
+            TcioFile::open(rk, &fs2, "/det", TcioMode::Write, cfg.clone()).map_err(to_mpi)?;
+        // Rank r writes exactly its own window [r*seg, (r+1)*seg).
+        let data = vec![rk.rank() as u8 + 1; seg as usize];
+        f.write_at(rk, rk.rank() as u64 * seg, &data)
+            .map_err(to_mpi)?;
+        f.close(rk).map_err(to_mpi)?;
+        let mut g = TcioFile::open(rk, &fs2, "/det", TcioMode::Read, cfg).map_err(to_mpi)?;
+        let mut back = vec![0u8; seg as usize];
+        g.read_at(rk, rk.rank() as u64 * seg, &mut back)
+            .map_err(to_mpi)?;
+        g.fetch(rk).map_err(to_mpi)?;
+        g.close(rk).map_err(to_mpi)?;
+        Ok(back)
+    })
+    .unwrap();
+    for (r, back) in rep.results.iter().enumerate() {
+        assert!(
+            back.iter().all(|&b| b == r as u8 + 1),
+            "rank {r} read bad data"
+        );
+    }
+    let fid = fs.open("/det").unwrap();
+    let bytes = fs.snapshot_file(fid).unwrap();
+    let retries: u64 = rep.stats.iter().map(|s| s.io_retries).sum();
+    let stalls: u64 = rep.stats.iter().map(|s| s.chaos_stalls).sum();
+    (rep.clocks, rep.makespan, retries, stalls, bytes)
+}
+
+#[test]
+fn faults_disabled_is_bit_identical_to_no_engine() {
+    // Zero-cost-off: attaching an engine whose plan was scaled to zero
+    // must leave both the data and every virtual clock bit-identical to a
+    // run with no engine at all.
+    let inert = mixed_plan().scaled(0.0).build().unwrap();
+    assert!(inert.is_inert());
+    let (c0, m0, r0, s0, b0) = deterministic_tcio_run(None, false);
+    let (c1, m1, r1, s1, b1) = deterministic_tcio_run(Some(inert), false);
+    assert_eq!(b0, b1, "inert engine changed file bytes");
+    assert_eq!(c0, c1, "inert engine changed rank clocks");
+    assert_eq!(m0, m1, "inert engine changed makespan");
+    assert_eq!((r0, s0), (0, 0));
+    assert_eq!((r1, s1), (0, 0), "inert engine injected faults");
+}
+
+#[test]
+fn same_seed_same_plan_is_deterministic_across_runs() {
+    // Same seed + same plan => identical virtual-time totals, identical
+    // fault/retry counts, and identical read-back bytes across 3 runs.
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        let engine = mixed_plan().build().unwrap();
+        outcomes.push(deterministic_tcio_run(Some(engine), false));
+    }
+    let (c, m, r, s, b) = &outcomes[0];
+    assert!(*s >= 1, "the stall window must have been absorbed");
+    for (i, (ci, mi, ri, si, bi)) in outcomes.iter().enumerate().skip(1) {
+        assert_eq!(c, ci, "run {i}: clocks diverged");
+        assert_eq!(m, mi, "run {i}: makespan diverged");
+        assert_eq!((r, s), (ri, si), "run {i}: fault counters diverged");
+        assert_eq!(b, bi, "run {i}: bytes diverged");
+    }
+}
+
+#[test]
+fn lock_storm_ping_pong_keeps_unaligned_writers_correct() {
+    // Revocation storm: every request is treated as a lock migration while
+    // an outage forces transient retries — unaligned concurrent writers
+    // into shared stripes must still land byte-correct, and the storm must
+    // cost virtual time.
+    let nprocs = 4;
+    let block = 1000usize; // unaligned vs the 4096-byte stripes below
+    let mut makespans = Vec::new();
+    for storm in [false, true] {
+        let pcfg = pfs::PfsConfig {
+            stripe_size: 4096,
+            stripe_count: 1,
+            num_osts: 1,
+            ..Default::default()
+        };
+        let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+        let engine = if storm {
+            let e = chaos::FaultPlan::new(11)
+                .with(chaos::Fault::LockStorm {
+                    from: 0.0,
+                    until: 1e9,
+                })
+                .with(chaos::Fault::OstOutage {
+                    ost: 0,
+                    from: 0.0,
+                    until: 0.002,
+                })
+                .build()
+                .unwrap();
+            fs.attach_chaos(Arc::clone(&e)).unwrap();
+            Some(e)
+        } else {
+            None
+        };
+        let sim = mpisim::SimConfig {
+            chaos: engine,
+            ..Default::default()
+        };
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            let mut f =
+                mpiio::File::open(rk, &fs2, "/storm", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; block];
+            f.write_at(rk, (rk.rank() * block) as u64, &data)
+                .map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(rk.stats.io_retries)
+        })
+        .unwrap();
+        if storm {
+            let retries: u64 = rep.results.iter().sum();
+            assert!(retries >= 1, "the outage must have forced retries");
+        }
+        makespans.push(rep.makespan);
+        let fid = fs.open("/storm").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        assert_eq!(bytes.len(), nprocs * block);
+        for r in 0..nprocs {
+            assert!(
+                bytes[r * block..(r + 1) * block]
+                    .iter()
+                    .all(|&b| b == r as u8 + 1),
+                "storm={storm}: rank {r}'s block corrupted"
+            );
+        }
+    }
+    assert!(
+        makespans[1] > makespans[0],
+        "a revocation storm must cost virtual time: {} vs {}",
+        makespans[1],
+        makespans[0]
+    );
+}
+
+/// OST outage + message delay + a stalled rank; both collective stacks
+/// must complete with correct read-back, injected-fault spans in the
+/// trace, and the conservation invariant intact.
+#[test]
+fn tcio_and_ocio_survive_outage_and_message_delay_end_to_end() {
+    let nprocs = 4;
+    let block = 4096usize;
+    for method in ["tcio", "ocio"] {
+        let pcfg = pfs::PfsConfig {
+            stripe_size: 1 << 16,
+            stripe_count: 4,
+            num_osts: 4,
+            ..Default::default()
+        };
+        let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+        let engine = chaos::FaultPlan::new(23)
+            .with(chaos::Fault::OstOutage {
+                ost: 0,
+                from: 0.0,
+                until: 0.05,
+            })
+            .with(chaos::Fault::MessageDelay {
+                delay: 20.0e-6,
+                from: 0.0,
+                until: 1e9,
+            })
+            .with(chaos::Fault::RankStall {
+                rank: 1,
+                from: 0.0,
+                until: 0.003,
+            })
+            .build()
+            .unwrap();
+        fs.attach_chaos(Arc::clone(&engine)).unwrap();
+        let sim = mpisim::SimConfig {
+            trace: true,
+            chaos: Some(engine),
+            ..Default::default()
+        };
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            let data = vec![rk.rank() as u8 + 1; block];
+            let off = (rk.rank() * block) as u64;
+            match method {
+                "tcio" => {
+                    let cfg = TcioConfig {
+                        segment_size: 1 << 14,
+                        num_segments: 4,
+                        ..Default::default()
+                    };
+                    let mut f = TcioFile::open(rk, &fs2, "/e2e", TcioMode::Write, cfg.clone())
+                        .map_err(to_mpi)?;
+                    f.write_at(rk, off, &data).map_err(to_mpi)?;
+                    f.close(rk).map_err(to_mpi)?;
+                    let mut g =
+                        TcioFile::open(rk, &fs2, "/e2e", TcioMode::Read, cfg).map_err(to_mpi)?;
+                    let mut back = vec![0u8; block];
+                    g.read_at(rk, off, &mut back).map_err(to_mpi)?;
+                    g.fetch(rk).map_err(to_mpi)?;
+                    g.close(rk).map_err(to_mpi)?;
+                    Ok(back)
+                }
+                _ => {
+                    let mut f = mpiio::File::open(rk, &fs2, "/e2e", mpiio::Mode::ReadWrite)
+                        .map_err(to_mpi)?;
+                    let ccfg = mpiio::CollectiveConfig::default();
+                    mpiio::write_all_at(rk, &mut f, off, &data, &ccfg).map_err(to_mpi)?;
+                    let mut back = vec![0u8; block];
+                    mpiio::read_all_at(rk, &mut f, off, &mut back, &ccfg).map_err(to_mpi)?;
+                    f.close(rk).map_err(to_mpi)?;
+                    Ok(back)
+                }
+            }
+        })
+        .unwrap();
+        // Correct read-back on every rank, and on disk.
+        for (r, back) in rep.results.iter().enumerate() {
+            assert!(
+                back.iter().all(|&b| b == r as u8 + 1),
+                "{method}: rank {r} read bad data under faults"
+            );
+        }
+        let fid = fs.open("/e2e").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        for r in 0..nprocs {
+            assert!(
+                bytes[r * block..(r + 1) * block]
+                    .iter()
+                    .all(|&b| b == r as u8 + 1),
+                "{method}: rank {r}'s block corrupted on disk"
+            );
+        }
+        // The injected faults are visible as spans, and conservation holds.
+        let span_names: Vec<&str> = rep
+            .traces
+            .iter()
+            .flat_map(|t| t.spans.iter().map(|s| s.name))
+            .collect();
+        assert!(
+            span_names.contains(&"io_retry"),
+            "{method}: outage retries must appear in the trace"
+        );
+        assert!(
+            span_names.contains(&"chaos_stall"),
+            "{method}: the stall window must appear in the trace"
+        );
+        for (r, t) in rep.traces.iter().enumerate() {
+            assert!(
+                (t.totals.total() - rep.clocks[r]).abs() <= 1e-9,
+                "{method}: rank {r} leaked virtual time under faults"
+            );
+        }
+        let retries: u64 = rep.stats.iter().map(|s| s.io_retries).sum();
+        assert!(retries >= 1, "{method}: the outage must force retries");
+        assert!(
+            rep.makespan >= 0.05,
+            "{method}: retries must wait out the outage in virtual time"
+        );
+    }
+}
