@@ -1,0 +1,67 @@
+//! Node-topology sweep: the Table II interleaved-arrays dump-then-restart
+//! workload at every `ppn` placement, for TCIO, topology-blind OCIO, and
+//! OCIO with two-level intra-node aggregation. Emits JSON on stdout (one
+//! deterministic cell object per line inside `"cells"`) and a progress
+//! table on stderr.
+//!
+//!   cargo run --release -p bench --bin topo_sweep -- \
+//!       --procs 1,8,32,128 --ppns 1,4,16 --len 65536 --scale 1024 \
+//!       [--out bench_results/baseline_topo.json]
+//!
+//! `ppn = 1` is the zero-cost-off placement: a trivial topology behaves
+//! bit-identically to no topology, so that column doubles as the flat
+//! baseline. Cells where `ppn` exceeds the process count are skipped.
+
+use bench::topo::{cell_to_json, run_cell, sweep_ppns, Variant};
+use bench::{Args, Calib};
+
+fn main() {
+    let args = Args::parse();
+    let procs = args.get_list("procs", &[1, 8, 32, 128]);
+    let ppns = args.get_list("ppns", &[1, 4, 16]);
+    let len = args.get_usize("len", 1 << 16);
+    let size_access = args.get_usize("size-access", 1);
+    let scale = args.get_u64("scale", 1024);
+    let calib = if scale == 1 {
+        Calib::unscaled()
+    } else {
+        Calib::paper(scale)
+    };
+
+    let mut cells = Vec::new();
+    for &nprocs in &procs {
+        for ppn in sweep_ppns(nprocs, &ppns) {
+            for variant in Variant::ALL {
+                let c = run_cell(&calib, nprocs, ppn, variant, len, size_access);
+                eprintln!(
+                    "P={nprocs} ppn={ppn} {:>10}: write {:.6}s read {:.6}s \
+                     intra {}B inter {}B",
+                    variant.label(),
+                    c.write_s,
+                    c.read_s,
+                    c.intra_bytes,
+                    c.inter_bytes
+                );
+                cells.push(cell_to_json(&c));
+            }
+        }
+    }
+
+    let mut out = String::from("{\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(c);
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+}

@@ -55,6 +55,7 @@ impl Calib {
         let k = scale_inv as f64;
         let mut net = NetConfig::default();
         net.byte_time *= k;
+        net.intra_byte_time *= k;
         net.memcpy_byte_time *= k;
         // The gathered-message header is metadata *bytes*, so it scales
         // with the data (otherwise header cost would inflate k-fold).
@@ -89,8 +90,7 @@ impl Calib {
         SimConfig {
             net: self.net.clone(),
             mem_budget: Some(self.mem_budget_virtual / self.scale_inv),
-            trace: false,
-            chaos: None,
+            ..Default::default()
         }
     }
 
@@ -99,8 +99,7 @@ impl Calib {
         SimConfig {
             net: self.net.clone(),
             mem_budget: None,
-            trace: false,
-            chaos: None,
+            ..Default::default()
         }
     }
 

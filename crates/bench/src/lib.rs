@@ -12,13 +12,16 @@
 //! | `ablation_segment_size` | §IV.A: segment size vs the PFS lock granularity |
 //! | `ablation_modes` | §IV.A design choices: L1 combining, lock/unlock vs fence, lazy vs eager reads |
 //! | `ablation_cb` | OCIO hints: unchunked vs cb_buffer-chunked exchange, aggregator counts |
+//! | `topo_sweep` | node topology sweep: ppn × {TCIO, OCIO, OCIO+intra-agg}, intra/inter byte split |
 //!
 //! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
 pub mod calib;
 pub mod report;
 pub mod runner;
+pub mod topo;
 
 pub use calib::{fmt_bytes, Calib};
 pub use report::{mbs, sparkline, Args, Table};
 pub use runner::{run_art, run_synth, run_traced_synth, Outcome};
+pub use topo::{cell_to_json, run_cell, TopoCell, Variant};

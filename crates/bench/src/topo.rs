@@ -1,0 +1,196 @@
+//! Topology sweep: the Table II interleaved-arrays workload on a node
+//! topology, for TCIO, topology-blind OCIO, and OCIO with two-level
+//! intra-node aggregation (`topo_sweep` binary).
+//!
+//! Each cell runs dump-then-restart at a given `(nprocs, ppn)` placement
+//! and reports the per-phase virtual times plus the fabric's intra-/
+//! inter-node byte split — the quantity the two-level exchange moves:
+//! pre-aggregation converts inter-node bytes into cheap intra-node bytes
+//! and collapses the off-node message count to one per node pair.
+
+use crate::calib::Calib;
+use mpisim::Topology;
+use pfs::Pfs;
+use std::sync::Arc;
+use tcio::TcioConfig;
+use workloads::synthetic::{self, SynthParams};
+use workloads::WlError;
+
+/// What runs inside a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// TCIO with node-aware L2 owner placement.
+    Tcio,
+    /// Two-phase collective I/O with the flat all-to-all exchange.
+    Ocio,
+    /// Two-phase with intra-node pre-aggregation (leaders-only burst).
+    OcioIntra,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 3] = [Variant::Tcio, Variant::Ocio, Variant::OcioIntra];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Tcio => "tcio",
+            Variant::Ocio => "ocio",
+            Variant::OcioIntra => "ocio_intra",
+        }
+    }
+}
+
+/// One measured sweep cell.
+#[derive(Debug, Clone)]
+pub struct TopoCell {
+    pub nprocs: usize,
+    pub ppn: usize,
+    pub variant: Variant,
+    /// Write-phase elapsed virtual seconds (max across ranks).
+    pub write_s: f64,
+    /// Read-phase elapsed virtual seconds.
+    pub read_s: f64,
+    /// Fabric bytes that stayed on a node.
+    pub intra_bytes: u64,
+    /// Fabric bytes that crossed node NICs.
+    pub inter_bytes: u64,
+}
+
+/// Run one cell of the sweep. `ppn = 1` is the zero-cost-off placement
+/// (trivial topology, identical to no topology at all).
+pub fn run_cell(
+    calib: &Calib,
+    nprocs: usize,
+    ppn: usize,
+    variant: Variant,
+    len_virtual: usize,
+    size_access: usize,
+) -> TopoCell {
+    let len_real = (len_virtual as u64 / calib.scale_inv).max(1) as usize;
+    let len_real = len_real.div_ceil(size_access) * size_access;
+    let p = SynthParams::with_types("i,d", len_real, size_access).expect("valid params");
+    let sim = mpisim::SimConfig {
+        topology: Some(Topology::blocked(nprocs, ppn)),
+        ..calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    let seg = calib.segment_size;
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let base_tcfg =
+            TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
+        let tcfg = move || base_tcfg.clone();
+        let ccfg = mpiio::CollectiveConfig {
+            intra_agg: variant == Variant::OcioIntra,
+            ..Default::default()
+        };
+        let w = match variant {
+            Variant::Tcio => synthetic::write_tcio(rk, &fs2, &p2, "/topo", Some(tcfg())),
+            Variant::Ocio | Variant::OcioIntra => {
+                synthetic::write_ocio(rk, &fs2, &p2, "/topo", &ccfg)
+            }
+        }
+        .map_err(WlError::into_mpi)?;
+        let r = match variant {
+            Variant::Tcio => synthetic::read_tcio(rk, &fs2, &p2, "/topo", Some(tcfg())),
+            Variant::Ocio | Variant::OcioIntra => {
+                synthetic::read_ocio(rk, &fs2, &p2, "/topo", &ccfg)
+            }
+        }
+        .map_err(WlError::into_mpi)?;
+        Ok((w.elapsed, r.elapsed))
+    })
+    .expect("topo cell completes");
+    TopoCell {
+        nprocs,
+        ppn,
+        variant,
+        write_s: rep.results.iter().map(|&(w, _)| w).fold(0.0f64, f64::max),
+        read_s: rep.results.iter().map(|&(_, r)| r).fold(0.0f64, f64::max),
+        intra_bytes: rep.fabric.intra_bytes,
+        inter_bytes: rep.fabric.inter_bytes,
+    }
+}
+
+/// Deterministic JSON rendering of one cell — the regression guard
+/// compares this string verbatim against the committed baseline, so the
+/// format (field order, float precision) must stay stable.
+pub fn cell_to_json(c: &TopoCell) -> String {
+    format!(
+        "{{\"nprocs\": {}, \"ppn\": {}, \"variant\": \"{}\", \
+         \"write_s\": {:.9}, \"read_s\": {:.9}, \
+         \"intra_bytes\": {}, \"inter_bytes\": {}}}",
+        c.nprocs,
+        c.ppn,
+        c.variant.label(),
+        c.write_s,
+        c.read_s,
+        c.intra_bytes,
+        c.inter_bytes
+    )
+}
+
+/// The default sweep grid: every `ppn` from the list that fits `nprocs`
+/// with at least two nodes' worth of ranks, plus the trivial `ppn = 1`.
+pub fn sweep_ppns(nprocs: usize, ppns: &[usize]) -> Vec<usize> {
+    ppns.iter().copied().filter(|&p| p <= nprocs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_run_and_report_byte_split() {
+        let calib = Calib::paper(1024);
+        let flat = run_cell(&calib, 8, 1, Variant::Ocio, 1 << 16, 1);
+        assert_eq!(flat.intra_bytes, 0, "ppn=1 must be all inter-node");
+        let cell = run_cell(&calib, 8, 4, Variant::OcioIntra, 1 << 16, 1);
+        assert!(cell.write_s > 0.0 && cell.read_s > 0.0);
+        assert!(cell.intra_bytes > 0, "two-level must move intra bytes");
+        let json = cell_to_json(&cell);
+        assert!(json.contains("\"variant\": \"ocio_intra\""));
+        assert!(json.contains("\"intra_bytes\""));
+    }
+
+    #[test]
+    fn single_rank_cells_are_deterministic() {
+        // The regression guard asserts exact equality against a committed
+        // baseline; this only holds if back-to-back runs agree to the bit.
+        // Single-rank cells are the only fully scheduler-independent ones
+        // (multi-rank timeline reservation order varies run to run), which
+        // is why the guard pins exactly these.
+        let calib = Calib::paper(1024);
+        for variant in Variant::ALL {
+            let a = cell_to_json(&run_cell(&calib, 1, 1, variant, 1 << 16, 1));
+            let b = cell_to_json(&run_cell(&calib, 1, 1, variant, 1 << 16, 1));
+            assert_eq!(a, b, "{} cell drifted between runs", variant.label());
+        }
+    }
+
+    #[test]
+    fn two_level_beats_flat_ocio_past_the_conn_cache() {
+        // The acceptance bar: at ppn = 16 with more ranks than the
+        // per-rank connection cache (64), the flat burst thrashes
+        // connection setup and queues P-1 unexpected messages per rank,
+        // while the two-level exchange keeps only node leaders on the
+        // wire. The interleaved-arrays collective write must improve by
+        // at least 20% (it measures >2x; the margin absorbs scheduler
+        // jitter in the virtual clocks).
+        let calib = Calib::paper(1024);
+        let flat = run_cell(&calib, 128, 16, Variant::Ocio, 1 << 16, 1);
+        let two = run_cell(&calib, 128, 16, Variant::OcioIntra, 1 << 16, 1);
+        assert!(
+            two.write_s <= 0.8 * flat.write_s,
+            "two-level write {}s must be >=20% under flat {}s",
+            two.write_s,
+            flat.write_s
+        );
+    }
+
+    #[test]
+    fn sweep_ppns_filters_oversized() {
+        assert_eq!(sweep_ppns(8, &[1, 4, 16]), vec![1, 4]);
+        assert_eq!(sweep_ppns(32, &[1, 4, 16]), vec![1, 4, 16]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Regression guard for the topology sweep: re-run the smallest cells of
+//! the committed `bench_results/baseline_topo.json` and require the
+//! rendered JSON — virtual clocks included, to the digit — to appear
+//! verbatim in the baseline.
+//!
+//! Only the single-rank cells are pinned: they are the one part of the
+//! sweep whose virtual clocks are fully scheduler-independent (multi-rank
+//! cells race on shared timeline reservations, so their clocks wobble in
+//! the last digits run-to-run). A single-rank cell still exercises the
+//! whole cost model — PFS striping and OST service, TCIO L1/L2 machinery,
+//! the collective buffer path — so any calibration or cost-model change
+//! shows up as a mismatch here and requires regenerating the baseline:
+//!
+//!   cargo run --release -p bench --bin topo_sweep -- \
+//!       --out bench_results/baseline_topo.json
+
+use bench::topo::{cell_to_json, run_cell, Variant};
+use bench::Calib;
+
+/// Must match the defaults of the `topo_sweep` binary.
+const LEN: usize = 1 << 16;
+const SIZE_ACCESS: usize = 1;
+const SCALE: u64 = 1024;
+
+fn baseline() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_results/baseline_topo.json"
+    );
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {path}: {e}"))
+}
+
+#[test]
+fn smallest_cells_match_the_committed_baseline_exactly() {
+    let baseline = baseline();
+    let calib = Calib::paper(SCALE);
+    for variant in Variant::ALL {
+        let cell = run_cell(&calib, 1, 1, variant, LEN, SIZE_ACCESS);
+        let json = cell_to_json(&cell);
+        assert!(
+            baseline.contains(&json),
+            "{} guard cell diverged from bench_results/baseline_topo.json:\n  \
+             re-ran: {json}\nIf a cost-model change is intentional, regenerate \
+             the baseline with the topo_sweep binary.",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn baseline_covers_the_sweep_grid() {
+    // The committed file must keep reporting the intra/inter byte split
+    // for every (procs, ppn) cell of the default grid — the sweep's
+    // acceptance output.
+    let baseline = baseline();
+    for nprocs in [1usize, 8, 32, 128] {
+        for ppn in [1usize, 4, 16] {
+            if ppn > nprocs {
+                continue;
+            }
+            for variant in ["tcio", "ocio", "ocio_intra"] {
+                let prefix =
+                    format!("{{\"nprocs\": {nprocs}, \"ppn\": {ppn}, \"variant\": \"{variant}\", ");
+                assert!(
+                    baseline.contains(&prefix),
+                    "baseline is missing cell {prefix}"
+                );
+            }
+        }
+    }
+    assert!(baseline.contains("\"intra_bytes\""));
+    assert!(baseline.contains("\"inter_bytes\""));
+}

@@ -39,6 +39,25 @@ pub struct CollectiveConfig {
     /// Round file-domain boundaries up to this alignment (e.g. the PFS
     /// stripe size, per Liao & Choudhary's lock-boundary partitioning).
     pub align: Option<u64>,
+    /// Two-level exchange (Kang et al.): pre-aggregate pieces on a node
+    /// leader over the cheap intra-node links so only one rank per node
+    /// participates in the inter-node all-to-all burst. A no-op (falls
+    /// back to the flat burst) when the simulation has no topology.
+    pub intra_agg: bool,
+}
+
+/// The data-exchange step shared by all two-phase paths: the flat
+/// all-to-all burst, or the two-level (intra-node aggregated) variant.
+pub(crate) fn exchange(
+    rank: &mut Rank,
+    cfg: &CollectiveConfig,
+    payloads: Vec<Vec<u8>>,
+) -> Result<Vec<Vec<u8>>> {
+    if cfg.intra_agg {
+        Ok(rank.alltoallv_burst_hier(payloads)?)
+    } else {
+        Ok(rank.alltoallv_burst(payloads)?)
+    }
 }
 
 /// Serialize a piece list `[(file_off, len, payload)]` for the exchange.
@@ -178,7 +197,19 @@ pub(crate) fn compute_domains(
     }
     let nprocs = rank.nprocs();
     let naggs = cfg.cb_nodes.unwrap_or(nprocs).clamp(1, nprocs);
-    let mut agg_ranks: Vec<usize> = (0..naggs).map(|i| i * nprocs / naggs).collect();
+    let mut agg_ranks: Vec<usize> = match rank.topology() {
+        // Node-aware placement: interleave nodes so the first
+        // `num_nodes` aggregators land one per node — aggregator NICs
+        // are the bottleneck of the I/O phase, so doubling up on a node
+        // before every node has one wastes links.
+        Some(topo) => {
+            let mut order = topo.interleaved_order();
+            order.truncate(naggs);
+            order
+        }
+        // Topology-blind: the classic evenly-spread ROMIO mapping.
+        None => (0..naggs).map(|i| i * nprocs / naggs).collect(),
+    };
     // Graceful degradation: drop aggregators with a stall window still
     // ahead. Both allreduces above are symmetric (equal payloads on every
     // rank), so all ranks exit with *identical* clocks — evaluating the
@@ -268,7 +299,7 @@ pub fn write_all_at(
             }
         }
         // Data exchange phase: the all-to-all burst.
-        let exchanged = rank.alltoallv_burst(payloads)?;
+        let exchanged = exchange(rank, cfg, payloads)?;
 
         // I/O phase (aggregators only).
         if let Some(i) = my_agg {
@@ -365,7 +396,7 @@ pub fn read_all_at(
                 requests[a] = encode_requests(&reqs);
             }
         }
-        let incoming = rank.alltoallv_burst(requests)?;
+        let incoming = exchange(rank, cfg, requests)?;
 
         // Phase 2: aggregators read their window and answer.
         let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
@@ -421,7 +452,7 @@ pub fn read_all_at(
                 }
             }
         }
-        let answers = rank.alltoallv_burst(responses)?;
+        let answers = exchange(rank, cfg, responses)?;
 
         // Scatter answers into the caller's buffer.
         for i in 0..doms.naggs {
@@ -480,11 +511,20 @@ mod tests {
         len_array: usize,
         cfg: CollectiveConfig,
     ) -> (Arc<Pfs>, Vec<u8>) {
+        run_interleaved_sim(nprocs, len_array, cfg, SimConfig::default())
+    }
+
+    fn run_interleaved_sim(
+        nprocs: usize,
+        len_array: usize,
+        cfg: CollectiveConfig,
+        sim: SimConfig,
+    ) -> (Arc<Pfs>, Vec<u8>) {
         // The paper's Fig. 2 pattern: block b of the file belongs to rank
         // b % P; rank r writes blocks of 12 bytes filled with (r+1).
         let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
         let fs2 = Arc::clone(&fs);
-        mpisim::run(nprocs, SimConfig::default(), move |rk| {
+        mpisim::run(nprocs, sim, move |rk| {
             let mut f = File::open(rk, &fs2, "/c", Mode::WriteOnly).map_err(to_mpi)?;
             let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
             let ftype =
@@ -549,6 +589,60 @@ mod tests {
         };
         let (_, bytes) = run_interleaved(4, 8, cfg);
         check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn two_level_exchange_with_topology_is_byte_identical() {
+        let flat = run_interleaved(8, 6, CollectiveConfig::default()).1;
+        for ppn in [2, 4] {
+            let sim = SimConfig {
+                topology: Some(mpisim::Topology::blocked(8, ppn)),
+                ..Default::default()
+            };
+            let cfg = CollectiveConfig {
+                intra_agg: true,
+                ..Default::default()
+            };
+            let (_, bytes) = run_interleaved_sim(8, 6, cfg, sim);
+            assert_eq!(bytes, flat, "ppn={ppn} diverged from the flat burst");
+        }
+    }
+
+    #[test]
+    fn intra_agg_without_topology_falls_back_to_flat() {
+        let cfg = CollectiveConfig {
+            intra_agg: true,
+            cb_nodes: Some(2),
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved(4, 8, cfg);
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn aggregators_spread_one_per_node_first() {
+        let sim = SimConfig {
+            topology: Some(mpisim::Topology::blocked(8, 4)),
+            ..Default::default()
+        };
+        let rep = mpisim::run(8, sim, move |rk| {
+            let cfg = CollectiveConfig {
+                cb_nodes: Some(3),
+                ..Default::default()
+            };
+            let r = rk.rank() as u64;
+            let doms = compute_domains(rk, r * 10, r * 10 + 10, &cfg)
+                .map_err(to_mpi)?
+                .unwrap();
+            Ok(doms.agg_ranks)
+        })
+        .unwrap();
+        for aggs in &rep.results {
+            // Nodes {0..4} and {4..8}: leaders 0 and 4 first, then the
+            // second member of node 0 — never two on one node while
+            // another node is empty (blind mapping would pick [0, 2, 5]).
+            assert_eq!(aggs, &vec![0, 4, 1]);
+        }
     }
 
     #[test]

@@ -131,7 +131,13 @@ pub fn write_all_partitioned(
             payloads[i * g / naggs] = encode_pieces(&pieces);
         }
     }
-    let exchanged = rank.alltoallv_burst_in(comm, payloads)?;
+    // Group-scoped burst, optionally two-level (node leaders only cross
+    // nodes) when the config asks for intra-node aggregation.
+    let exchanged = if cfg.intra_agg {
+        rank.alltoallv_burst_hier_in(comm, payloads)?
+    } else {
+        rank.alltoallv_burst_in(comm, payloads)?
+    };
 
     // I/O phase (group aggregators only).
     if let Some(i) = agg_index_of(comm.group_rank()) {
@@ -224,6 +230,47 @@ mod tests {
                         .iter()
                         .all(|&b| b == r as u8 + 1),
                     "rank {r} region corrupted (groups={groups})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_two_level_with_topology_is_correct() {
+        // Groups are contiguous rank ranges of 4 over 2 nodes of ppn=4:
+        // group 0 = node 0, group 1 = node 1 — plus a misaligned split
+        // where each group straddles both nodes.
+        for gsize in [4usize, 2] {
+            let nprocs = 8;
+            let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let sim = SimConfig {
+                topology: Some(mpisim::Topology::blocked(nprocs, 4)),
+                ..Default::default()
+            };
+            mpisim::run(nprocs, sim, move |rk| {
+                let comm = rk.split((rk.rank() / gsize) as u64)?;
+                let mut f = File::open(rk, &fs2, "/pc2", Mode::WriteOnly).map_err(to_mpi)?;
+                let data = vec![rk.rank() as u8 + 1; 64];
+                let cfg = CollectiveConfig {
+                    intra_agg: true,
+                    cb_nodes: Some(2),
+                    ..Default::default()
+                };
+                write_all_partitioned(rk, &mut f, &comm, (rk.rank() * 64) as u64, &data, &cfg)
+                    .map_err(to_mpi)?;
+                f.close(rk).map_err(to_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/pc2").unwrap();
+            let bytes = fs.snapshot_file(fid).unwrap();
+            for r in 0..nprocs {
+                assert!(
+                    bytes[r * 64..(r + 1) * 64]
+                        .iter()
+                        .all(|&b| b == r as u8 + 1),
+                    "rank {r} region corrupted (gsize={gsize})"
                 );
             }
         }

@@ -16,7 +16,7 @@
 //! domain is a *single contiguous stream interval* — one header per
 //! aggregator, regardless of how fragmented the file extents are.
 
-use crate::collective::{compute_domains, CollectiveConfig};
+use crate::collective::{compute_domains, exchange, CollectiveConfig};
 use crate::error::{IoError, Result};
 use crate::extents::ExtentSet;
 use crate::file::File;
@@ -96,7 +96,7 @@ pub fn write_all_view_based(
             msg.extend_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
             payloads[doms.agg_rank(i, nprocs)] = msg;
         }
-        let exchanged = rank.alltoallv_burst(payloads)?;
+        let exchanged = exchange(rank, cfg, payloads)?;
 
         // Aggregator side: reconstruct placement from the stored views.
         if let Some(i) = my_agg {
@@ -210,7 +210,7 @@ pub fn read_all_view_based(
             requests[a] = msg;
             my_intervals[a] = Some((lo, hi));
         }
-        let incoming = rank.alltoallv_burst(requests)?;
+        let incoming = exchange(rank, cfg, requests)?;
 
         // Phase 2: aggregators read and answer from the stored views.
         let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
@@ -266,7 +266,7 @@ pub fn read_all_view_based(
                 }
             }
         }
-        let answers = rank.alltoallv_burst(responses)?;
+        let answers = exchange(rank, cfg, responses)?;
 
         // Scatter each aggregator's reply into my buffer.
         for (a, iv) in my_intervals.iter().enumerate() {
@@ -351,6 +351,39 @@ mod tests {
         };
         let (two_phase, view_based) = write_both_ways(3, 5, cfg);
         assert_eq!(two_phase, view_based);
+    }
+
+    #[test]
+    fn view_based_two_level_matches_with_topology() {
+        let (two_phase, _) = write_both_ways(4, 8, CollectiveConfig::default());
+        let cfg = CollectiveConfig {
+            intra_agg: true,
+            ..Default::default()
+        };
+        let nprocs = 4;
+        let len_array = 8;
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let sim = SimConfig {
+            topology: Some(mpisim::Topology::blocked(nprocs, 2)),
+            ..Default::default()
+        };
+        mpisim::run(nprocs, sim, move |rk| {
+            let mut f = File::open(rk, &fs2, "/vb2", Mode::WriteOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 12 * len_array];
+            let views = register_views(rk, &f).map_err(to_mpi)?;
+            write_all_view_based(rk, &mut f, &views, 0, &data, &cfg).map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/vb2").unwrap();
+        assert_eq!(fs.snapshot_file(fid).unwrap(), two_phase);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod runtime;
 pub mod stats;
 pub mod subcomm;
 pub mod timeline;
+pub mod topology;
 pub mod trace;
 
 pub use collectives::log2ceil;
@@ -51,4 +52,5 @@ pub use rma::{Epoch, LockKind, Window};
 pub use runtime::{run, Rank, ReduceOp, SimConfig, SimReport};
 pub use stats::RankStats;
 pub use subcomm::SubComm;
+pub use topology::Topology;
 pub use trace::{chrome_trace_json, OstRow, Phase, PhaseTotals, RankTrace, Span, TraceReport};

@@ -71,6 +71,13 @@ pub struct NetConfig {
     /// dominant when applications issue millions of tiny accesses (the
     /// ART pattern of §V.C).
     pub api_call_overhead: f64,
+    /// One-way latency between two ranks on the *same node* (shared-memory
+    /// transport) when a [`Topology`](crate::Topology) is configured.
+    /// Unused without one.
+    pub intra_latency: f64,
+    /// Per-byte time for intra-node transfers (memory-bus bandwidth, no
+    /// NIC). Unused without a topology.
+    pub intra_byte_time: f64,
     /// Per-queued-message matching cost charged when a receive completes:
     /// an eager burst (ROMIO's "Irecv from all, Isend to all" exchange)
     /// piles up an unexpected-message queue that the MPI progress engine
@@ -101,6 +108,8 @@ impl Default for NetConfig {
             memcpy_byte_time: 1.0 / 6.0e9,
             gather_header_bytes: 16,
             noise_mean: 0.0,
+            intra_latency: 0.3e-6,
+            intra_byte_time: 1.0 / 8.0e9,
             api_call_overhead: 0.3e-6,
             match_overhead: 50.0e-9,
         }
@@ -124,6 +133,13 @@ pub struct FabricStats {
     pub conn_misses: AtomicU64,
     /// Transfers that saw a congestion multiplier > 1.
     pub congested_transfers: AtomicU64,
+    /// Transfers that stayed on a node (loopback, or co-located ranks
+    /// under a non-trivial topology).
+    pub intra_messages: AtomicU64,
+    pub intra_bytes: AtomicU64,
+    /// Transfers that crossed a NIC.
+    pub inter_messages: AtomicU64,
+    pub inter_bytes: AtomicU64,
 }
 
 /// Snapshot of [`FabricStats`] for reports.
@@ -133,6 +149,10 @@ pub struct FabricStatsSnapshot {
     pub bytes: u64,
     pub conn_misses: u64,
     pub congested_transfers: u64,
+    pub intra_messages: u64,
+    pub intra_bytes: u64,
+    pub inter_messages: u64,
+    pub inter_bytes: u64,
 }
 
 impl FabricStats {
@@ -142,6 +162,10 @@ impl FabricStats {
             bytes: self.bytes.load(Ordering::Relaxed),
             conn_misses: self.conn_misses.load(Ordering::Relaxed),
             congested_transfers: self.congested_transfers.load(Ordering::Relaxed),
+            intra_messages: self.intra_messages.load(Ordering::Relaxed),
+            intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
+            inter_messages: self.inter_messages.load(Ordering::Relaxed),
+            inter_bytes: self.inter_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -220,6 +244,14 @@ pub struct Fabric {
     inflight: Mutex<Inflight>,
     /// Fault-injection engine (message-delay spikes, connection flushes).
     chaos: Option<Arc<chaos::ChaosEngine>>,
+    /// Node topology, kept only when non-trivial (a trivial topology is
+    /// bit-identical to none — see [`crate::topology`]). When present,
+    /// off-node traffic serializes on per-*node* NIC timelines and
+    /// co-located ranks use the intra-node cost model.
+    topology: Option<crate::topology::Topology>,
+    /// Per-node NIC timelines, indexed by node (only when `topology` set).
+    node_tx: Vec<Mutex<Timeline>>,
+    node_rx: Vec<Mutex<Timeline>>,
     pub stats: FabricStats,
 }
 
@@ -240,6 +272,18 @@ impl Fabric {
         cfg: NetConfig,
         chaos: Option<Arc<chaos::ChaosEngine>>,
     ) -> Self {
+        Fabric::new_full(nprocs, cfg, chaos, None)
+    }
+
+    pub fn new_full(
+        nprocs: usize,
+        cfg: NetConfig,
+        chaos: Option<Arc<chaos::ChaosEngine>>,
+        topology: Option<crate::topology::Topology>,
+    ) -> Self {
+        // A trivial topology (ppn = 1) must be indistinguishable from none.
+        let topology = topology.filter(|t| !t.is_trivial());
+        let num_nodes = topology.as_ref().map_or(0, |t| t.num_nodes());
         Fabric {
             tx_busy: (0..nprocs).map(|_| Mutex::new(Timeline::new())).collect(),
             rx_busy: (0..nprocs).map(|_| Mutex::new(Timeline::new())).collect(),
@@ -248,6 +292,13 @@ impl Fabric {
                 .collect(),
             inflight: Mutex::new(Inflight::default()),
             chaos,
+            node_tx: (0..num_nodes)
+                .map(|_| Mutex::new(Timeline::new()))
+                .collect(),
+            node_rx: (0..num_nodes)
+                .map(|_| Mutex::new(Timeline::new()))
+                .collect(),
+            topology,
             stats: FabricStats::default(),
             cfg,
         }
@@ -257,20 +308,81 @@ impl Fabric {
         &self.cfg
     }
 
+    /// The active (non-trivial) topology, if any.
+    pub fn topology(&self) -> Option<&crate::topology::Topology> {
+        self.topology.as_ref()
+    }
+
+    /// Does a `src → dst` transfer stay on one node? (Loopback always
+    /// does; otherwise only co-located ranks under an active topology.)
+    pub fn is_intra(&self, src: usize, dst: usize) -> bool {
+        src == dst
+            || self
+                .topology
+                .as_ref()
+                .is_some_and(|t| t.colocated(src, dst))
+    }
+
+    fn count_level(&self, intra: bool, bytes: usize) {
+        if intra {
+            self.stats.intra_messages.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .intra_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.stats.inter_messages.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .inter_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Transmit port for `src`: the node NIC under an active topology,
+    /// else the rank's own port.
+    fn tx_port(&self, src: usize) -> &Mutex<Timeline> {
+        match &self.topology {
+            Some(t) => &self.node_tx[t.node_of(src)],
+            None => &self.tx_busy[src],
+        }
+    }
+
+    /// Receive port for `dst` (see [`Fabric::tx_port`]).
+    fn rx_port(&self, dst: usize) -> &Mutex<Timeline> {
+        match &self.topology {
+            Some(t) => &self.node_rx[t.node_of(dst)],
+            None => &self.rx_busy[dst],
+        }
+    }
+
     /// Schedule a `bytes`-sized transfer from `src` to `dst` whose send side
     /// becomes ready at virtual time `start`. Returns the arrival time at
     /// the destination and the time the sender is free.
     ///
     /// `src == dst` models a local loopback: only memcpy cost, no NIC.
+    /// Under an active topology, distinct co-located ranks use the
+    /// shared-memory cost model (`intra_latency`/`intra_byte_time`, no
+    /// connection setup, no NIC serialization, no congestion), and
+    /// off-node transfers serialize on the *node* NIC ports.
     pub fn transfer(&self, src: usize, dst: usize, bytes: usize, start: f64) -> Transfer {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let intra = self.is_intra(src, dst);
+        self.count_level(intra, bytes);
 
         if src == dst {
             let done = start + self.cfg.send_overhead + bytes as f64 * self.cfg.memcpy_byte_time;
             return Transfer {
                 arrival: done,
                 sender_done: done,
+            };
+        }
+
+        if intra {
+            let sender_done =
+                start + self.cfg.send_overhead + bytes as f64 * self.cfg.intra_byte_time;
+            return Transfer {
+                arrival: sender_done + self.cfg.intra_latency,
+                sender_done,
             };
         }
 
@@ -310,14 +422,14 @@ impl Fabric {
         }
         let dur = base_dur * factor;
 
-        let tx_start = reserve(&self.tx_busy[src], ready, dur);
+        let tx_start = reserve(self.tx_port(src), ready, dur);
         // Injected in-network delay: evaluated at the transmit instant, paid
         // on the wire between the two NICs (the sender is not held up).
         let delay = match &self.chaos {
             Some(engine) => engine.message_delay(tx_start),
             None => 0.0,
         };
-        let rx_start = reserve(&self.rx_busy[dst], tx_start + self.cfg.latency + delay, dur);
+        let rx_start = reserve(self.rx_port(dst), tx_start + self.cfg.latency + delay, dur);
         Transfer {
             arrival: rx_start + dur,
             sender_done: tx_start + dur,
@@ -327,13 +439,13 @@ impl Fabric {
     /// Reserve the receive port of `dst` directly (used by RMA puts whose
     /// payload is applied eagerly but whose cost must still queue).
     pub fn reserve_rx(&self, dst: usize, earliest: f64, dur: f64) -> f64 {
-        reserve(&self.rx_busy[dst], earliest, dur)
+        reserve(self.rx_port(dst), earliest, dur)
     }
 
     /// Reserve the transmit port of `src` directly (used by RMA gets, where
     /// the data flows target → origin).
     pub fn reserve_tx(&self, src: usize, earliest: f64, dur: f64) -> f64 {
-        reserve(&self.tx_busy[src], earliest, dur)
+        reserve(self.tx_port(src), earliest, dur)
     }
 }
 
@@ -472,5 +584,82 @@ mod tests {
         let s = f.stats.snapshot();
         assert_eq!(s.messages, 2);
         assert_eq!(s.bytes, 150);
+        assert_eq!(s.inter_messages, 2);
+        assert_eq!(s.inter_bytes, 150);
+        assert_eq!(s.intra_messages, 0);
+    }
+
+    #[test]
+    fn trivial_topology_is_identical_to_none() {
+        let flat = fabric(4);
+        let topo = Fabric::new_full(
+            4,
+            NetConfig::default(),
+            None,
+            Some(crate::topology::Topology::blocked(4, 1)),
+        );
+        assert!(topo.topology().is_none(), "ppn=1 must be dropped");
+        for (src, dst, bytes, start) in [
+            (0, 1, 1000, 0.0),
+            (1, 1, 64, 0.5),
+            (2, 3, 4096, 1.0),
+            (0, 1, 9, 2.0),
+        ] {
+            let a = flat.transfer(src, dst, bytes, start);
+            let b = topo.transfer(src, dst, bytes, start);
+            assert_eq!(a, b, "{src}->{dst}");
+        }
+        assert_eq!(flat.stats.snapshot(), topo.stats.snapshot());
+    }
+
+    #[test]
+    fn intra_node_transfer_skips_nic_and_connection_setup() {
+        let f = Fabric::new_full(
+            4,
+            NetConfig::default(),
+            None,
+            Some(crate::topology::Topology::blocked(4, 2)),
+        );
+        let cfg = f.config().clone();
+        let t = f.transfer(0, 1, 1 << 20, 3.0);
+        let expect_done = 3.0 + cfg.send_overhead + (1 << 20) as f64 * cfg.intra_byte_time;
+        assert!((t.sender_done - expect_done).abs() < 1e-12);
+        assert!((t.arrival - (expect_done + cfg.intra_latency)).abs() < 1e-12);
+        let s = f.stats.snapshot();
+        assert_eq!(s.conn_misses, 0, "shared memory needs no connection");
+        assert_eq!(s.intra_messages, 1);
+        assert_eq!(s.intra_bytes, 1 << 20);
+        assert_eq!(s.inter_messages, 0);
+    }
+
+    #[test]
+    fn colocated_ranks_serialize_on_the_node_nic() {
+        // Node 0 = {0, 1}, node 1 = {2, 3}. Both off-node transfers share
+        // one tx NIC and one rx NIC, so they queue; without a topology the
+        // pairs are disjoint and overlap freely.
+        let bytes = 1 << 20;
+        let dur = bytes as f64 * NetConfig::default().byte_time;
+        let topo = Fabric::new_full(
+            4,
+            NetConfig::default(),
+            None,
+            Some(crate::topology::Topology::blocked(4, 2)),
+        );
+        let mut last_topo = 0.0f64;
+        for (src, dst) in [(0, 2), (1, 3)] {
+            last_topo = last_topo.max(topo.transfer(src, dst, bytes, 0.0).arrival);
+        }
+        let flat = fabric(4);
+        let mut last_flat = 0.0f64;
+        for (src, dst) in [(0, 2), (1, 3)] {
+            last_flat = last_flat.max(flat.transfer(src, dst, bytes, 0.0).arrival);
+        }
+        assert!(
+            last_topo >= last_flat + dur * 0.9,
+            "{last_topo} vs {last_flat}"
+        );
+        let s = topo.stats.snapshot();
+        assert_eq!(s.inter_messages, 2);
+        assert_eq!(s.intra_messages, 0);
     }
 }

@@ -38,6 +38,14 @@ use std::sync::Arc;
 const TAG_INTERNAL_BASE: Tag = Tag::MAX - 15;
 const TAG_ALLTOALLV: Tag = TAG_INTERNAL_BASE;
 const TAG_GROUP_A2A: Tag = TAG_INTERNAL_BASE + 1;
+/// Two-level (hierarchical) all-to-all: non-leader → node leader.
+const TAG_HIER_UP: Tag = TAG_INTERNAL_BASE + 2;
+/// Two-level all-to-all: leader → leader, across nodes.
+const TAG_HIER_XNODE: Tag = TAG_INTERNAL_BASE + 3;
+/// Two-level all-to-all: node leader → non-leader.
+const TAG_HIER_DOWN: Tag = TAG_INTERNAL_BASE + 4;
+/// Two-level all-to-all: direct payload between co-located ranks.
+const TAG_HIER_LOCAL: Tag = TAG_INTERNAL_BASE + 5;
 
 /// Whole-simulation configuration.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +61,10 @@ pub struct SimConfig {
     /// slowdowns; the fabric polls it for message delays and
     /// connection-cache flushes.
     pub chaos: Option<Arc<chaos::ChaosEngine>>,
+    /// Node topology (`None` = flat machine). A trivial topology (one rank
+    /// per node) is guaranteed bit-identical to `None` — see
+    /// [`crate::topology`].
+    pub topology: Option<crate::topology::Topology>,
 }
 
 /// A collectively-created object plus the number of ranks that fetched it
@@ -76,7 +88,12 @@ impl Shared {
     fn new(nprocs: usize, cfg: &SimConfig) -> Self {
         Shared {
             nprocs,
-            fabric: Fabric::new_with_chaos(nprocs, cfg.net.clone(), cfg.chaos.clone()),
+            fabric: Fabric::new_full(
+                nprocs,
+                cfg.net.clone(),
+                cfg.chaos.clone(),
+                cfg.topology.clone(),
+            ),
             mailboxes: (0..nprocs).map(|_| Mailbox::default()).collect(),
             rendezvous: Rendezvous::new(nprocs),
             mem: (0..nprocs)
@@ -268,6 +285,12 @@ impl Rank {
         self.shared.fabric.config()
     }
 
+    /// The active (non-trivial) node topology, if any. Cheap to clone
+    /// (`Arc`-backed); a trivial `ppn = 1` topology reads back as `None`.
+    pub fn topology(&self) -> Option<crate::topology::Topology> {
+        self.shared.fabric.topology().cloned()
+    }
+
     /// The simulated-memory tracker for this rank.
     pub fn mem(&self) -> &MemTracker {
         &self.mem
@@ -297,6 +320,21 @@ impl Rank {
         }
     }
 
+    /// Span name for a p2p send, tagged with the topology level when a
+    /// non-trivial topology is active (span names must be `&'static str`).
+    fn send_span_name(&self, base: &'static str, dst: usize) -> &'static str {
+        if self.shared.fabric.topology().is_none() {
+            return base;
+        }
+        match (base, self.shared.fabric.is_intra(self.id, dst)) {
+            ("send", true) => "send_intra",
+            ("send", false) => "send_inter",
+            ("isend", true) => "isend_intra",
+            ("isend", false) => "isend_inter",
+            _ => base,
+        }
+    }
+
     // ---- point-to-point ----
 
     /// Blocking (buffered) send: returns once the local NIC has pushed the
@@ -313,7 +351,7 @@ impl Rank {
             .transfer(self.id, dst, data.len(), self.clock);
         self.set_clock_as(tr.sender_done, Phase::Exchange);
         let span = self.tracer.record(
-            "send",
+            self.send_span_name("send", dst),
             Phase::Exchange,
             start,
             self.clock,
@@ -338,7 +376,7 @@ impl Rank {
             .transfer(self.id, dst, data.len(), self.clock);
         self.advance_as(self.shared.fabric.config().send_overhead, Phase::Exchange);
         let span = self.tracer.record(
-            "isend",
+            self.send_span_name("isend", dst),
             Phase::Exchange,
             start,
             self.clock,
@@ -923,6 +961,245 @@ impl Rank {
         Ok(out)
     }
 
+    /// Two-level all-to-all for hierarchical machines (Kang et al.,
+    /// *Improving MPI Collective I/O Performance With Intra-node Request
+    /// Aggregation*): ranks on a node first combine their off-node
+    /// payloads at a node leader over the cheap intra-node links, only
+    /// leaders shuffle across nodes (one message per node pair instead of
+    /// one per rank pair), and leaders scatter the received data back to
+    /// their peers. On-node payloads travel directly over shared memory.
+    /// Falls back to [`Rank::alltoallv_burst`] when no (non-trivial)
+    /// topology is configured. Same contract as the flat exchange:
+    /// `data[d]` is the payload for rank `d`; the result is indexed by
+    /// source — so the two are always byte-identical.
+    ///
+    /// Leader election is chaos-aware: members enter through a barrier (so
+    /// their clocks agree) and each node takes its lowest member that is
+    /// not inside or ahead of an injected stall window; if all members are
+    /// stalled the default (lowest) is kept. A non-default election bumps
+    /// [`RankStats::leader_fallbacks`] on the elected rank.
+    pub fn alltoallv_burst_hier(&mut self, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
+        if data.len() != self.nprocs {
+            return Err(MpiError::CollectiveMismatch(
+                "alltoallv payload vector length != nprocs",
+            ));
+        }
+        if self.shared.fabric.topology().is_none() {
+            return self.alltoallv_burst(data);
+        }
+        self.barrier()?;
+        let members: Vec<usize> = (0..self.nprocs).collect();
+        let mi = self.id;
+        self.hier_exchange(&members, mi, data)
+    }
+
+    /// [`Rank::alltoallv_burst_hier`] scoped to a sub-communicator; same
+    /// contract as [`Rank::alltoallv_burst_in`].
+    pub fn alltoallv_burst_hier_in(
+        &mut self,
+        comm: &SubComm,
+        data: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>> {
+        if data.len() != comm.size() {
+            return Err(MpiError::CollectiveMismatch(
+                "group alltoallv payload vector length != group size",
+            ));
+        }
+        if self.shared.fabric.topology().is_none() {
+            return self.alltoallv_burst_in(comm, data);
+        }
+        self.barrier_in(comm)?;
+        let members: Vec<usize> = comm.members().to_vec();
+        let mi = comm.group_rank();
+        self.hier_exchange(&members, mi, data)
+    }
+
+    /// The member-list-generic two-level exchange behind both hier
+    /// variants. `members` are world ranks (ascending for groups), `mi` is
+    /// this rank's index into it, `data` is indexed by member. Callers
+    /// have already synchronized the members' clocks (barrier).
+    fn hier_exchange(
+        &mut self,
+        members: &[usize],
+        mi: usize,
+        mut data: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>> {
+        use std::collections::BTreeMap;
+        fn push_u32(buf: &mut Vec<u8>, v: usize) {
+            buf.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        fn read_u32(buf: &[u8], pos: &mut usize) -> usize {
+            let v =
+                u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32 header")) as usize;
+            *pos += 4;
+            v
+        }
+
+        let topo = self
+            .shared
+            .fabric
+            .topology()
+            .cloned()
+            .expect("hier needs topology");
+        let g = members.len();
+        let start = self.clock;
+        let total: u64 = data.iter().map(|v| v.len() as u64).sum();
+
+        // Member indices grouped by node (BTreeMap: deterministic order;
+        // members ascend within a node because `members` is ascending).
+        let mut nodes: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (j, &w) in members.iter().enumerate() {
+            nodes.entry(topo.node_of(w)).or_default().push(j);
+        }
+
+        // Chaos-aware leader election. All members compute the same result:
+        // clocks agree after the caller's barrier, and `stall_ahead` is a
+        // pure function of (rank, time).
+        let now = self.clock;
+        let mut leader_of: BTreeMap<usize, usize> = BTreeMap::new();
+        for (&node, idxs) in &nodes {
+            let healthy = idxs.iter().copied().find(|&j| match &self.shared.chaos {
+                Some(e) => !e.stall_ahead(members[j], now),
+                None => true,
+            });
+            leader_of.insert(node, healthy.unwrap_or(idxs[0]));
+        }
+        let my_node = topo.node_of(members[mi]);
+        let my_peers = nodes[&my_node].clone();
+        let my_leader = leader_of[&my_node];
+        if mi == my_leader && my_leader != my_peers[0] {
+            self.stats.leader_fallbacks += 1;
+        }
+
+        let mut out: Vec<Vec<u8>> = (0..g).map(|_| Vec::new()).collect();
+        out[mi] = std::mem::take(&mut data[mi]);
+        let mut sends = Vec::new();
+
+        // On-node payloads go directly: the links are shared memory, so
+        // funnelling them through the leader would only add copies.
+        for &j in &my_peers {
+            if j != mi {
+                sends.push(self.isend_internal(
+                    members[j],
+                    TAG_HIER_LOCAL,
+                    std::mem::take(&mut data[j]),
+                )?);
+            }
+        }
+
+        if mi != my_leader {
+            // Combine all off-node payloads into one up-blob for the
+            // leader: (dst u32, len u32, bytes)*.
+            let mut up = Vec::new();
+            for (j, payload) in data.iter_mut().enumerate() {
+                if topo.node_of(members[j]) != my_node && !payload.is_empty() {
+                    push_u32(&mut up, j);
+                    push_u32(&mut up, payload.len());
+                    up.append(payload);
+                }
+            }
+            sends.push(self.isend_internal(members[my_leader], TAG_HIER_UP, up)?);
+            // The leader's scatter carries everything off-node sent to me:
+            // (src u32, len u32, bytes)*.
+            let down = self.recv(Some(members[my_leader]), Some(TAG_HIER_DOWN))?;
+            let mut pos = 0;
+            while pos < down.data.len() {
+                let src = read_u32(&down.data, &mut pos);
+                let len = read_u32(&down.data, &mut pos);
+                out[src] = down.data[pos..pos + len].to_vec();
+                pos += len;
+            }
+        } else {
+            // Bucket off-node payloads per destination node: mine first,
+            // then each peer's up-blob. Entries: (src, dst, len, bytes)*.
+            let mut cross: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+            for (j, payload) in data.iter_mut().enumerate() {
+                let node = topo.node_of(members[j]);
+                if node != my_node && !payload.is_empty() {
+                    let blob = cross.entry(node).or_default();
+                    push_u32(blob, mi);
+                    push_u32(blob, j);
+                    push_u32(blob, payload.len());
+                    blob.append(payload);
+                }
+            }
+            for &p in &my_peers {
+                if p == mi {
+                    continue;
+                }
+                let up = self.recv(Some(members[p]), Some(TAG_HIER_UP))?;
+                let mut pos = 0;
+                while pos < up.data.len() {
+                    let dst = read_u32(&up.data, &mut pos);
+                    let len = read_u32(&up.data, &mut pos);
+                    let blob = cross.entry(topo.node_of(members[dst])).or_default();
+                    push_u32(blob, p);
+                    push_u32(blob, dst);
+                    push_u32(blob, len);
+                    blob.extend_from_slice(&up.data[pos..pos + len]);
+                    pos += len;
+                }
+            }
+            // Inter-node shuffle between leaders, ring-ordered like the
+            // flat burst. Every pair exchanges exactly one message (empty
+            // allowed) so receives can match on (src, tag).
+            let ring: Vec<usize> = nodes.keys().copied().collect();
+            let n = ring.len();
+            let my_pos = ring.iter().position(|&x| x == my_node).expect("own node");
+            for k in 1..n {
+                let node = ring[(my_pos + k) % n];
+                let blob = cross.remove(&node).unwrap_or_default();
+                sends.push(self.isend_internal(members[leader_of[&node]], TAG_HIER_XNODE, blob)?);
+            }
+            let mut down: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+            for k in 1..n {
+                let node = ring[(my_pos + n - k) % n];
+                let x = self.recv(Some(members[leader_of[&node]]), Some(TAG_HIER_XNODE))?;
+                let mut pos = 0;
+                while pos < x.data.len() {
+                    let src = read_u32(&x.data, &mut pos);
+                    let dst = read_u32(&x.data, &mut pos);
+                    let len = read_u32(&x.data, &mut pos);
+                    if dst == mi {
+                        out[src] = x.data[pos..pos + len].to_vec();
+                    } else {
+                        let blob = down.entry(dst).or_default();
+                        push_u32(blob, src);
+                        push_u32(blob, len);
+                        blob.extend_from_slice(&x.data[pos..pos + len]);
+                    }
+                    pos += len;
+                }
+            }
+            for &p in &my_peers {
+                if p != mi {
+                    sends.push(self.isend_internal(
+                        members[p],
+                        TAG_HIER_DOWN,
+                        down.remove(&p).unwrap_or_default(),
+                    )?);
+                }
+            }
+        }
+
+        for &j in &my_peers {
+            if j != mi {
+                let r = self.recv(Some(members[j]), Some(TAG_HIER_LOCAL))?;
+                out[j] = r.data;
+            }
+        }
+        self.waitall(sends)?;
+        self.tracer.record(
+            "alltoallv_hier",
+            Phase::Exchange,
+            start,
+            self.clock,
+            total,
+            None,
+        );
+        Ok(out)
+    }
+
     fn isend_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
@@ -934,7 +1211,7 @@ impl Rank {
             .transfer(self.id, dst, data.len(), self.clock);
         self.advance_as(self.shared.fabric.config().send_overhead, Phase::Exchange);
         let span = self.tracer.record(
-            "isend",
+            self.send_span_name("isend", dst),
             Phase::Exchange,
             start,
             self.clock,
@@ -1854,5 +2131,118 @@ mod subcomm_tests {
                 assert_eq!(s, 2 * round as u64 + peers, "rank {r} round {round}");
             }
         }
+    }
+
+    /// The two-level exchange must return exactly what the flat burst
+    /// returns, for every (nprocs, ppn) shape, including ragged nodes.
+    #[test]
+    fn hier_alltoall_matches_flat_burst_bytes() {
+        for (nprocs, ppn) in [(4, 2), (6, 4), (8, 4), (5, 5), (7, 3)] {
+            let topo_cfg = SimConfig {
+                topology: Some(crate::topology::Topology::blocked(nprocs, ppn)),
+                ..Default::default()
+            };
+            let mk_data = |me: usize, n: usize| -> Vec<Vec<u8>> {
+                (0..n)
+                    .map(|d| {
+                        // Ragged, per-pair-unique payloads; some empty.
+                        if (me + d).is_multiple_of(3) {
+                            Vec::new()
+                        } else {
+                            (0..(me * 7 + d * 3 + 1))
+                                .map(|i| (me * 31 + d * 17 + i) as u8)
+                                .collect()
+                        }
+                    })
+                    .collect()
+            };
+            let hier = run(nprocs, topo_cfg, |rk| {
+                let data = mk_data(rk.rank(), rk.nprocs());
+                rk.alltoallv_burst_hier(data)
+            })
+            .unwrap();
+            let flat = run(nprocs, cfg(), |rk| {
+                let data = mk_data(rk.rank(), rk.nprocs());
+                rk.alltoallv_burst(data)
+            })
+            .unwrap();
+            assert_eq!(hier.results, flat.results, "nprocs={nprocs} ppn={ppn}");
+        }
+    }
+
+    #[test]
+    fn hier_alltoall_in_groups_matches_flat() {
+        let topo_cfg = SimConfig {
+            topology: Some(crate::topology::Topology::blocked(8, 4)),
+            ..Default::default()
+        };
+        let body = |hier: bool| {
+            move |rk: &mut Rank| {
+                let comm = rk.split((rk.rank() % 2) as u64)?;
+                let me = comm.group_rank() as u8;
+                let data: Vec<Vec<u8>> = (0..comm.size())
+                    .map(|d| vec![me, d as u8, me.wrapping_mul(d as u8)])
+                    .collect();
+                if hier {
+                    rk.alltoallv_burst_hier_in(&comm, data)
+                } else {
+                    rk.alltoallv_burst_in(&comm, data)
+                }
+            }
+        };
+        let hier = run(8, topo_cfg.clone(), body(true)).unwrap();
+        let flat = run(8, topo_cfg, body(false)).unwrap();
+        assert_eq!(hier.results, flat.results);
+    }
+
+    #[test]
+    fn hier_alltoall_without_topology_is_the_flat_burst() {
+        // Fallback: identical clocks, not just identical bytes.
+        let body = |hier: bool| {
+            move |rk: &mut Rank| {
+                let data: Vec<Vec<u8>> = (0..rk.nprocs()).map(|d| vec![d as u8; 64]).collect();
+                let out = if hier {
+                    rk.alltoallv_burst_hier(data)?
+                } else {
+                    rk.alltoallv_burst(data)?
+                };
+                Ok((out, rk.now()))
+            }
+        };
+        let a = run(4, cfg(), body(true)).unwrap();
+        let b = run(4, cfg(), body(false)).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.clocks, b.clocks);
+    }
+
+    #[test]
+    fn hier_leaders_cut_off_node_message_count() {
+        // 8 ranks, 2 nodes of 4: the flat burst sends 4·4 = 16 off-node
+        // messages; the two-level exchange sends exactly one per leader
+        // pair plus 3 up-blobs and 3 down-blobs per node = 2 + 12,
+        // but the real win is fewer *inter-node* messages.
+        let data_of =
+            |rk: &Rank| -> Vec<Vec<u8>> { (0..rk.nprocs()).map(|d| vec![d as u8; 128]).collect() };
+        let topo = || SimConfig {
+            topology: Some(crate::topology::Topology::blocked(8, 4)),
+            ..Default::default()
+        };
+        let hier = run(8, topo(), move |rk| {
+            let d = data_of(rk);
+            rk.alltoallv_burst_hier(d)
+        })
+        .unwrap();
+        let flat = run(8, topo(), move |rk| {
+            let d = data_of(rk);
+            rk.alltoallv_burst(d)
+        })
+        .unwrap();
+        assert!(
+            hier.fabric.inter_messages < flat.fabric.inter_messages,
+            "hier {} >= flat {}",
+            hier.fabric.inter_messages,
+            flat.fabric.inter_messages
+        );
+        assert_eq!(hier.fabric.inter_messages, 2, "one blob per leader pair");
     }
 }

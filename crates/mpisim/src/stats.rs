@@ -26,6 +26,9 @@ pub struct RankStats {
     pub io_retries: u64,
     /// Injected rank-stall windows this rank actually hit.
     pub chaos_stalls: u64,
+    /// Times this rank was elected node leader in a hierarchical exchange
+    /// because the default (lowest) leader was stalled by a fault plan.
+    pub leader_fallbacks: u64,
 }
 
 impl RankStats {
@@ -49,6 +52,7 @@ impl RankStats {
         self.collective_wait += other.collective_wait;
         self.io_retries += other.io_retries;
         self.chaos_stalls += other.chaos_stalls;
+        self.leader_fallbacks += other.leader_fallbacks;
     }
 }
 

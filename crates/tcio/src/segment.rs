@@ -12,9 +12,27 @@
 //!
 //! so any rank locates any byte's home in O(1) with no application
 //! knowledge of the file domain — the property that makes TCIO transparent.
+//!
+//! With an **owner order** installed
+//! ([`SegmentMap::with_owner_order`]), equation (1) indexes a fixed
+//! permutation instead of the identity: `owner = order[(offset/S) % P]`.
+//! Round-robin *slots* are unchanged — only which rank serves each slot —
+//! so load balance is preserved while consecutive windows can be placed on
+//! ranks of different nodes (node-aware drains prefer on-node targets).
+
+use std::sync::Arc;
+
+/// A fixed permutation of ranks with its inverse, shared by clone.
+#[derive(Debug, PartialEq, Eq)]
+struct OwnerOrder {
+    /// slot → rank.
+    perm: Vec<usize>,
+    /// rank → slot.
+    inv: Vec<usize>,
+}
 
 /// Immutable mapping parameters for one open TCIO file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentMap {
     /// Segment size `S` in bytes. §IV.A: set to the file system's lock
     /// granularity (the Lustre stripe size) — smaller fights the lock
@@ -22,6 +40,9 @@ pub struct SegmentMap {
     pub segment_size: u64,
     /// Communicator size `P`.
     pub nprocs: usize,
+    /// Optional slot → rank permutation; `None` = identity (equations 1–3
+    /// exactly as printed in the paper).
+    order: Option<Arc<OwnerOrder>>,
 }
 
 /// Location of a byte in the distributed level-2 buffer.
@@ -42,15 +63,40 @@ impl SegmentMap {
         SegmentMap {
             segment_size,
             nprocs,
+            order: None,
         }
+    }
+
+    /// A map whose round-robin slots are served in `owners` order —
+    /// `owners` must be a permutation of `0..P`, identical on every rank
+    /// (it is derived from shared, deterministic inputs like the
+    /// topology). The identity permutation collapses to [`SegmentMap::new`].
+    pub fn with_owner_order(segment_size: u64, owners: Vec<usize>) -> SegmentMap {
+        let nprocs = owners.len();
+        let mut map = SegmentMap::new(segment_size, nprocs);
+        if owners.iter().enumerate().all(|(i, &r)| i == r) {
+            return map; // identity — keep the equations verbatim
+        }
+        let mut inv = vec![usize::MAX; nprocs];
+        for (slot, &r) in owners.iter().enumerate() {
+            assert!(r < nprocs, "owner {r} out of range for P={nprocs}");
+            assert!(inv[r] == usize::MAX, "owner {r} appears twice");
+            inv[r] = slot;
+        }
+        map.order = Some(Arc::new(OwnerOrder { perm: owners, inv }));
+        map
     }
 
     /// Locate a file offset in the level-2 buffer (equations 1–3).
     #[inline]
     pub fn locate(&self, offset: u64) -> Location {
         let window = offset / self.segment_size;
+        let slot = (window % self.nprocs as u64) as usize;
         Location {
-            owner: (window % self.nprocs as u64) as usize,
+            owner: match &self.order {
+                Some(o) => o.perm[slot],
+                None => slot,
+            },
             segment: (window / self.nprocs as u64) as usize,
             disp: offset % self.segment_size,
         }
@@ -66,7 +112,11 @@ impl SegmentMap {
     /// Inverse mapping: the file offset where `(owner, segment)` begins.
     #[inline]
     pub fn file_offset(&self, owner: usize, segment: usize) -> u64 {
-        (segment as u64 * self.nprocs as u64 + owner as u64) * self.segment_size
+        let slot = match &self.order {
+            Some(o) => o.inv[owner] as u64,
+            None => owner as u64,
+        };
+        (segment as u64 * self.nprocs as u64 + slot) * self.segment_size
     }
 
     /// Number of segments per process needed to cover a file of
@@ -175,5 +225,48 @@ mod tests {
     #[should_panic(expected = "segment size must be positive")]
     fn zero_segment_size_panics() {
         SegmentMap::new(0, 1);
+    }
+
+    #[test]
+    fn identity_owner_order_collapses_to_new() {
+        let a = SegmentMap::new(4096, 5);
+        let b = SegmentMap::with_owner_order(4096, (0..5).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owner_order_permutes_slots_and_roundtrips() {
+        // Node-major order for blocked(6, 3): nodes {0,1,2} {3,4,5} →
+        // slots alternate across nodes: 0, 3, 1, 4, 2, 5.
+        let order = vec![0usize, 3, 1, 4, 2, 5];
+        let m = SegmentMap::with_owner_order(100, order.clone());
+        for (slot, &want) in order.iter().enumerate() {
+            let loc = m.locate(slot as u64 * 100 + 7);
+            assert_eq!(loc.owner, want, "slot {slot}");
+            assert_eq!(loc.segment, 0);
+            assert_eq!(loc.disp, 7);
+        }
+        // Inverse agrees with the forward map for every (owner, segment).
+        for owner in 0..6 {
+            for segment in 0..4 {
+                let off = m.file_offset(owner, segment);
+                let loc = m.locate(off);
+                assert_eq!((loc.owner, loc.segment, loc.disp), (owner, segment, 0));
+            }
+        }
+        // Every window still has exactly one owner: offsets 0..P·S cover
+        // each rank exactly once.
+        let mut seen = [false; 6];
+        for w in 0..6 {
+            let o = m.locate(w * 100).owner;
+            assert!(!seen[o], "owner {o} repeated");
+            seen[o] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_owner_panics() {
+        SegmentMap::with_owner_order(100, vec![0, 0, 1]);
     }
 }

@@ -222,6 +222,66 @@ fn lock_storm_ping_pong_keeps_unaligned_writers_correct() {
     );
 }
 
+#[test]
+fn stalled_node_leader_falls_back_and_two_level_write_completes() {
+    // Fault × topology interaction: rank 0 is the default leader of node 0
+    // under blocked(8, 4), but a stall window opens just ahead of the
+    // two-level exchange. The chaos-aware election must route around it
+    // (bumping `leader_fallbacks` on the stand-in), and the collective
+    // write must still land every byte.
+    let nprocs = 8;
+    let block = 2048usize;
+    let engine = chaos::FaultPlan::new(31)
+        .with(chaos::Fault::RankStall {
+            rank: 0,
+            from: 1.0e-3,
+            until: 0.05,
+        })
+        .build()
+        .unwrap();
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    fs.attach_chaos(Arc::clone(&engine)).unwrap();
+    let sim = mpisim::SimConfig {
+        topology: Some(mpisim::Topology::blocked(nprocs, 4)),
+        chaos: Some(engine),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let mut f = mpiio::File::open(rk, &fs2, "/lead", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+        let ccfg = mpiio::CollectiveConfig {
+            intra_agg: true,
+            ..Default::default()
+        };
+        let data = vec![rk.rank() as u8 + 1; block];
+        mpiio::write_all_at(rk, &mut f, (rk.rank() * block) as u64, &data, &ccfg)
+            .map_err(to_mpi)?;
+        f.close(rk).map_err(to_mpi)?;
+        Ok(())
+    })
+    .unwrap();
+    let fallbacks: u64 = rep.stats.iter().map(|s| s.leader_fallbacks).sum();
+    assert!(
+        fallbacks >= 1,
+        "the stalled default leader must have been displaced at least once"
+    );
+    assert_eq!(
+        rep.stats[0].leader_fallbacks, 0,
+        "the stalled rank itself must not have led"
+    );
+    let fid = fs.open("/lead").unwrap();
+    let bytes = fs.snapshot_file(fid).unwrap();
+    assert_eq!(bytes.len(), nprocs * block);
+    for r in 0..nprocs {
+        assert!(
+            bytes[r * block..(r + 1) * block]
+                .iter()
+                .all(|&b| b == r as u8 + 1),
+            "rank {r}'s block corrupted under a stalled leader"
+        );
+    }
+}
+
 /// OST outage + message delay + a stalled rank; both collective stacks
 /// must complete with correct read-back, injected-fault spans in the
 /// trace, and the conservation invariant intact.

@@ -20,9 +20,19 @@ fn traced_write(
     nprocs: usize,
     p: &SynthParams,
 ) -> (mpisim::SimReport<()>, Arc<pfs::Pfs>) {
+    traced_write_topo(method, nprocs, p, None)
+}
+
+fn traced_write_topo(
+    method: Method,
+    nprocs: usize,
+    p: &SynthParams,
+    topology: Option<mpisim::Topology>,
+) -> (mpisim::SimReport<()>, Arc<pfs::Pfs>) {
     let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
     let sim = mpisim::SimConfig {
         trace: true,
+        topology,
         ..Default::default()
     };
     let fs2 = Arc::clone(&fs);
@@ -139,6 +149,150 @@ fn spans_are_well_formed_and_dependencies_resolve() {
         }
     }
     assert_eq!(edges, nprocs, "one recv edge per rank in the ring");
+}
+
+/// Owner-local, OST-disjoint dump on 4 ranks: rank `r` writes exactly
+/// stripe `r`, so no shared timeline (NIC port, rx port, OST) ever sees
+/// two racing reservations and every virtual clock is
+/// scheduler-independent — the precondition for comparing clocks across
+/// two separate runs bit-for-bit.
+fn disjoint_write_run(
+    method: Method,
+    topology: Option<mpisim::Topology>,
+) -> (Vec<f64>, mpisim::FabricStatsSnapshot, Vec<u8>) {
+    let nprocs = 4;
+    let seg: u64 = 1 << 12;
+    let pcfg = pfs::PfsConfig {
+        stripe_size: seg,
+        stripe_count: 4,
+        num_osts: 4,
+        ..Default::default()
+    };
+    let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+    let sim = mpisim::SimConfig {
+        topology,
+        ..Default::default()
+    };
+    fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+        mpisim::MpiError::InvalidDatatype(e.to_string())
+    }
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let off = rk.rank() as u64 * seg;
+        let data = vec![rk.rank() as u8 + 1; seg as usize];
+        match method {
+            Method::Tcio => {
+                let cfg = tcio::TcioConfig {
+                    segment_size: seg,
+                    num_segments: 1,
+                    ..Default::default()
+                };
+                let mut f = tcio::TcioFile::open(rk, &fs2, "/zco", tcio::TcioMode::Write, cfg)
+                    .map_err(to_mpi)?;
+                f.write_at(rk, off, &data).map_err(to_mpi)?;
+                f.close(rk).map_err(to_mpi)?;
+            }
+            Method::Ocio => {
+                let mut f =
+                    mpiio::File::open(rk, &fs2, "/zco", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+                mpiio::write_all_at(rk, &mut f, off, &data, &mpiio::CollectiveConfig::default())
+                    .map_err(to_mpi)?;
+                f.close(rk).map_err(to_mpi)?;
+            }
+            _ => {
+                let mut f =
+                    mpiio::File::open(rk, &fs2, "/zco", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+                f.write_at(rk, off, &data).map_err(to_mpi)?;
+                f.close(rk).map_err(to_mpi)?;
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    let fid = fs.open("/zco").unwrap();
+    (rep.clocks, rep.fabric, fs.snapshot_file(fid).unwrap())
+}
+
+#[test]
+fn trivial_topology_is_bit_identical_to_no_topology() {
+    // Zero-cost-off: placing every rank on its own node (`ppn = 1`) must
+    // leave the simulation indistinguishable from one with no topology at
+    // all — same file bytes, same fabric counters, and the same virtual
+    // clock on every rank, to the bit, for all three write stacks.
+    for method in [Method::Tcio, Method::Ocio, Method::Vanilla] {
+        let (c0, f0, b0) = disjoint_write_run(method, None);
+        let (c1, f1, b1) = disjoint_write_run(method, Some(mpisim::Topology::blocked(4, 1)));
+        assert_eq!(b0, b1, "{method:?}: ppn=1 topology changed file bytes");
+        assert_eq!(c0, c1, "{method:?}: ppn=1 topology changed rank clocks");
+        assert_eq!(f0, f1, "{method:?}: ppn=1 topology changed fabric stats");
+        assert_eq!(
+            f1.intra_bytes + f1.inter_bytes,
+            f1.bytes,
+            "{method:?}: byte-level split must partition total fabric bytes"
+        );
+    }
+}
+
+#[test]
+fn fabric_level_split_partitions_messages_and_bytes() {
+    // Conservation of the new per-level counters: every transfer is
+    // classified intra xor inter, so the splits must sum to the fabric
+    // totals exactly — with co-located ranks and without.
+    let p = SynthParams::with_types("i,d", 384, 4).unwrap();
+    for topology in [None, Some(mpisim::Topology::blocked(4, 2))] {
+        for method in [Method::Ocio, Method::Tcio, Method::Vanilla] {
+            let (rep, fs) = traced_write_topo(method, 4, &p, topology.clone());
+            let f = rep.fabric;
+            assert_eq!(
+                f.intra_messages + f.inter_messages,
+                f.messages,
+                "{method:?} topo={:?}: message split leaks",
+                topology.is_some()
+            );
+            assert_eq!(
+                f.intra_bytes + f.inter_bytes,
+                f.bytes,
+                "{method:?} topo={:?}: byte split leaks",
+                topology.is_some()
+            );
+            // The bytes-landed conservation of the seed suite must keep
+            // holding when a topology reroutes transfers through node NICs.
+            let claimed: u64 = rep
+                .traces
+                .iter()
+                .flat_map(|t| &t.spans)
+                .filter(|s| WRITE_SITES.contains(&s.name))
+                .map(|s| s.bytes)
+                .sum();
+            assert_eq!(claimed, fs.stats.snapshot().bytes_written);
+        }
+    }
+    // With co-located ranks the two-level exchange must actually shift
+    // traffic onto the intra-node links.
+    let fs = pfs::Pfs::new(4, pfs::PfsConfig::default()).unwrap();
+    let sim = mpisim::SimConfig {
+        topology: Some(mpisim::Topology::blocked(4, 2)),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(4, sim, move |rk| {
+        let ccfg = mpiio::CollectiveConfig {
+            intra_agg: true,
+            ..Default::default()
+        };
+        synthetic::write_ocio(rk, &fs2, &p2, "/obs", &ccfg).map_err(WlError::into_mpi)?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(
+        rep.fabric.intra_bytes > 0,
+        "two-level exchange on a 2-rank node must move intra-node bytes"
+    );
+    assert_eq!(
+        rep.fabric.intra_bytes + rep.fabric.inter_bytes,
+        rep.fabric.bytes
+    );
 }
 
 #[test]

@@ -114,6 +114,103 @@ fn run_tcio_plan(plan: &Plan) -> Vec<u8> {
     fs.snapshot_file(fid).unwrap()
 }
 
+/// Run the plan through one of the four write stacks under a node
+/// topology and return the resulting PFS file contents.
+fn run_plan_variant(plan: &Plan, ppn: usize, variant: &'static str) -> Vec<u8> {
+    fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+        mpisim::MpiError::InvalidDatatype(e.to_string())
+    }
+    let fs = pfs::Pfs::new(plan.nprocs, pfs::PfsConfig::default()).unwrap();
+    let sim = mpisim::SimConfig {
+        topology: Some(mpisim::Topology::blocked(plan.nprocs, ppn)),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let plan2 = plan.clone();
+    mpisim::run(plan.nprocs, sim, move |rk| {
+        match variant {
+            "tcio" => {
+                let file_end = plan2
+                    .blocks
+                    .iter()
+                    .map(|&(_, o, l, _)| o + l as u64)
+                    .max()
+                    .unwrap_or(0);
+                let cfg = TcioConfig::for_file_size_with_segment(
+                    file_end.max(1),
+                    rk.nprocs(),
+                    plan2.segment,
+                );
+                let mut f =
+                    TcioFile::open(rk, &fs2, "/diff", TcioMode::Write, cfg).map_err(to_mpi)?;
+                for &(rank, off, len, fill) in &plan2.blocks {
+                    if rank == rk.rank() {
+                        f.write_at(rk, off, &block_data(len, fill))
+                            .map_err(to_mpi)?;
+                    }
+                }
+                f.close(rk).map_err(to_mpi)?;
+            }
+            "indep" => {
+                let mut f =
+                    mpiio::File::open(rk, &fs2, "/diff", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+                for &(rank, off, len, fill) in &plan2.blocks {
+                    if rank == rk.rank() {
+                        f.write_at(rk, off, &block_data(len, fill))
+                            .map_err(to_mpi)?;
+                    }
+                }
+                f.close(rk).map_err(to_mpi)?;
+            }
+            _ => {
+                let ccfg = mpiio::CollectiveConfig {
+                    intra_agg: variant == "ocio_intra",
+                    ..Default::default()
+                };
+                let mut f =
+                    mpiio::File::open(rk, &fs2, "/diff", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+                for round in 0..plan2.blocks.len() {
+                    let (rank, off, len, fill) = plan2.blocks[round];
+                    let (o, data) = if rank == rk.rank() {
+                        (off, block_data(len, fill))
+                    } else {
+                        (0, Vec::new())
+                    };
+                    mpiio::write_all_at(rk, &mut f, o, &data, &ccfg).map_err(to_mpi)?;
+                }
+                f.close(rk).map_err(to_mpi)?;
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    let fid = fs.open("/diff").unwrap();
+    fs.snapshot_file(fid).unwrap()
+}
+
+#[test]
+fn all_write_stacks_agree_under_random_topologies() {
+    // Differential suite for the node-aware paths: for each seeded plan
+    // and a seeded node placement, TCIO (node-aware L2 owner order), flat
+    // two-phase, two-phase with intra-node pre-aggregation, and plain
+    // independent writes must all produce byte-identical PFS contents —
+    // equal to the byte-array model. Topology and the two-level exchange
+    // are pure cost-model features; any byte drift is a routing bug.
+    for seed in 300..350u64 {
+        let plan = random_plan(seed);
+        if plan.blocks.is_empty() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090);
+        let ppn = pick(&mut rng, 1, plan.nprocs as u64 + 1) as usize;
+        let want = model_file(&plan);
+        for variant in ["tcio", "ocio", "ocio_intra", "indep"] {
+            let got = run_plan_variant(&plan, ppn, variant);
+            assert_eq!(got, want, "seed {seed} ppn {ppn} {variant}: {plan:?}");
+        }
+    }
+}
+
 #[test]
 fn tcio_writes_match_byte_model() {
     for seed in 0..32u64 {
