@@ -4,10 +4,18 @@
 //! resilience counters as JSON on stdout.
 //!
 //!   cargo run --release --bin chaos_sweep -- \
-//!       --procs 8 --len 65536 --points 5 [--plan plans/mixed.toml]
+//!       --procs 8 --len 65536 --points 5 [--plan plans/mixed.toml] \
+//!       [--crash-rank 0] [--crash-at 0.002]
 //!
 //! Without `--plan` a built-in mixed plan is used (OST brownout + outage,
 //! message delay, one straggler rank, elevated request overhead).
+//!
+//! A second sweep then adds a crash-stop of `--crash-rank` at virtual time
+//! `--crash-at` to the same plan: TCIO's durability epochs recover the
+//! dead rank's level-2 segments and the run completes (with the recovery
+//! cost visible in the slowdown and `segments_recovered`); OCIO has no
+//! recovery and reports `"completed": false`. Pass `--crash-rank -1` to
+//! skip the crash sweep.
 
 use bench::{runner, Args, Calib};
 use chaos::{Fault, FaultPlan};
@@ -56,6 +64,80 @@ fn json_f(x: f64) -> String {
     }
 }
 
+/// Run the intensity sweep for one plan and return the JSON points array
+/// (indented for embedding). `label` prefixes the progress lines.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    plan: &FaultPlan,
+    label: &str,
+    calib: &Calib,
+    nprocs: usize,
+    len: usize,
+    size_access: usize,
+    points: usize,
+) -> String {
+    let methods = [(Method::Tcio, "tcio"), (Method::Ocio, "ocio")];
+    let mut baselines = [0.0f64; 2];
+    let mut out = String::new();
+    for p in 0..points {
+        let k = p as f64 / (points - 1) as f64;
+        let engine = plan.scaled(k).build().unwrap_or_else(|e| {
+            eprintln!("fault plan rejected at intensity {k}: {e}");
+            std::process::exit(2);
+        });
+        let mut cells = Vec::new();
+        for (m, (method, name)) in methods.iter().enumerate() {
+            let r = runner::run_synth_chaos(
+                calib,
+                nprocs,
+                len,
+                size_access,
+                *method,
+                Some(engine.clone()),
+            );
+            let total = r.write_s + r.read_s;
+            if p == 0 {
+                baselines[m] = total;
+            }
+            let slowdown = total / baselines[m];
+            eprintln!(
+                "{label}intensity {k:.2} {name}: write {:.4}s read {:.4}s slowdown {:.3}x \
+                 retries {} stalls {} transients {} crashes {} recovered {}{}",
+                r.write_s,
+                r.read_s,
+                slowdown,
+                r.io_retries,
+                r.chaos_stalls,
+                r.transient_errors,
+                r.rank_crashes,
+                r.segments_recovered,
+                if r.completed { "" } else { " [ABORTED]" },
+            );
+            cells.push(format!(
+                "\"{name}\": {{\"completed\": {}, \"write_s\": {}, \"read_s\": {}, \
+                 \"slowdown\": {}, \"io_retries\": {}, \"chaos_stalls\": {}, \
+                 \"transient_errors\": {}, \"rank_crashes\": {}, \"segments_recovered\": {}}}",
+                r.completed,
+                json_f(r.write_s),
+                json_f(r.read_s),
+                json_f(slowdown),
+                r.io_retries,
+                r.chaos_stalls,
+                r.transient_errors,
+                r.rank_crashes,
+                r.segments_recovered
+            ));
+        }
+        out.push_str(&format!(
+            "    {{\"intensity\": {}, {}}}{}\n",
+            json_f(k),
+            cells.join(", "),
+            if p + 1 < points { "," } else { "" }
+        ));
+    }
+    out
+}
+
 fn main() {
     let args = Args::parse();
     let nprocs = args.get_usize("procs", 8);
@@ -82,53 +164,41 @@ fn main() {
         }
     };
 
-    let methods = [(Method::Tcio, "tcio"), (Method::Ocio, "ocio")];
-    let mut baselines = [0.0f64; 2];
     let mut out = String::from("{\n  \"points\": [\n");
-    for p in 0..points {
-        let k = p as f64 / (points - 1) as f64;
-        let engine = plan.scaled(k).build().unwrap_or_else(|e| {
-            eprintln!("fault plan rejected at intensity {k}: {e}");
+    out.push_str(&sweep(&plan, "", &calib, nprocs, len, size_access, points));
+    out.push_str("  ]");
+
+    // Crash sweep: the same plan with one rank crash-stopped mid-dump.
+    // TCIO recovers (durability epochs); OCIO aborts. Rank 0 is the
+    // default victim because it serves round-robin slot 0: the dump's
+    // first windows live in its level-2 segment, so its death leaves
+    // acknowledged bytes that only the buddy replica can still produce.
+    let crash_rank = args.get("crash-rank").unwrap_or("0");
+    if let Ok(rank) = crash_rank.parse::<usize>() {
+        let at = args
+            .get("crash-at")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.002);
+        if rank >= nprocs {
+            eprintln!("--crash-rank {rank} out of range for --procs {nprocs}");
             std::process::exit(2);
-        });
-        let mut cells = Vec::new();
-        for (m, (method, name)) in methods.iter().enumerate() {
-            let r = runner::run_synth_chaos(
-                &calib,
-                nprocs,
-                len,
-                size_access,
-                *method,
-                Some(engine.clone()),
-            );
-            let total = r.write_s + r.read_s;
-            if p == 0 {
-                baselines[m] = total;
-            }
-            let slowdown = total / baselines[m];
-            eprintln!(
-                "intensity {k:.2} {name}: write {:.4}s read {:.4}s slowdown {:.3}x \
-                 retries {} stalls {} transients {}",
-                r.write_s, r.read_s, slowdown, r.io_retries, r.chaos_stalls, r.transient_errors
-            );
-            cells.push(format!(
-                "\"{name}\": {{\"write_s\": {}, \"read_s\": {}, \"slowdown\": {}, \
-                 \"io_retries\": {}, \"chaos_stalls\": {}, \"transient_errors\": {}}}",
-                json_f(r.write_s),
-                json_f(r.read_s),
-                json_f(slowdown),
-                r.io_retries,
-                r.chaos_stalls,
-                r.transient_errors
-            ));
         }
+        let crash_plan = plan.clone().with(Fault::RankCrash { rank, at });
         out.push_str(&format!(
-            "    {{\"intensity\": {}, {}}}{}\n",
-            json_f(k),
-            cells.join(", "),
-            if p + 1 < points { "," } else { "" }
+            ",\n  \"crash\": {{\"rank\": {rank}, \"at\": {}, \"points\": [\n",
+            json_f(at)
         ));
+        out.push_str(&sweep(
+            &crash_plan,
+            "crash ",
+            &calib,
+            nprocs,
+            len,
+            size_access,
+            points,
+        ));
+        out.push_str("  ]}");
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("\n}\n");
     print!("{out}");
 }

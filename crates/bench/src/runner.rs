@@ -1,7 +1,7 @@
 //! Shared experiment runners used by the figure binaries.
 
 use crate::calib::Calib;
-use mpisim::SimError;
+use mpisim::{Rank, SimError};
 use pfs::Pfs;
 use std::sync::Arc;
 use tcio::TcioConfig;
@@ -152,9 +152,16 @@ pub fn run_traced_synth_chaos(
     let fs2 = Arc::clone(&fs);
     let p2 = p.clone();
     let rep = mpisim::run(nprocs, sim, move |rk| {
-        let m = synthetic::write_with(method, rk, &fs2, &p2, "/trace.dat")
-            .map_err(WlError::into_mpi)?;
-        Ok(m.elapsed)
+        let t0 = rk.now();
+        match synthetic::write_with(method, rk, &fs2, &p2, "/trace.dat").map_err(WlError::into_mpi)
+        {
+            Ok(m) => Ok(m.elapsed),
+            // Fault-tolerant body: a rank crash-stopped by the plan stops
+            // here with the virtual time it survived; the other ranks
+            // finish the dump (TCIO: including the buddy recovery drain).
+            Err(mpisim::MpiError::RankCrashed { rank }) if rank == rk.rank() => Ok(rk.now() - t0),
+            Err(e) => Err(e),
+        }
     })
     .expect("traced run");
     let osts = fs.ost_report();
@@ -166,7 +173,8 @@ pub fn run_traced_synth_chaos(
 /// resilience counters aggregated across ranks.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosRun {
-    /// Write-phase elapsed virtual seconds (max across ranks).
+    /// Write-phase elapsed virtual seconds (max across ranks). `NaN` when
+    /// the run did not complete.
     pub write_s: f64,
     /// Read-phase elapsed virtual seconds.
     pub read_s: f64,
@@ -176,6 +184,14 @@ pub struct ChaosRun {
     pub chaos_stalls: u64,
     /// Transient refusals issued by the file system.
     pub transient_errors: u64,
+    /// Did the dump-then-restart finish with verified data? TCIO's
+    /// durability epochs survive a crashed rank; OCIO under the same plan
+    /// aborts (or fails restart verification) and reports `false`.
+    pub completed: bool,
+    /// Injected crash-stops that fired, across all ranks.
+    pub rank_crashes: u64,
+    /// Level-2 segments the buddy recovery drain reconstructed.
+    pub segments_recovered: u64,
 }
 
 pub fn run_synth_chaos(
@@ -194,40 +210,107 @@ pub fn run_synth_chaos(
         ..calib.sim_config_unbudgeted()
     };
     let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    let planned_crashes = engine.as_ref().map_or(0, |e| {
+        (0..nprocs).filter(|&r| e.crash_ahead(r)).count() as u64
+    });
     if let Some(e) = engine {
         fs.attach_chaos(e).expect("fault plan fits the PFS layout");
     }
     let seg = calib.segment_size;
     let fs2 = Arc::clone(&fs);
     let p2 = p.clone();
-    let rep = mpisim::run(nprocs, sim, move |rk| {
+    let run = mpisim::run(nprocs, sim, move |rk| {
         let base_tcfg =
             TcioConfig::for_file_size_with_segment(p2.file_size(rk.nprocs()), rk.nprocs(), seg);
         let tcfg = move || base_tcfg.clone();
         let ccfg = mpiio::CollectiveConfig::default;
+        // TCIO callers are fault-tolerant: a crash-stopped rank catches
+        // its own typed failure and drops out while the survivors finish
+        // the dump (including the buddy recovery drain) and verify the
+        // restart. OCIO/vanilla have no recovery story — the crash
+        // propagates and the run reports a typed abort instead.
+        let caught = |rk: &Rank, e: mpisim::MpiError| {
+            method == Method::Tcio
+                && matches!(e, mpisim::MpiError::RankCrashed { rank } if rank == rk.rank())
+        };
         let w = match method {
             Method::Tcio => synthetic::write_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
             Method::Ocio => synthetic::write_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
             Method::Vanilla => synthetic::write_vanilla(rk, &fs2, &p2, "/synth"),
         }
-        .map_err(WlError::into_mpi)?;
+        .map_err(WlError::into_mpi);
+        let w = match w {
+            Ok(m) => m.elapsed,
+            Err(e) if caught(rk, e.clone()) => return Ok(None),
+            Err(e) => return Err(e),
+        };
         let r = match method {
             Method::Tcio => synthetic::read_tcio(rk, &fs2, &p2, "/synth", Some(tcfg())),
             Method::Ocio => synthetic::read_ocio(rk, &fs2, &p2, "/synth", &ccfg()),
             Method::Vanilla => synthetic::read_vanilla(rk, &fs2, &p2, "/synth"),
         }
-        .map_err(WlError::into_mpi)?;
-        Ok((w.elapsed, r.elapsed))
-    })
-    .expect("chaos run completes (retries and fallbacks absorb the plan)");
-    let write_s = rep.results.iter().map(|&(w, _)| w).fold(0.0f64, f64::max);
-    let read_s = rep.results.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
-    ChaosRun {
-        write_s,
-        read_s,
-        io_retries: rep.stats.iter().map(|s| s.io_retries).sum(),
-        chaos_stalls: rep.stats.iter().map(|s| s.chaos_stalls).sum(),
-        transient_errors: fs.stats.snapshot().transient_errors,
+        .map_err(WlError::into_mpi);
+        let r = match r {
+            Ok(m) => m.elapsed,
+            Err(e) if caught(rk, e.clone()) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Some((w, r)))
+    });
+    match run {
+        Ok(rep) => {
+            let write_s = rep
+                .results
+                .iter()
+                .flatten()
+                .map(|&(w, _)| w)
+                .fold(0.0f64, f64::max);
+            let read_s = rep
+                .results
+                .iter()
+                .flatten()
+                .map(|&(_, r)| r)
+                .fold(0.0f64, f64::max);
+            ChaosRun {
+                write_s,
+                read_s,
+                io_retries: rep.stats.iter().map(|s| s.io_retries).sum(),
+                chaos_stalls: rep.stats.iter().map(|s| s.chaos_stalls).sum(),
+                transient_errors: fs.stats.snapshot().transient_errors,
+                completed: true,
+                rank_crashes: rep.stats.iter().map(|s| s.rank_crashes).sum(),
+                segments_recovered: rep.stats.iter().map(|s| s.segments_recovered).sum(),
+            }
+        }
+        // A crashed rank tore an unprotected collective down, or the
+        // restart read caught the data hole the crash left: the plan was
+        // survivable only for an implementation with durability epochs.
+        Err(e @ SimError::CollectiveAborted { .. })
+        | Err(
+            e @ SimError::RankFailed {
+                error: mpisim::MpiError::InvalidDatatype(_),
+                ..
+            },
+        ) => {
+            let aborted = ChaosRun {
+                write_s: f64::NAN,
+                read_s: f64::NAN,
+                io_retries: 0,
+                chaos_stalls: 0,
+                transient_errors: fs.stats.snapshot().transient_errors,
+                completed: false,
+                rank_crashes: planned_crashes,
+                segments_recovered: 0,
+            };
+            if let SimError::RankFailed { error, .. } = &e {
+                assert!(
+                    error.to_string().contains("verification failed"),
+                    "experiment failed unexpectedly: {e}"
+                );
+            }
+            aborted
+        }
+        Err(other) => panic!("experiment failed unexpectedly: {other}"),
     }
 }
 

@@ -22,7 +22,8 @@
 //!   read the [`RetryPolicy`] that budgets their exponential backoff.
 //!
 //! Faults are *windows* `[from, until)` on the virtual-time axis (except
-//! [`Fault::ConnFlush`], an instant). Because the queries are pure
+//! [`Fault::ConnFlush`] and [`Fault::RankCrash`], which are instants —
+//! and a crash-stop is *permanent*). Because the queries are pure
 //! functions of virtual time, no wall-clock state leaks into a simulation:
 //! determinism is by construction, which is what makes chaos runs usable
 //! as regression tests.
@@ -75,6 +76,17 @@ pub enum Fault {
         from: f64,
         until: f64,
     },
+    /// Crash-stop: rank `rank` permanently fails at instant `at`. Its first
+    /// runtime operation at or after `at` raises a typed error, and every
+    /// later one does too — the rank never recovers. Like
+    /// [`Fault::ConnFlush`] this is an instant, not a window.
+    RankCrash { rank: usize, at: f64 },
+    /// Silent data corruption: inside the window, each PFS stripe write is
+    /// corrupted *after* its checksum is recorded with probability `rate`
+    /// (decided deterministically per write site via [`ChaosEngine::unit_hash`]).
+    /// The stored bytes then disagree with the stored checksum — exactly
+    /// the failure end-to-end verification exists to catch.
+    SilentCorruption { rate: f64, from: f64, until: f64 },
 }
 
 impl Fault {
@@ -134,6 +146,19 @@ impl Fault {
             } => {
                 check_window(from, until)?;
                 check_factor(factor)
+            }
+            Fault::RankCrash { at, .. } => {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(format!("bad crash instant {at}"));
+                }
+                Ok(())
+            }
+            Fault::SilentCorruption { rate, from, until } => {
+                check_window(from, until)?;
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("corruption rate {rate} must be in [0, 1]"));
+                }
+                Ok(())
             }
         }
     }
@@ -198,6 +223,16 @@ impl Fault {
                 Fault::RankSlowdown {
                     rank,
                     factor: f(factor),
+                    from,
+                    until,
+                }
+            }
+            // An instant cannot shrink; `FaultPlan::scaled` drops it at k = 0.
+            Fault::RankCrash { rank, at } => Fault::RankCrash { rank, at },
+            Fault::SilentCorruption { rate, from, until } => {
+                let (from, until) = w(from, until);
+                Fault::SilentCorruption {
+                    rate: rate * k,
                     from,
                     until,
                 }
@@ -276,8 +311,9 @@ impl FaultPlan {
 
     /// A plan with every fault's intensity scaled by `k ∈ [0, 1]`
     /// (`k = 0` ⇒ all windows empty ⇒ behaviourally fault-free).
-    /// `ConnFlush` is an instant, not a window: it cannot shrink, so it is
-    /// dropped entirely at `k = 0` to honor the fault-free contract.
+    /// `ConnFlush` and `RankCrash` are instants, not windows: they cannot
+    /// shrink, so they are dropped entirely at `k = 0` to honor the
+    /// fault-free contract.
     pub fn scaled(&self, k: f64) -> FaultPlan {
         FaultPlan {
             seed: self.seed,
@@ -285,7 +321,9 @@ impl FaultPlan {
             faults: self
                 .faults
                 .iter()
-                .filter(|f| k > 0.0 || !matches!(f, Fault::ConnFlush { .. }))
+                .filter(|f| {
+                    k > 0.0 || !matches!(f, Fault::ConnFlush { .. } | Fault::RankCrash { .. })
+                })
                 .map(|f| f.scaled(k))
                 .collect(),
         }
@@ -347,7 +385,9 @@ impl ChaosEngine {
             .faults
             .iter()
             .filter_map(|f| match f {
-                Fault::RankStall { rank, .. } | Fault::RankSlowdown { rank, .. } => Some(*rank),
+                Fault::RankStall { rank, .. }
+                | Fault::RankSlowdown { rank, .. }
+                | Fault::RankCrash { rank, .. } => Some(*rank),
                 _ => None,
             })
             .max();
@@ -376,7 +416,8 @@ impl ChaosEngine {
     /// carry zero-length windows, which never contain any instant).
     pub fn is_inert(&self) -> bool {
         self.plan.faults.iter().all(|f| match *f {
-            Fault::ConnFlush { .. } => false,
+            Fault::ConnFlush { .. } | Fault::RankCrash { .. } => false,
+            Fault::SilentCorruption { rate, from, until } => until <= from || rate <= 0.0,
             Fault::OstSlowdown { from, until, .. }
             | Fault::OstOutage { from, until, .. }
             | Fault::RequestOverhead { from, until, .. }
@@ -517,6 +558,83 @@ impl ChaosEngine {
         self.plan.faults.iter().any(|f| {
             matches!(*f, Fault::RankStall { rank: r, from, until } if r == rank && until > t && from < until)
         })
+    }
+
+    /// The instant `rank` crash-stops, if the plan ever kills it (the
+    /// earliest, when several crashes name the same rank).
+    pub fn crash_at(&self, rank: usize) -> Option<f64> {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::RankCrash { rank: r, at } if r == rank => Some(at),
+                _ => None,
+            })
+            .fold(None, |acc, at| Some(acc.map_or(at, |a: f64| a.min(at))))
+    }
+
+    /// Has `rank` crash-stopped at or before `t`? Crash-stops are permanent,
+    /// so this is monotone in `t`. Because it is a pure function of the
+    /// plan, survivors evaluating it at *identical* clocks (right after any
+    /// symmetric collective) agree on the dead set with no extra
+    /// communication — the survivor-agreement primitive.
+    pub fn crashed(&self, rank: usize, t: f64) -> bool {
+        self.crash_at(rank).is_some_and(|at| at <= t)
+    }
+
+    /// Is `rank` doomed — crashed already or scheduled to crash later?
+    /// The planning query behind proactive re-election: layers that place
+    /// long-lived responsibilities (aggregators, L2 segment owners) route
+    /// around ranks the plan will kill, mirroring [`ChaosEngine::stall_ahead`].
+    pub fn crash_ahead(&self, rank: usize) -> bool {
+        self.crash_at(rank).is_some()
+    }
+
+    /// Does the plan contain any crash-stop at all? The fast-path gate for
+    /// durability bookkeeping (buddy replication, recovery metadata): when
+    /// `false`, consumers skip it entirely, keeping fault-free runs
+    /// bit-identical to runs with no engine attached.
+    pub fn any_crash(&self) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::RankCrash { .. }))
+    }
+
+    /// Does the plan contain any silent-corruption fault at all? The
+    /// fast-path gate for integrity bookkeeping (per-stripe checksums,
+    /// replicas): sealing and verifying hashes every touched stripe, so a
+    /// plan that cannot corrupt must not pay for it — wall-clock zero-cost
+    /// off, mirroring [`ChaosEngine::any_crash`].
+    pub fn any_corruption(&self) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SilentCorruption { .. }))
+    }
+
+    /// Combined silent-corruption probability at `t` (sum of active
+    /// windows, clamped to 1).
+    pub fn corruption_rate(&self, t: f64) -> f64 {
+        let r: f64 = self
+            .plan
+            .faults
+            .iter()
+            .map(|f| match *f {
+                Fault::SilentCorruption { rate, from, until } if from <= t && t < until => rate,
+                _ => 0.0,
+            })
+            .sum();
+        r.min(1.0)
+    }
+
+    /// Should the write identified by `site` be silently corrupted at `t`?
+    /// Deterministic: a pure function of `(site, t)` via
+    /// [`ChaosEngine::unit_hash`]. Outside every corruption window the
+    /// answer is always `false` — zero false positives at intensity 0.
+    pub fn corrupts(&self, site: u64, t: f64) -> bool {
+        let rate = self.corruption_rate(t);
+        rate > 0.0 && self.unit_hash(site) < rate
     }
 
     /// Multiplicative local-work slowdown of `rank` at `t`.
@@ -726,6 +844,128 @@ mod tests {
         assert_eq!(p.backoff(2), 2.0);
         assert_eq!(p.backoff(3), 4.0);
         assert_eq!(p.backoff(4), 5.0, "capped");
+    }
+
+    #[test]
+    fn backoff_is_finite_and_capped_at_huge_attempt_counts() {
+        let p = RetryPolicy::default();
+        // attempt = 1000 would naively shift by 999 bits; the exponent cap
+        // must keep the wait finite and bounded by max_backoff.
+        let w = p.backoff(1000);
+        assert!(w.is_finite());
+        assert_eq!(w, p.max_backoff);
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+        // A policy with an enormous cap still must not overflow the shift.
+        let wild = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: 1.0,
+            max_backoff: f64::MAX,
+        };
+        assert!(wild.backoff(1000).is_finite());
+    }
+
+    #[test]
+    fn crash_is_permanent_and_earliest_wins() {
+        let e = FaultPlan::new(9)
+            .with(Fault::RankCrash { rank: 2, at: 3.0 })
+            .with(Fault::RankCrash { rank: 2, at: 1.5 })
+            .build()
+            .unwrap();
+        assert!(!e.is_inert());
+        assert!(e.any_crash());
+        assert_eq!(e.crash_at(2), Some(1.5));
+        assert_eq!(e.crash_at(0), None);
+        assert!(!e.crashed(2, 1.0));
+        assert!(e.crashed(2, 1.5), "crash instant is inclusive");
+        assert!(e.crashed(2, 100.0), "crash-stops never heal");
+        assert!(e.crash_ahead(2));
+        assert!(!e.crash_ahead(0));
+        assert_eq!(e.max_rank(), Some(2));
+    }
+
+    #[test]
+    fn crash_dropped_at_zero_intensity() {
+        let plan = FaultPlan::new(9)
+            .with(Fault::RankCrash { rank: 1, at: 0.5 })
+            .with(Fault::SilentCorruption {
+                rate: 0.8,
+                from: 0.0,
+                until: 2.0,
+            });
+        let zero = plan.scaled(0.0).build().unwrap();
+        assert!(zero.is_inert());
+        assert!(!zero.any_crash());
+        assert_eq!(zero.corruption_rate(1.0), 0.0);
+        let half = plan.scaled(0.5).build().unwrap();
+        assert_eq!(half.crash_at(1), Some(0.5), "instants keep their time");
+        assert!((half.corruption_rate(0.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_is_windowed_and_deterministic() {
+        let e = FaultPlan::new(11)
+            .with(Fault::SilentCorruption {
+                rate: 0.5,
+                from: 1.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.corruption_rate(0.5), 0.0);
+        assert_eq!(e.corruption_rate(1.0), 0.5);
+        assert_eq!(e.corruption_rate(2.0), 0.0, "half-open window");
+        // Outside the window nothing corrupts, whatever the site.
+        for site in 0..64 {
+            assert!(!e.corrupts(site, 0.5));
+        }
+        // Inside the window the decision is a pure function of the site.
+        for site in 0..64 {
+            assert_eq!(e.corrupts(site, 1.5), e.corrupts(site, 1.5));
+            assert_eq!(e.corrupts(site, 1.5), e.unit_hash(site) < 0.5);
+        }
+        // rate = 1 corrupts everything inside the window.
+        let all = FaultPlan::new(11)
+            .with(Fault::SilentCorruption {
+                rate: 1.0,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .unwrap();
+        for site in 0..64 {
+            assert!(all.corrupts(site, 0.5));
+        }
+    }
+
+    #[test]
+    fn crash_and_corruption_plans_validate() {
+        assert!(FaultPlan::new(0)
+            .with(Fault::RankCrash {
+                rank: 0,
+                at: f64::NAN,
+            })
+            .build()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with(Fault::RankCrash { rank: 0, at: -1.0 })
+            .build()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with(Fault::SilentCorruption {
+                rate: 1.5,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with(Fault::SilentCorruption {
+                rate: -0.1,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
     }
 
     #[test]

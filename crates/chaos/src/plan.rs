@@ -30,6 +30,8 @@
 //! | `conn_flush`       | `at`                                  |
 //! | `rank_stall`       | `rank`, `from`, `until`               |
 //! | `rank_slowdown`    | `rank`, `factor`, `from`, `until`     |
+//! | `rank_crash`       | `rank`, `at`                          |
+//! | `silent_corruption`| `rate`, `from`, `until`               |
 
 use crate::{Fault, FaultPlan, RetryPolicy};
 
@@ -218,6 +220,15 @@ fn fault_from_section(mut s: Section) -> Result<Fault, PlanError> {
         "rank_slowdown" => Fault::RankSlowdown {
             rank: s.require_usize("rank")?,
             factor: s.require_f64("factor")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "rank_crash" => Fault::RankCrash {
+            rank: s.require_usize("rank")?,
+            at: s.require_f64("at")?,
+        },
+        "silent_corruption" => Fault::SilentCorruption {
+            rate: s.require_f64("rate")?,
             from: s.require_f64("from")?,
             until: s.require_f64("until")?,
         },
@@ -452,9 +463,27 @@ mod tests {
             factor = 2.0
             from = 0.0
             until = 1.0
+            [[fault]]
+            kind = "rank_crash"
+            rank = 3
+            at = 0.5
+            [[fault]]
+            kind = "silent_corruption"
+            rate = 0.25
+            from = 0.0
+            until = 1.0
         "#;
         let plan = FaultPlan::parse(text).unwrap();
-        assert_eq!(plan.faults.len(), 5);
+        assert_eq!(plan.faults.len(), 7);
+        assert_eq!(plan.faults[5], Fault::RankCrash { rank: 3, at: 0.5 });
+        assert_eq!(
+            plan.faults[6],
+            Fault::SilentCorruption {
+                rate: 0.25,
+                from: 0.0,
+                until: 1.0
+            }
+        );
         plan.build().unwrap();
     }
 

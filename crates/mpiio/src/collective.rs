@@ -211,17 +211,19 @@ pub(crate) fn compute_domains(
         None => (0..naggs).map(|i| i * nprocs / naggs).collect(),
     };
     // Graceful degradation: drop aggregators with a stall window still
-    // ahead. Both allreduces above are symmetric (equal payloads on every
-    // rank), so all ranks exit with *identical* clocks — evaluating the
-    // pure-function stall query here yields the same shrunk set everywhere
-    // without extra communication. If every candidate is a straggler,
-    // keep the original set (someone has to do the I/O).
+    // ahead, and re-elect around ranks the fault plan will crash-stop —
+    // an aggregator that dies mid-drain takes every rank's staged data
+    // with it. Both allreduces above are symmetric (equal payloads on
+    // every rank), so all ranks exit with *identical* clocks — evaluating
+    // the pure-function stall/crash queries here yields the same shrunk
+    // set everywhere without extra communication. If every candidate is a
+    // straggler, keep the original set (someone has to do the I/O).
     if let Some(engine) = rank.chaos() {
         let t = rank.now();
         let healthy: Vec<usize> = agg_ranks
             .iter()
             .copied()
-            .filter(|&r| !engine.stall_ahead(r, t))
+            .filter(|&r| !engine.stall_ahead(r, t) && !engine.crash_ahead(r))
             .collect();
         if !healthy.is_empty() {
             agg_ranks = healthy;

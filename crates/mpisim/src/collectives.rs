@@ -16,7 +16,6 @@ use std::sync::Arc;
 
 #[derive(Debug)]
 pub(crate) struct Rendezvous {
-    n: usize,
     inner: Mutex<RvState>,
     cv: Condvar,
 }
@@ -31,6 +30,22 @@ struct RvState {
     done_gen: u64,
     result: Arc<Vec<Vec<u8>>>,
     result_max: f64,
+    /// Ranks that crash-stopped: they will never arrive again, so a
+    /// generation completes when every *surviving* rank has deposited.
+    /// Dead ranks' slots publish as empty payloads.
+    dead: Vec<bool>,
+}
+
+impl RvState {
+    /// Every surviving rank has arrived (and at least one survivor exists).
+    fn complete(&self) -> bool {
+        self.arrived > 0
+            && self
+                .slots
+                .iter()
+                .zip(&self.dead)
+                .all(|(s, d)| s.is_some() || *d)
+    }
 }
 
 /// Outcome of a completed rendezvous.
@@ -46,7 +61,6 @@ pub(crate) struct RvResult {
 impl Rendezvous {
     pub(crate) fn new(n: usize) -> Self {
         Rendezvous {
-            n,
             inner: Mutex::new(RvState {
                 gen: 0,
                 arrived: 0,
@@ -55,6 +69,7 @@ impl Rendezvous {
                 done_gen: u64::MAX,
                 result: Arc::new(Vec::new()),
                 result_max: 0.0,
+                dead: vec![false; n],
             }),
             cv: Condvar::new(),
         }
@@ -62,6 +77,48 @@ impl Rendezvous {
 
     pub(crate) fn interrupt(&self) {
         self.cv.notify_all();
+    }
+
+    /// Publish the in-flight generation: dead ranks' slots become empty
+    /// payloads, waiters are released, and the next generation opens.
+    fn publish(st: &mut RvState, cv: &Condvar) -> RvResult {
+        let my_gen = st.gen;
+        let payloads: Vec<Vec<u8>> = st
+            .slots
+            .iter_mut()
+            .map(|s| s.take().unwrap_or_default())
+            .collect();
+        st.result = Arc::new(payloads);
+        st.result_max = st.max_t;
+        st.done_gen = my_gen;
+        st.gen = my_gen + 1;
+        st.arrived = 0;
+        st.max_t = f64::NEG_INFINITY;
+        cv.notify_all();
+        RvResult {
+            payloads: Arc::clone(&st.result),
+            max_t: st.result_max,
+            gen: my_gen,
+        }
+    }
+
+    /// Record that `rank` crash-stopped. It will never enter again; if the
+    /// in-flight generation was only waiting on it, the generation
+    /// completes now on behalf of the survivors. (Sub-communicator
+    /// rendezvous instances are not reached by this — a crash while peers
+    /// wait in a sub-communicator collective is resolved by the abort
+    /// path, not by shrinking.)
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        let mut st = self.inner.lock();
+        if st.dead[rank] {
+            return;
+        }
+        st.dead[rank] = true;
+        if st.complete() {
+            Self::publish(&mut st, &self.cv);
+        } else {
+            self.cv.notify_all();
+        }
     }
 
     /// Enter the collective with `payload` at virtual time `t`.
@@ -84,21 +141,9 @@ impl Rendezvous {
         if t > st.max_t {
             st.max_t = t;
         }
-        if st.arrived == self.n {
-            // Last arrival: publish and open the next generation.
-            let payloads: Vec<Vec<u8>> = st.slots.iter_mut().map(|s| s.take().unwrap()).collect();
-            st.result = Arc::new(payloads);
-            st.result_max = st.max_t;
-            st.done_gen = my_gen;
-            st.gen = my_gen + 1;
-            st.arrived = 0;
-            st.max_t = f64::NEG_INFINITY;
-            self.cv.notify_all();
-            return Some(RvResult {
-                payloads: Arc::clone(&st.result),
-                max_t: st.result_max,
-                gen: my_gen,
-            });
+        if st.complete() {
+            // Last (surviving) arrival: publish and open the next generation.
+            return Some(Self::publish(&mut st, &self.cv));
         }
         loop {
             if st.gen > my_gen {
@@ -188,6 +233,53 @@ mod tests {
         let b = handles.pop().unwrap().join().unwrap();
         assert_eq!(a, b);
         assert_eq!(a, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dead_rank_releases_survivors_with_empty_slot() {
+        let rv = Arc::new(Rendezvous::new(3));
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for me in 0..2usize {
+            let rv = Arc::clone(&rv);
+            let abort = Arc::clone(&abort);
+            handles.push(thread::spawn(move || {
+                rv.enter(me, vec![me as u8 + 1], me as f64, &abort).unwrap()
+            }));
+        }
+        thread::sleep(std::time::Duration::from_millis(20));
+        // Rank 2 dies instead of arriving: the generation completes for
+        // the survivors, with an empty payload in the dead slot.
+        rv.mark_dead(2);
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.max_t, 1.0, "max over survivors only");
+            assert_eq!(&*r.payloads[2], &[] as &[u8]);
+            assert_eq!(&*r.payloads[0], &[1]);
+        }
+        // Later generations keep completing without the dead rank.
+        let abort2 = AtomicBool::new(false);
+        let rv2 = Arc::clone(&rv);
+        let h = thread::spawn(move || {
+            let abort = AtomicBool::new(false);
+            rv2.enter(1, vec![9], 5.0, &abort).unwrap()
+        });
+        let r = rv.enter(0, vec![8], 4.0, &abort2).unwrap();
+        assert_eq!(r.max_t, 5.0);
+        assert_eq!(&*r.payloads[2], &[] as &[u8]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dead_before_anyone_arrives_still_completes() {
+        let rv = Rendezvous::new(2);
+        let abort = AtomicBool::new(false);
+        rv.mark_dead(1);
+        // A singleton "collective" among the survivors completes inline.
+        let r = rv.enter(0, vec![7], 2.0, &abort).unwrap();
+        assert_eq!(&*r.payloads[0], &[7]);
+        assert_eq!(&*r.payloads[1], &[] as &[u8]);
+        assert_eq!(r.max_t, 2.0);
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub enum MpiError {
     CollectiveMismatch(&'static str),
     /// Datatype construction or use was invalid.
     InvalidDatatype(String),
+    /// This rank crash-stopped (injected by the fault plan). The error is
+    /// sticky: every runtime operation the rank attempts at or after its
+    /// crash instant returns it — the rank never comes back.
+    RankCrashed { rank: usize },
+    /// A blocking operation targeted rank `rank`, which has crash-stopped
+    /// and will never respond (e.g. a receive posted on a dead source).
+    PeerCrashed { rank: usize },
 }
 
 impl fmt::Display for MpiError {
@@ -64,6 +71,12 @@ impl fmt::Display for MpiError {
                 write!(f, "collective participation mismatch: {what}")
             }
             MpiError::InvalidDatatype(msg) => write!(f, "invalid datatype: {msg}"),
+            MpiError::RankCrashed { rank } => {
+                write!(f, "rank {rank} crash-stopped (injected fault)")
+            }
+            MpiError::PeerCrashed { rank } => {
+                write!(f, "peer rank {rank} has crash-stopped and will never respond")
+            }
         }
     }
 }
@@ -77,6 +90,12 @@ pub enum SimError {
     RankFailed { rank: usize, error: MpiError },
     /// A rank panicked; the payload is the panic message when printable.
     RankPanicked { rank: usize, message: String },
+    /// A rank crash-stopped (injected fault) and its body did not handle
+    /// the failure: collectives it was party to were torn down instead of
+    /// hanging. Fault-tolerant bodies that catch
+    /// [`MpiError::RankCrashed`] and shrink around the dead rank never see
+    /// this — their survivors run to completion.
+    CollectiveAborted { crashed_rank: usize },
 }
 
 impl fmt::Display for SimError {
@@ -87,6 +106,12 @@ impl fmt::Display for SimError {
             }
             SimError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::CollectiveAborted { crashed_rank } => {
+                write!(
+                    f,
+                    "collectives aborted: rank {crashed_rank} crash-stopped (injected fault)"
+                )
             }
         }
     }

@@ -85,6 +85,15 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
+    /// Wake blocked receivers, synchronizing with the mailbox lock so a
+    /// flag stored immediately before this call is visible to any receiver
+    /// that re-checks under the lock (no lost wakeup). Used when a rank is
+    /// marked crash-stopped.
+    pub(crate) fn interrupt_sync(&self) {
+        let _guard = self.inner.lock();
+        self.cv.notify_all();
+    }
+
     /// Try to claim the best matching envelope without blocking.
     fn try_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Received> {
         let mut inner = self.inner.lock();
@@ -125,19 +134,39 @@ impl Mailbox {
     }
 
     /// Block until a matching envelope arrives or `abort` is raised.
-    /// Returns `None` on abort.
+    /// Returns `None` on abort. (The runtime itself always goes through
+    /// [`Mailbox::recv_blocking_or_dead`] for crash awareness.)
+    #[cfg(test)]
     pub(crate) fn recv_blocking(
         &self,
         src: Option<usize>,
         tag: Option<Tag>,
         abort: &AtomicBool,
     ) -> Option<Received> {
+        self.recv_blocking_or_dead(src, tag, abort, None).ok()
+    }
+
+    /// [`Mailbox::recv_blocking`] with crash awareness: when the receive
+    /// names a specific source and `src_dead` reads true with no matching
+    /// message pending, return [`RecvFail::SrcDead`] instead of blocking
+    /// forever. Messages the source sent *before* crashing still match and
+    /// are delivered first.
+    pub(crate) fn recv_blocking_or_dead(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        abort: &AtomicBool,
+        src_dead: Option<&AtomicBool>,
+    ) -> Result<Received, RecvFail> {
         loop {
             if let Some(r) = self.try_match(src, tag) {
-                return Some(r);
+                return Ok(r);
             }
             if abort.load(Ordering::SeqCst) {
-                return None;
+                return Err(RecvFail::Aborted);
+            }
+            if src_dead.is_some_and(|d| d.load(Ordering::SeqCst)) {
+                return Err(RecvFail::SrcDead);
             }
             let mut inner = self.inner.lock();
             // Re-check under the lock to avoid a lost wakeup between
@@ -150,11 +179,24 @@ impl Mailbox {
                 continue;
             }
             if abort.load(Ordering::SeqCst) {
-                return None;
+                return Err(RecvFail::Aborted);
+            }
+            if src_dead.is_some_and(|d| d.load(Ordering::SeqCst)) {
+                return Err(RecvFail::SrcDead);
             }
             self.cv.wait(&mut inner);
         }
     }
+}
+
+/// Why a blocking receive returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvFail {
+    /// The simulation aborted while waiting.
+    Aborted,
+    /// The named source has crash-stopped and no matching message is
+    /// pending — it will never arrive.
+    SrcDead,
 }
 
 /// Handle for a nonblocking operation, completed via `Rank::wait` /
@@ -229,6 +271,24 @@ mod tests {
         abort.store(true, Ordering::SeqCst);
         mb.interrupt();
         assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn dead_source_fails_receive_but_delivers_prior_messages() {
+        let mb = Mailbox::default();
+        let abort = AtomicBool::new(false);
+        let dead = AtomicBool::new(true);
+        mb.push(0, 1, vec![5], 0.5, None);
+        // A message sent before the crash is still delivered.
+        let r = mb
+            .recv_blocking_or_dead(Some(0), Some(1), &abort, Some(&dead))
+            .unwrap();
+        assert_eq!(r.data, vec![5]);
+        // Nothing more will ever come: fail instead of blocking forever.
+        let e = mb
+            .recv_blocking_or_dead(Some(0), Some(1), &abort, Some(&dead))
+            .unwrap_err();
+        assert_eq!(e, RecvFail::SrcDead);
     }
 
     #[test]

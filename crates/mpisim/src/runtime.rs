@@ -22,7 +22,7 @@ use crate::collectives::{log2ceil, Rendezvous};
 use crate::error::{MpiError, Result, SimError};
 use crate::mem::{MemGuard, MemState, MemTracker};
 use crate::net::{Fabric, FabricStatsSnapshot, NetConfig};
-use crate::p2p::{Mailbox, Received, Request, Tag};
+use crate::p2p::{Mailbox, Received, RecvFail, Request, Tag};
 use crate::rma::{Epoch, LockKind, WinShared, Window};
 use crate::stats::RankStats;
 use crate::subcomm::{SplitRegistry, SubComm};
@@ -82,6 +82,11 @@ pub(crate) struct Shared {
     abort: AtomicBool,
     trace: bool,
     chaos: Option<Arc<chaos::ChaosEngine>>,
+    /// Per-rank crash-stop flags. A rank marks itself dead at the
+    /// chaos checkpoint where it first observes its injected crash; peers
+    /// consult the flag so blocking operations on a dead rank fail with a
+    /// typed error instead of hanging.
+    dead: Vec<AtomicBool>,
 }
 
 impl Shared {
@@ -103,6 +108,7 @@ impl Shared {
             abort: AtomicBool::new(false),
             trace: cfg.trace,
             chaos: cfg.chaos.clone(),
+            dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -112,6 +118,18 @@ impl Shared {
             mb.interrupt();
         }
         self.rendezvous.interrupt();
+    }
+
+    /// Record that `rank` crash-stopped: set its dead flag, release any
+    /// receiver blocked on it, and shrink the world rendezvous so
+    /// collectives complete over the survivors. Unlike `raise_abort` the
+    /// simulation keeps running — only this rank is gone.
+    fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.interrupt_sync();
+        }
+        self.rendezvous.mark_dead(rank);
     }
 }
 
@@ -137,6 +155,10 @@ pub struct Rank {
     pub stats: RankStats,
     /// Clock-attribution and span-recording state.
     tracer: Tracer,
+    /// Sticky crash-stop flag: set when this rank first observes its own
+    /// injected crash; every runtime operation afterwards returns
+    /// [`MpiError::RankCrashed`].
+    crashed: bool,
 }
 
 impl Rank {
@@ -155,6 +177,7 @@ impl Rank {
             noise_seq: 0x9E37_79B9_7F4A_7C15 ^ (id as u64),
             stats: RankStats::default(),
             tracer: Tracer::new(id, trace),
+            crashed: false,
         }
     }
 
@@ -229,23 +252,52 @@ impl Rank {
         self.shared.chaos.as_ref()
     }
 
-    /// Stall checkpoint: if this rank sits inside an injected stall window
-    /// *right now*, park it until the window lifts. Called at the entry of
-    /// every runtime operation (p2p, collectives, RMA epochs), which is
-    /// where a descheduled process would actually be caught. The wait is
-    /// attributed to `Compute` (the rank is not communicating — it is
-    /// simply not running) and recorded as a `chaos_stall` span.
-    fn chaos_checkpoint(&mut self) {
-        let Some(engine) = &self.shared.chaos else {
-            return;
-        };
-        if let Some(until) = engine.rank_stall_until(self.id, self.clock) {
-            let start = self.clock;
-            self.set_clock_as(until, Phase::Compute);
-            self.stats.chaos_stalls += 1;
-            self.tracer
-                .record("chaos_stall", Phase::Compute, start, self.clock, 0, None);
+    /// Fault checkpoint: called at the entry of every runtime operation
+    /// (p2p, collectives, RMA epochs), which is where a descheduled or
+    /// failed process would actually be caught.
+    ///
+    /// Crash-stop: if the fault plan crashes this rank at or before the
+    /// current virtual time, the rank marks itself dead (releasing peers
+    /// blocked on it) and returns the sticky [`MpiError::RankCrashed`] —
+    /// from then on every operation fails with it; the rank never comes
+    /// back.
+    ///
+    /// Stall: if the rank sits inside an injected stall window *right
+    /// now*, park it until the window lifts. The wait is attributed to
+    /// `Compute` (the rank is not communicating — it is simply not
+    /// running) and recorded as a `chaos_stall` span. A crash instant that
+    /// falls inside the stall window fires when the stall lifts.
+    fn chaos_checkpoint(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(MpiError::RankCrashed { rank: self.id });
         }
+        let Some(engine) = self.shared.chaos.clone() else {
+            return Ok(());
+        };
+        if !engine.crashed(self.id, self.clock) {
+            if let Some(until) = engine.rank_stall_until(self.id, self.clock) {
+                let start = self.clock;
+                self.set_clock_as(until, Phase::Compute);
+                self.stats.chaos_stalls += 1;
+                self.tracer
+                    .record("chaos_stall", Phase::Compute, start, self.clock, 0, None);
+            }
+        }
+        if engine.crashed(self.id, self.clock) {
+            self.crashed = true;
+            self.stats.rank_crashes += 1;
+            self.tracer.record(
+                "rank_crash",
+                Phase::Compute,
+                self.clock,
+                self.clock,
+                0,
+                None,
+            );
+            self.shared.mark_dead(self.id);
+            return Err(MpiError::RankCrashed { rank: self.id });
+        }
+        Ok(())
     }
 
     // ---- tracing ----
@@ -342,7 +394,7 @@ impl Rank {
     pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<()> {
         self.check_abort()?;
         self.check_rank(dst)?;
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         debug_assert!(tag < TAG_INTERNAL_BASE, "tag collides with internal range");
         let start = self.clock;
         let tr = self
@@ -368,7 +420,7 @@ impl Rank {
     pub fn isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let start = self.clock;
         let tr = self
             .shared
@@ -396,11 +448,28 @@ impl Rank {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let start = self.clock;
-        let r = self.shared.mailboxes[self.id]
-            .recv_blocking(src, tag, &self.shared.abort)
-            .ok_or(MpiError::Aborted)?;
+        // When the receive names a specific source, watch its crash flag:
+        // a receive posted on a dead rank (with no pre-crash message
+        // pending) fails typed instead of hanging forever. Wildcard
+        // receives cannot know which sender they wait for and rely on the
+        // abort path.
+        let src_dead = src.map(|s| &self.shared.dead[s]);
+        let r = match self.shared.mailboxes[self.id].recv_blocking_or_dead(
+            src,
+            tag,
+            &self.shared.abort,
+            src_dead,
+        ) {
+            Ok(r) => r,
+            Err(RecvFail::Aborted) => return Err(MpiError::Aborted),
+            Err(RecvFail::SrcDead) => {
+                return Err(MpiError::PeerCrashed {
+                    rank: src.expect("dead-source receive names its source"),
+                })
+            }
+        };
         let cfg = self.shared.fabric.config();
         // Completion: reconcile with the arrival, pay the receive overhead,
         // and pay the unexpected-queue matching cost for every message that
@@ -457,7 +526,7 @@ impl Rank {
     // ---- collectives ----
 
     fn rendezvous(&mut self, payload: Vec<u8>) -> Result<crate::collectives::RvResult> {
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let entry_t = self.clock;
         let rv = self
             .shared
@@ -505,30 +574,46 @@ impl Rank {
         Ok(rv.payloads.iter().cloned().collect())
     }
 
-    /// Allgather of one `u64` per rank.
+    /// Allgather of one `u64` per rank. Live ranks always contribute 8
+    /// bytes, so an empty slot can only belong to a crash-stopped rank;
+    /// it reads back as `u64::MAX`.
     pub fn allgather_u64(&mut self, value: u64) -> Result<Vec<u64>> {
         let gathered = self.allgather(&value.to_le_bytes())?;
         Ok(gathered
             .iter()
-            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+            .map(|b| {
+                if b.is_empty() {
+                    u64::MAX
+                } else {
+                    u64::from_le_bytes(b[..8].try_into().expect("u64 payload"))
+                }
+            })
             .collect())
     }
 
-    /// Allreduce of one `u64`.
+    /// Allreduce of one `u64`. Crash-stopped ranks' (empty) slots are
+    /// excluded from the reduction — the collective re-forms over the
+    /// survivors.
     pub fn allreduce_u64(&mut self, value: u64, op: ReduceOp) -> Result<u64> {
-        let all = self.allgather_u64(value)?;
+        let gathered = self.allgather(&value.to_le_bytes())?;
+        let vals = gathered
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")));
         Ok(match op {
-            ReduceOp::Min => all.into_iter().min().unwrap(),
-            ReduceOp::Max => all.into_iter().max().unwrap(),
-            ReduceOp::Sum => all.into_iter().sum(),
+            ReduceOp::Min => vals.min().expect("at least one survivor"),
+            ReduceOp::Max => vals.max().expect("at least one survivor"),
+            ReduceOp::Sum => vals.sum(),
         })
     }
 
-    /// Allreduce of one `f64`.
+    /// Allreduce of one `f64`. Crash-stopped ranks' slots are excluded,
+    /// like [`Rank::allreduce_u64`].
     pub fn allreduce_f64(&mut self, value: f64, op: ReduceOp) -> Result<f64> {
         let gathered = self.allgather(&value.to_le_bytes())?;
         let vals = gathered
             .iter()
+            .filter(|b| !b.is_empty())
             .map(|b| f64::from_le_bytes(b[..8].try_into().expect("f64 payload")));
         Ok(match op {
             ReduceOp::Min => vals.fold(f64::INFINITY, f64::min),
@@ -664,8 +749,15 @@ impl Rank {
             bytes as u64,
             None,
         );
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
         let mut acc: Option<Vec<u64>> = None;
         for buf in rv.payloads.iter() {
+            if buf.is_empty() {
+                // Crash-stopped rank: its slot carries no contribution.
+                continue;
+            }
             if buf.len() != bytes {
                 return Err(MpiError::CollectiveMismatch(
                     "allreduce_u64_vec length mismatch across ranks",
@@ -689,15 +781,17 @@ impl Rank {
                 }
             });
         }
-        Ok(acc.expect("nonempty communicator"))
+        Ok(acc.expect("at least one survivor"))
     }
 
-    /// Inclusive prefix reduction (`MPI_Scan`) of one `u64`.
+    /// Inclusive prefix reduction (`MPI_Scan`) of one `u64`. Crash-stopped
+    /// ranks' slots are skipped — the prefix runs over the survivors.
     pub fn scan_u64(&mut self, value: u64, op: ReduceOp) -> Result<u64> {
-        let all = self.allgather_u64(value)?;
-        Ok(all[..=self.id]
+        let gathered = self.allgather(&value.to_le_bytes())?;
+        Ok(gathered[..=self.id]
             .iter()
-            .copied()
+            .filter(|b| !b.is_empty())
+            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
             .reduce(|a, b| match op {
                 ReduceOp::Min => a.min(b),
                 ReduceOp::Max => a.max(b),
@@ -708,9 +802,32 @@ impl Rank {
 
     /// Exclusive prefix sum of one `u64` (`MPI_Exscan` with `+`, 0 at rank
     /// 0) — the usual offset-computation helper for parallel I/O.
+    /// Crash-stopped ranks' slots contribute nothing.
     pub fn exscan_sum_u64(&mut self, value: u64) -> Result<u64> {
-        let all = self.allgather_u64(value)?;
-        Ok(all[..self.id].iter().sum())
+        let gathered = self.allgather(&value.to_le_bytes())?;
+        Ok(gathered[..self.id]
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+            .sum())
+    }
+
+    /// Survivor agreement (communicator shrink): synchronize through a
+    /// barrier, then return the ranks that have not crash-stopped.
+    ///
+    /// No extra communication is needed beyond the barrier: every survivor
+    /// leaves it with the *identical* reconciled clock, and the fault plan
+    /// is a pure function of `(rank, time)` — so all survivors evaluate
+    /// the same predicate at the same instant and agree on the same list.
+    /// Collectives re-form around the result (e.g. TCIO's recovery drain
+    /// reassigns a crashed owner's segments to its buddy).
+    pub fn agree_survivors(&mut self) -> Result<Vec<usize>> {
+        self.barrier()?;
+        let t = self.clock;
+        Ok(match &self.shared.chaos {
+            Some(e) => (0..self.nprocs).filter(|&r| !e.crashed(r, t)).collect(),
+            None => (0..self.nprocs).collect(),
+        })
     }
 
     /// Combined send and receive (`MPI_Sendrecv`).
@@ -760,7 +877,7 @@ impl Rank {
         comm: &SubComm,
         payload: Vec<u8>,
     ) -> Result<crate::collectives::RvResult> {
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let entry_t = self.clock;
         let rv = comm
             .rendezvous
@@ -946,8 +1063,15 @@ impl Rank {
         }
         for k in 1..n {
             let src = (me + n - k) % n;
-            let r = self.recv(Some(src), Some(TAG_ALLTOALLV))?;
-            out[src] = r.data;
+            // Shrunk-communicator semantics, matching the rendezvous
+            // collectives: a crash-stopped peer contributes an empty
+            // payload (anything it sent *before* crashing is still
+            // delivered, so the shrink is deterministic in virtual time).
+            match self.recv(Some(src), Some(TAG_ALLTOALLV)) {
+                Ok(r) => out[src] = r.data,
+                Err(MpiError::PeerCrashed { rank }) if rank == src => {}
+                Err(e) => return Err(e),
+            }
         }
         self.waitall(sends)?;
         self.tracer.record(
@@ -1059,7 +1183,7 @@ impl Rank {
         let mut leader_of: BTreeMap<usize, usize> = BTreeMap::new();
         for (&node, idxs) in &nodes {
             let healthy = idxs.iter().copied().find(|&j| match &self.shared.chaos {
-                Some(e) => !e.stall_ahead(members[j], now),
+                Some(e) => !e.stall_ahead(members[j], now) && !e.crash_ahead(members[j]),
                 None => true,
             });
             leader_of.insert(node, healthy.unwrap_or(idxs[0]));
@@ -1203,7 +1327,7 @@ impl Rank {
     fn isend_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Result<Request> {
         self.check_abort()?;
         self.check_rank(dst)?;
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let start = self.clock;
         let tr = self
             .shared
@@ -1284,7 +1408,14 @@ impl Rank {
         let sizes: Vec<usize> = rv
             .payloads
             .iter()
-            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("size payload")) as usize)
+            .map(|b| {
+                if b.is_empty() {
+                    // Crash-stopped rank: it exposes no window memory.
+                    0
+                } else {
+                    u64::from_le_bytes(b[..8].try_into().expect("size payload")) as usize
+                }
+            })
             .collect();
         let shared_win = {
             let mut reg = self.shared.registry.lock();
@@ -1320,7 +1451,7 @@ impl Rank {
     ) -> Result<Epoch<'w>> {
         self.check_abort()?;
         self.check_rank(target)?;
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         // Lock request handshake.
         self.advance_as(self.shared.fabric.config().rma_lock_cost, Phase::Exchange);
         Ok(Epoch::new(win, target, kind))
@@ -1332,7 +1463,7 @@ impl Rank {
     /// epochs skip the token and only contend at the NIC ports.
     pub fn win_unlock(&mut self, ep: Epoch<'_>) -> Result<()> {
         self.check_abort()?;
-        self.chaos_checkpoint();
+        self.chaos_checkpoint()?;
         let cfg = self.shared.fabric.config().clone();
         let me = self.id;
         let epoch_start = self.clock;
@@ -1449,6 +1580,9 @@ where
     enum Outcome<T> {
         Ok(T),
         Err(MpiError),
+        /// The rank crash-stopped (injected fault) and its body propagated
+        /// the error unhandled. Not an abort: survivors keep running.
+        Crashed,
         Panic(String),
     }
 
@@ -1464,6 +1598,13 @@ where
                         let out = catch_unwind(AssertUnwindSafe(|| body(&mut rank)));
                         let outcome = match out {
                             Ok(Ok(v)) => Outcome::Ok(v),
+                            // An unhandled own-crash is not an abort: the
+                            // rank is already marked dead, collectives
+                            // shrink around it, and the survivors run to
+                            // completion.
+                            Ok(Err(MpiError::RankCrashed { rank })) if rank == i => {
+                                Outcome::Crashed
+                            }
                             Ok(Err(e)) => {
                                 shared.raise_abort();
                                 Outcome::Err(e)
@@ -1492,7 +1633,12 @@ where
             .collect()
     });
 
-    // Prefer a root-cause error (not Aborted) from the lowest rank.
+    // Prefer a root-cause error (not Aborted) from the lowest rank. An
+    // unhandled crash dominates its own knock-on effects (peers failing
+    // with `PeerCrashed` on the dead rank) but not unrelated errors.
+    let crashed_rank = per_rank
+        .iter()
+        .position(|(_, _, _, o)| matches!(o, Outcome::Crashed));
     let mut first_abort: Option<SimError> = None;
     for (i, (_, _, _, outcome)) in per_rank.iter().enumerate() {
         match outcome {
@@ -1501,6 +1647,10 @@ where
                     rank: i,
                     error: MpiError::Aborted,
                 });
+            }
+            Outcome::Err(MpiError::PeerCrashed { rank }) if Some(*rank) == crashed_rank => {
+                // Knock-on failure from the crash; folded into the
+                // `CollectiveAborted` report below.
             }
             Outcome::Err(e) => {
                 return Err(SimError::RankFailed {
@@ -1514,8 +1664,11 @@ where
                     message: m.clone(),
                 })
             }
-            Outcome::Ok(_) => {}
+            Outcome::Ok(_) | Outcome::Crashed => {}
         }
+    }
+    if let Some(crashed_rank) = crashed_rank {
+        return Err(SimError::CollectiveAborted { crashed_rank });
     }
     if let Some(e) = first_abort {
         return Err(e);

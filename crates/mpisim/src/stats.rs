@@ -29,6 +29,11 @@ pub struct RankStats {
     /// Times this rank was elected node leader in a hierarchical exchange
     /// because the default (lowest) leader was stalled by a fault plan.
     pub leader_fallbacks: u64,
+    /// Crash-stop faults this rank hit (0 or 1 — crashes are permanent).
+    pub rank_crashes: u64,
+    /// L2 segments this rank reconstructed from a buddy replica and
+    /// drained on behalf of a crashed owner.
+    pub segments_recovered: u64,
 }
 
 impl RankStats {
@@ -53,6 +58,8 @@ impl RankStats {
         self.io_retries += other.io_retries;
         self.chaos_stalls += other.chaos_stalls;
         self.leader_fallbacks += other.leader_fallbacks;
+        self.rank_crashes += other.rank_crashes;
+        self.segments_recovered += other.segments_recovered;
     }
 }
 

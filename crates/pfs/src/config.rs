@@ -33,6 +33,12 @@ pub struct PfsConfig {
     pub client_byte_time: f64,
     /// Maximum payload of a single RPC; larger accesses are split.
     pub max_rpc: u64,
+    /// Keep a server-side replica of every written stripe so
+    /// [`crate::Pfs::scrub`] can *repair* detected corruptions, not just
+    /// report them (models RAID-style redundancy behind the OSTs). Off by
+    /// default: checksums always verify, but without a replica a bad
+    /// stripe is only detectable.
+    pub stripe_replicas: bool,
 }
 
 impl Default for PfsConfig {
@@ -48,6 +54,7 @@ impl Default for PfsConfig {
             lock_transfer: 600.0e-6,
             client_byte_time: 1.0 / 2.5e9,
             max_rpc: 4 << 20,
+            stripe_replicas: false,
         }
     }
 }

@@ -56,6 +56,14 @@ pub enum PfsError {
         ost: usize,
         retry_after: f64,
     },
+    /// A stripe's stored bytes no longer match the checksum recorded when
+    /// they were written: silent corruption, detected before a single
+    /// wrong byte reaches the caller. Not transient — retrying re-reads
+    /// the same bad bytes; recovery goes through [`Pfs::scrub`].
+    ChecksumMismatch {
+        stripe: u64,
+        ost: usize,
+    },
 }
 
 impl fmt::Display for PfsError {
@@ -78,6 +86,10 @@ impl fmt::Display for PfsError {
                 f,
                 "transient failure on OST {ost}; retry after t={retry_after}"
             ),
+            PfsError::ChecksumMismatch { stripe, ost } => write!(
+                f,
+                "checksum mismatch on stripe {stripe} (OST {ost}): stored bytes are corrupt"
+            ),
         }
     }
 }
@@ -95,10 +107,60 @@ pub type Result<T> = std::result::Result<T, PfsError>;
 
 #[derive(Debug)]
 struct FileState {
-    data: Mutex<Vec<u8>>,
+    data: Mutex<Contents>,
     /// First OST of this file's round-robin stripe placement.
     ost_base: usize,
 }
+
+/// A file's bytes plus the integrity metadata kept alongside them. One
+/// mutex guards all three so a write's byte update and checksum update are
+/// atomic with respect to readers.
+#[derive(Debug, Default)]
+struct Contents {
+    bytes: Vec<u8>,
+    /// Per-stripe checksum, recorded on every write that touches the
+    /// stripe and verified on every read. See [`stripe_checksum`] for the
+    /// zero-extension invariant that keeps file growth from invalidating
+    /// stored sums.
+    sums: HashMap<u64, u64>,
+    /// Per-stripe replica of the last written content
+    /// ([`PfsConfig::stripe_replicas`]); the repair source for
+    /// [`Pfs::scrub`]. Independently corruptible from the primary copy.
+    replicas: HashMap<u64, Vec<u8>>,
+}
+
+/// FNV-1a over the stripe's content with trailing zeros stripped. The
+/// stripping gives the *zero-extension invariant*: growing the file (which
+/// zero-fills earlier stripes' tails) or reading a hole never changes a
+/// stripe's checksum, so sums only need recomputing on actual writes.
+fn stripe_checksum(slice: &[u8]) -> u64 {
+    let trimmed = match slice.iter().rposition(|&b| b != 0) {
+        Some(i) => &slice[..=i],
+        None => &[],
+    };
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in trimmed {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic per-(file, stripe, instant) site for the corruption
+/// coin-flip: virtual time is deterministic, so the same run corrupts the
+/// same stripes at the same writes every time.
+fn corruption_site(file: u32, stripe: u64, now: f64) -> u64 {
+    (file as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stripe.rotate_left(17))
+        ^ now.to_bits()
+}
+
+/// Salt distinguishing the replica copy's corruption coin-flip from the
+/// primary's: the two copies fail independently.
+const REPLICA_SALT: u64 = 0x5DEE_CE66_D1CE_5EED;
+/// Salt for choosing *which* byte of a corrupted stripe flips.
+const FLIP_SALT: u64 = 0x0B10_CF11_D0DD_BA11;
 
 /// Monotonic system-wide counters.
 #[derive(Debug, Default)]
@@ -110,6 +172,13 @@ pub struct PfsStats {
     pub lock_transfers: AtomicU64,
     /// Accesses rejected with [`PfsError::Transient`] (OST outages).
     pub transient_errors: AtomicU64,
+    /// Reads rejected with [`PfsError::ChecksumMismatch`].
+    pub checksum_failures: AtomicU64,
+    /// Corrupt stripes restored from their replica by [`Pfs::scrub`].
+    pub scrub_repairs: AtomicU64,
+    /// Silent corruptions injected by the fault plan (ground truth the
+    /// detection counters are judged against).
+    pub silent_corruptions: AtomicU64,
 }
 
 /// Snapshot of [`PfsStats`].
@@ -121,6 +190,9 @@ pub struct PfsStatsSnapshot {
     pub bytes_written: u64,
     pub lock_transfers: u64,
     pub transient_errors: u64,
+    pub checksum_failures: u64,
+    pub scrub_repairs: u64,
+    pub silent_corruptions: u64,
 }
 
 impl PfsStats {
@@ -132,6 +204,9 @@ impl PfsStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             lock_transfers: self.lock_transfers.load(Ordering::Relaxed),
             transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
+            silent_corruptions: self.silent_corruptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +245,17 @@ struct OstMetrics {
     busy: f64,
     queue_wait: f64,
     lock_transfers: u64,
+}
+
+/// Outcome of one [`Pfs::scrub`] pass over every recorded stripe checksum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stripes with a recorded checksum that were re-verified.
+    pub stripes_scanned: u64,
+    /// Stripes whose stored bytes no longer matched their checksum.
+    pub mismatches: u64,
+    /// Mismatched stripes restored from an intact replica.
+    pub repaired: u64,
 }
 
 /// Metadata snapshot of one file (`stat`).
@@ -252,7 +338,7 @@ impl Pfs {
             v
         };
         files.push(Arc::new(FileState {
-            data: Mutex::new(Vec::new()),
+            data: Mutex::new(Contents::default()),
             ost_base,
         }));
         ns.insert(path.to_string(), id);
@@ -295,9 +381,11 @@ impl Pfs {
         // The file-id slot stays reserved (ids are stable); drop the bytes
         // so memory is reclaimed.
         if let Some(f) = self.files.read().get(id.0 as usize) {
-            let mut d = f.data.lock();
-            d.clear();
-            d.shrink_to_fit();
+            let mut c = f.data.lock();
+            c.bytes.clear();
+            c.bytes.shrink_to_fit();
+            c.sums.clear();
+            c.replicas.clear();
         }
         Ok(())
     }
@@ -316,12 +404,35 @@ impl Pfs {
 
     /// Current length of the file in bytes.
     pub fn len(&self, id: FileId) -> Result<u64> {
-        Ok(self.file(id)?.data.lock().len() as u64)
+        Ok(self.file(id)?.data.lock().bytes.len() as u64)
     }
 
-    /// Set the file length (zero-filling on growth).
+    /// Set the file length (zero-filling on growth). Growth never touches
+    /// stored checksums (zero-extension invariant); shrinking drops sums
+    /// past the new end and re-seals the now-shorter boundary stripe.
     pub fn truncate(&self, id: FileId, len: u64) -> Result<()> {
-        self.file(id)?.data.lock().resize(len as usize, 0);
+        let f = self.file(id)?;
+        let mut c = f.data.lock();
+        let shrink = (len as usize) < c.bytes.len();
+        c.bytes.resize(len as usize, 0);
+        if shrink {
+            let s = self.cfg.stripe_size;
+            let keep = len.div_ceil(s);
+            c.sums.retain(|&k, _| k < keep);
+            c.replicas.retain(|&k, _| k < keep);
+            if len > 0 {
+                let b = (len - 1) / s;
+                if c.sums.contains_key(&b) {
+                    let lo = (b * s) as usize;
+                    let sum = stripe_checksum(&c.bytes[lo..]);
+                    c.sums.insert(b, sum);
+                    if c.replicas.contains_key(&b) {
+                        let copy = c.bytes[lo..].to_vec();
+                        c.replicas.insert(b, copy);
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -374,7 +485,7 @@ impl Pfs {
     /// File metadata.
     pub fn stat(&self, id: FileId) -> Result<FileStat> {
         let f = self.file(id)?;
-        let len = f.data.lock().len() as u64;
+        let len = f.data.lock().bytes.len() as u64;
         Ok(FileStat {
             len,
             stripe_size: self.cfg.stripe_size,
@@ -426,16 +537,147 @@ impl Pfs {
         // Fail before touching any bytes: a refused write must leave the
         // file exactly as it was so the caller can retry wholesale.
         self.outage_check(&file, offset, data.len() as u64, now)?;
-        // Apply the bytes (correctness path).
+        // Apply the bytes (correctness path), then seal the touched
+        // stripes' checksums under the same lock.
         {
-            let mut d = file.data.lock();
+            let mut c = file.data.lock();
             let end = offset as usize + data.len();
-            if d.len() < end {
-                d.resize(end, 0);
+            if c.bytes.len() < end {
+                c.bytes.resize(end, 0);
             }
-            d[offset as usize..end].copy_from_slice(data);
+            c.bytes[offset as usize..end].copy_from_slice(data);
+            self.seal_stripes(&mut c, id, offset, data.len() as u64, now);
         }
         Ok(self.write_cost(&file, id, client, offset, data.len() as u64, now))
+    }
+
+    /// Record checksums (and, if configured, replicas) for every stripe a
+    /// write of `[offset, offset+len)` touched, then roll the fault plan's
+    /// silent-corruption dice per touched stripe and copy. Checksums are
+    /// computed over the *true* content first, so a flipped byte in either
+    /// copy is detectable afterwards. Called under the file's data lock;
+    /// costs no virtual time (checksumming rides along the existing
+    /// per-RPC overheads).
+    fn seal_stripes(&self, c: &mut Contents, id: FileId, offset: u64, len: u64, now: f64) {
+        debug_assert!(len > 0);
+        let engine = self.chaos.lock().clone();
+        // Zero-cost-off: sealing (and hence verification) hashes every
+        // touched stripe, so only pay for it when the attached plan can
+        // actually corrupt. Without recorded sums, `verify_range` and
+        // `scrub` are no-ops over empty maps.
+        if !engine.as_ref().is_some_and(|e| e.any_corruption()) {
+            return;
+        }
+        let s = self.cfg.stripe_size;
+        let want_replicas = self.cfg.stripe_replicas;
+        for stripe in (offset / s)..=((offset + len - 1) / s) {
+            let lo = (stripe * s) as usize;
+            let hi = (((stripe + 1) * s) as usize).min(c.bytes.len());
+            if lo >= hi {
+                continue;
+            }
+            let sum = stripe_checksum(&c.bytes[lo..hi]);
+            c.sums.insert(stripe, sum);
+            if want_replicas {
+                let copy = c.bytes[lo..hi].to_vec();
+                c.replicas.insert(stripe, copy);
+            }
+            let Some(e) = &engine else { continue };
+            let site = corruption_site(id.0, stripe, now);
+            if e.corrupts(site, now) {
+                self.stats
+                    .silent_corruptions
+                    .fetch_add(1, Ordering::Relaxed);
+                let pos = (e.unit_hash(site ^ FLIP_SALT) * (hi - lo) as f64) as usize;
+                c.bytes[lo + pos.min(hi - lo - 1)] ^= 0xA5;
+            }
+            if want_replicas && e.corrupts(site ^ REPLICA_SALT, now) {
+                self.stats
+                    .silent_corruptions
+                    .fetch_add(1, Ordering::Relaxed);
+                let rep = c.replicas.get_mut(&stripe).expect("replica just stored");
+                let pos =
+                    (e.unit_hash(site ^ REPLICA_SALT ^ FLIP_SALT) * rep.len() as f64) as usize;
+                let last = rep.len() - 1;
+                rep[pos.min(last)] ^= 0xA5;
+            }
+        }
+    }
+
+    /// Verify every touched stripe that has a recorded checksum; the first
+    /// mismatch fails typed before any byte leaves the lock. Stripes never
+    /// written through this file system (no recorded sum) pass — there is
+    /// nothing to verify them against.
+    fn verify_stripes(&self, file: &FileState, c: &Contents, offset: u64, len: u64) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let s = self.cfg.stripe_size;
+        for stripe in (offset / s)..=((offset + len - 1) / s) {
+            let Some(&sum) = c.sums.get(&stripe) else {
+                continue;
+            };
+            let lo = (stripe * s) as usize;
+            let hi = (((stripe + 1) * s) as usize).min(c.bytes.len());
+            let actual = if lo >= hi {
+                stripe_checksum(&[])
+            } else {
+                stripe_checksum(&c.bytes[lo..hi])
+            };
+            if actual != sum {
+                self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(PfsError::ChecksumMismatch {
+                    stripe,
+                    ost: self.ost_for(file, stripe),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full-system integrity scrub: recompute every recorded stripe
+    /// checksum, count mismatches, and repair each corrupt stripe from its
+    /// replica when one exists *and* the replica itself still matches the
+    /// recorded sum. Detects 100% of injected corruptions by construction
+    /// (sums are sealed over true content before the corruption flips a
+    /// byte) and never flags a clean stripe.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let files: Vec<Arc<FileState>> = self.files.read().iter().cloned().collect();
+        for f in files {
+            let mut c = f.data.lock();
+            let mut stripes: Vec<u64> = c.sums.keys().copied().collect();
+            stripes.sort_unstable();
+            for stripe in stripes {
+                report.stripes_scanned += 1;
+                let sum = c.sums[&stripe];
+                let lo = (stripe * self.cfg.stripe_size) as usize;
+                let hi = (((stripe + 1) * self.cfg.stripe_size) as usize).min(c.bytes.len());
+                let actual = if lo >= hi {
+                    stripe_checksum(&[])
+                } else {
+                    stripe_checksum(&c.bytes[lo..hi])
+                };
+                if actual == sum {
+                    continue;
+                }
+                report.mismatches += 1;
+                let good = match c.replicas.get(&stripe) {
+                    Some(r) if stripe_checksum(r) == sum => Some(r.clone()),
+                    _ => None,
+                };
+                if let Some(good) = good {
+                    // Bytes past the replica's recorded length are file
+                    // growth since the seal, which only zero-fills.
+                    let end = (lo + good.len()).min(hi);
+                    c.bytes[lo..end].copy_from_slice(&good[..end - lo]);
+                    c.bytes[end..hi].fill(0);
+                    report.repaired += 1;
+                    self.stats.scrub_repairs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        report
     }
 
     /// Atomic read-modify-write of `[offset, offset+len)`: the span is
@@ -460,13 +702,22 @@ impl Pfs {
         self.outage_check(&file, offset, len, now)?;
         let readable;
         {
-            let mut d = file.data.lock();
+            let mut c = file.data.lock();
             let end = (offset + len) as usize;
-            readable = d.len().saturating_sub(offset as usize).min(len as usize) as u64;
-            if d.len() < end {
-                d.resize(end, 0);
+            readable = c
+                .bytes
+                .len()
+                .saturating_sub(offset as usize)
+                .min(len as usize) as u64;
+            if c.bytes.len() < end {
+                c.bytes.resize(end, 0);
             }
-            patch(&mut d[offset as usize..end]);
+            // The read half of the RMW must not fold corrupt bytes back
+            // into the file — and re-sealing after the patch would bless
+            // them. Verify before patching.
+            self.verify_stripes(&file, &c, offset, len)?;
+            patch(&mut c.bytes[offset as usize..end]);
+            self.seal_stripes(&mut c, id, offset, len, now);
         }
         let t = self.read_cost(&file, id, client, offset, readable, now);
         Ok(self.write_cost(&file, id, client, offset, len, t))
@@ -552,16 +803,17 @@ impl Pfs {
         let file = self.file(id)?;
         self.outage_check(&file, offset, buf.len() as u64, now)?;
         {
-            let d = file.data.lock();
+            let c = file.data.lock();
             let end = offset as usize + buf.len();
-            if end > d.len() {
+            if end > c.bytes.len() {
                 return Err(PfsError::ReadPastEof {
                     offset,
                     len: buf.len() as u64,
-                    file_len: d.len() as u64,
+                    file_len: c.bytes.len() as u64,
                 });
             }
-            buf.copy_from_slice(&d[offset as usize..end]);
+            self.verify_stripes(&file, &c, offset, buf.len() as u64)?;
+            buf.copy_from_slice(&c.bytes[offset as usize..end]);
         }
         Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now))
     }
@@ -624,7 +876,7 @@ impl Pfs {
     /// Convenience for verification in tests and examples: a full copy of
     /// the file's bytes (no cost).
     pub fn snapshot_file(&self, id: FileId) -> Result<Vec<u8>> {
-        Ok(self.file(id)?.data.lock().clone())
+        Ok(self.file(id)?.data.lock().bytes.clone())
     }
 
     /// Per-OST service histogram for the observability layer: requests,
@@ -1132,6 +1384,162 @@ mod failure_tests {
         let t_inert = q.write_at(qid, 0, 0, &data, 0.0).unwrap();
         assert_eq!(t_healthy, t_inert, "empty plan must be zero-cost");
         assert_eq!(p.snapshot_file(id).unwrap(), q.snapshot_file(qid).unwrap());
+    }
+
+    fn corruption_engine(rate: f64, until: f64) -> Arc<chaos::ChaosEngine> {
+        chaos::FaultPlan::new(41)
+            .with(chaos::Fault::SilentCorruption {
+                rate,
+                from: 0.0,
+                until,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn corrupted_stripe_reads_fail_typed_and_never_return_wrong_bytes() {
+        let cfg = PfsConfig {
+            stripe_size: 256,
+            stripe_count: 2,
+            num_osts: 2,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        p.attach_chaos(corruption_engine(1.0, 0.5)).unwrap();
+        // rate=1 inside the window: every written stripe is corrupted.
+        let data = vec![7u8; 1024]; // 4 stripes
+        p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let snap = p.stats.snapshot();
+        assert_eq!(snap.silent_corruptions, 4);
+        let mut buf = vec![0u8; 1024];
+        let err = p.read_at(id, 0, 0, &mut buf, 1.0).unwrap_err();
+        assert!(matches!(err, PfsError::ChecksumMismatch { .. }));
+        assert!(!err.is_transient(), "corruption is not retryable");
+        assert!(
+            buf.iter().all(|&b| b == 0),
+            "no corrupt byte may reach the caller"
+        );
+        assert!(p.stats.snapshot().checksum_failures >= 1);
+        // Scrub detects every injected corruption; without replicas it
+        // cannot repair any of them.
+        let rep = p.scrub();
+        assert_eq!(rep.stripes_scanned, 4);
+        assert_eq!(rep.mismatches, 4, "scrub must detect 100% of corruptions");
+        assert_eq!(rep.repaired, 0);
+    }
+
+    #[test]
+    fn scrub_repairs_from_intact_replicas() {
+        let cfg = PfsConfig {
+            stripe_size: 128,
+            stripe_count: 4,
+            num_osts: 4,
+            stripe_replicas: true,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        // Moderate rate: some stripes corrupt on the primary only, so
+        // their replicas remain the repair source.
+        p.attach_chaos(corruption_engine(0.4, 0.5)).unwrap();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8 + 1).collect();
+        p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let first = p.scrub();
+        assert!(first.mismatches >= 1, "seed 41 must corrupt something");
+        assert!(first.repaired >= 1, "some replica must have survived");
+        assert_eq!(p.stats.snapshot().scrub_repairs, first.repaired);
+        // A second pass sees only the stripes whose replica was also hit.
+        let second = p.scrub();
+        assert_eq!(second.mismatches, first.mismatches - first.repaired);
+        assert_eq!(second.repaired, 0, "nothing left to repair from");
+        // Repaired stripes read back their true content.
+        if second.mismatches == 0 {
+            let mut buf = vec![0u8; 4096];
+            p.read_at(id, 0, 0, &mut buf, 1.0).unwrap();
+            assert_eq!(buf, data);
+        }
+    }
+
+    #[test]
+    fn intensity_zero_has_no_false_positives() {
+        let p = Pfs::new(1, PfsConfig::default()).unwrap();
+        let id = p.create("/f").unwrap();
+        let plan = chaos::FaultPlan::new(41).with(chaos::Fault::SilentCorruption {
+            rate: 0.8,
+            from: 0.0,
+            until: 1e9,
+        });
+        p.attach_chaos(plan.scaled(0.0).build().unwrap()).unwrap();
+        let data = vec![9u8; 3 << 20];
+        let t = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let mut buf = vec![0u8; 3 << 20];
+        p.read_at(id, 0, 0, &mut buf, t).unwrap();
+        assert_eq!(buf, data);
+        let rep = p.scrub();
+        assert_eq!(rep.mismatches, 0, "clean stripes must never be flagged");
+        let snap = p.stats.snapshot();
+        assert_eq!(snap.silent_corruptions, 0);
+        assert_eq!(snap.checksum_failures, 0);
+    }
+
+    #[test]
+    fn checksums_survive_growth_holes_and_truncate() {
+        let cfg = PfsConfig {
+            stripe_size: 100,
+            stripe_count: 2,
+            num_osts: 2,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        // A corruption window far in the future arms the integrity
+        // bookkeeping (sums are only recorded under plans that can
+        // corrupt) without ever flipping a byte in this test.
+        let armed = chaos::FaultPlan::new(41)
+            .with(chaos::Fault::SilentCorruption {
+                rate: 1.0,
+                from: 1e8,
+                until: 1e9,
+            })
+            .build()
+            .unwrap();
+        p.attach_chaos(armed).unwrap();
+        p.write_at(id, 0, 10, &[5u8; 20], 0.0).unwrap();
+        // Growth through a later write zero-fills stripe 0's tail: its
+        // stored sum must still verify.
+        p.write_at(id, 0, 350, &[6u8; 10], 0.0).unwrap();
+        let mut buf = vec![0u8; 360];
+        p.read_at(id, 0, 0, &mut buf, 1.0).unwrap();
+        assert_eq!(&buf[10..30], &[5u8; 20]);
+        // Shrink into stripe 3, then into stripe 0's written run.
+        p.truncate(id, 355).unwrap();
+        p.truncate(id, 15).unwrap();
+        let mut buf = vec![0u8; 15];
+        p.read_at(id, 0, 0, &mut buf, 1.0).unwrap();
+        assert_eq!(&buf[10..], &[5u8; 5]);
+        assert_eq!(p.scrub().mismatches, 0);
+    }
+
+    #[test]
+    fn rmw_refuses_to_patch_a_corrupt_stripe() {
+        let cfg = PfsConfig {
+            stripe_size: 64,
+            stripe_count: 1,
+            num_osts: 1,
+            ..Default::default()
+        };
+        let p = Pfs::new(1, cfg).unwrap();
+        let id = p.create("/f").unwrap();
+        p.attach_chaos(corruption_engine(1.0, 0.5)).unwrap();
+        p.write_at(id, 0, 0, &[3u8; 64], 0.0).unwrap();
+        // Past the corruption window: the RMW's read half must detect the
+        // stale corruption instead of blessing it with a fresh seal.
+        let err = p
+            .write_rmw(id, 0, 8, 4, &mut |span| span.fill(1), 1.0)
+            .unwrap_err();
+        assert!(matches!(err, PfsError::ChecksumMismatch { .. }));
     }
 
     #[test]

@@ -95,6 +95,41 @@ impl SharedMeta {
     }
 }
 
+/// Buddy-replication state for durability epochs. Built only when the
+/// attached fault plan contains a crash instant (`any_crash`) on a
+/// multi-rank write handle — the inert fast path allocates nothing.
+///
+/// Every level-1 flush mirrors its gathered put into the *buddy*'s replica
+/// window, so a segment owner's crash loses no acknowledged byte: at close
+/// the buddy reconstructs the dead owner's dirty runs from its local
+/// replica region and drains them to the file system. The buddy of rank
+/// `r` is the next non-doomed rank after `r` in the segment map's slot
+/// ring — a pure function of the (shared) fault plan and topology, so all
+/// ranks agree without communication.
+struct Durability {
+    /// rank → will the fault plan crash-stop it at some point?
+    doomed: Vec<bool>,
+    /// rank → the rank holding its replica.
+    buddy: Vec<usize>,
+    /// rank → the ranks it covers, ascending; a rank's index in its
+    /// buddy's list positions its replica inside the replica window.
+    covered: Vec<Vec<usize>>,
+    /// Replica window: rank `b` exposes `covered[b].len()` level-2 images.
+    rwin: Window,
+}
+
+impl Durability {
+    /// Displacement of `(owner, segment-base + disp)` inside the replica
+    /// window of `buddy[owner]`.
+    fn replica_disp(&self, owner: usize, l2_disp: usize, l2_bytes: u64) -> usize {
+        let idx = self.covered[self.buddy[owner]]
+            .iter()
+            .position(|&r| r == owner)
+            .expect("owner is covered by its buddy");
+        idx * l2_bytes as usize + l2_disp
+    }
+}
+
 /// Level-1 buffer state.
 struct L1 {
     /// File offset of the window the buffer is aligned with.
@@ -118,6 +153,7 @@ pub struct TcioFile<'a> {
     cfg: TcioConfig,
     map: SegmentMap,
     win: Window,
+    dur: Option<Durability>,
     meta: Arc<SharedMeta>,
     _l1_mem: Option<MemGuard>,
     l1: L1,
@@ -183,6 +219,41 @@ impl<'a> TcioFile<'a> {
         };
         // Level-2 window: num_segments × segment_size bytes per rank.
         let win = rank.win_create((cfg.l2_bytes()) as usize)?;
+        // Durability epochs: with a crash instant somewhere in the fault
+        // plan, every rank also exposes a replica window sized for the
+        // owners it buddies for. The predicate is a pure function of the
+        // shared engine, so the collective `win_create` stays symmetric;
+        // without a crash (or single-rank) this allocates nothing and
+        // adds zero bookkeeping.
+        let dur = match rank.chaos() {
+            Some(e) if mode == TcioMode::Write && e.any_crash() && rank.nprocs() > 1 => {
+                let n = rank.nprocs();
+                let doomed: Vec<bool> = (0..n).map(|r| e.crash_ahead(r)).collect();
+                let buddy: Vec<usize> = (0..n)
+                    .map(|r| {
+                        let s = map.slot_of_owner(r);
+                        (1..n)
+                            .map(|k| map.owner_of_slot((s + k) % n))
+                            .find(|&c| !doomed[c])
+                            // Every other rank doomed: best effort, the
+                            // next slot (recovery is then impossible).
+                            .unwrap_or_else(|| map.owner_of_slot((s + 1) % n))
+                    })
+                    .collect();
+                let mut covered: Vec<Vec<usize>> = vec![Vec::new(); n];
+                for (r, &b) in buddy.iter().enumerate() {
+                    covered[b].push(r);
+                }
+                let rwin = rank.win_create(covered[rank.rank()].len() * cfg.l2_bytes() as usize)?;
+                Some(Durability {
+                    doomed,
+                    buddy,
+                    covered,
+                    rwin,
+                })
+            }
+            _ => None,
+        };
         let nprocs = rank.nprocs();
         let nsegs = cfg.num_segments;
         let meta = rank.shared_state(move || SharedMeta::new(nprocs, nsegs))?;
@@ -204,6 +275,7 @@ impl<'a> TcioFile<'a> {
             mode,
             map,
             win,
+            dur,
             meta,
             _l1_mem: Some(l1_mem),
             l1,
@@ -382,9 +454,20 @@ impl<'a> TcioFile<'a> {
         if self.cfg.sync == SyncMode::Fence {
             rank.win_fence(&self.win)?;
         }
-        let mut ep = rank.win_lock(&self.win, loc.owner, LockKind::Exclusive)?;
-        ep.put(disp as usize, chunk).map_err(TcioError::Mpi)?;
-        rank.win_unlock(ep)?;
+        if let Some(dur) = &self.dur {
+            let b = dur.buddy[loc.owner];
+            let rdisp = dur.replica_disp(loc.owner, disp as usize, self.cfg.l2_bytes());
+            let mut ep = rank.win_lock(&dur.rwin, b, LockKind::Exclusive)?;
+            ep.put(rdisp, chunk).map_err(TcioError::Mpi)?;
+            rank.win_unlock(ep)?;
+        }
+        // Zero-byte window: the owner crash-stopped before this open; the
+        // replica put above is the durable copy (see `flush_l1`).
+        if self.win.size_of(loc.owner) > 0 {
+            let mut ep = rank.win_lock(&self.win, loc.owner, LockKind::Exclusive)?;
+            ep.put(disp as usize, chunk).map_err(TcioError::Mpi)?;
+            rank.win_unlock(ep)?;
+        }
         if self.cfg.sync == SyncMode::Fence {
             rank.win_fence(&self.win)?;
         }
@@ -436,9 +519,32 @@ impl<'a> TcioFile<'a> {
         if self.cfg.sync == SyncMode::Fence {
             rank.win_fence(&self.win)?;
         }
-        let mut ep = rank.win_lock(&self.win, loc.owner, LockKind::Exclusive)?;
-        ep.put_gathered(&parts).map_err(TcioError::Mpi)?;
-        rank.win_unlock(ep)?;
+        // Durability: mirror the gathered put into the owner's buddy
+        // *before* the primary, so a flush interrupted between the two
+        // loses only unacknowledged bytes (the caller never saw this
+        // flush return).
+        if let Some(dur) = &self.dur {
+            let t_rep = rank.now();
+            let b = dur.buddy[loc.owner];
+            let rparts: Vec<(usize, &[u8])> = parts
+                .iter()
+                .map(|&(d, s)| (dur.replica_disp(loc.owner, d, self.cfg.l2_bytes()), s))
+                .collect();
+            let mut ep = rank.win_lock(&dur.rwin, b, LockKind::Exclusive)?;
+            ep.put_gathered(&rparts).map_err(TcioError::Mpi)?;
+            rank.win_unlock(ep)?;
+            rank.trace_mark("tcio_replicate", Phase::Exchange, t_rep, flushed);
+        }
+        // An owner that crash-stopped before this open exposes a zero-byte
+        // window; its primary copy is unreachable. The replica put above
+        // already made the bytes durable (a crash before open implies the
+        // plan has a crash, so `dur` is Some), and the meta insert below
+        // lets the buddy's recovery drain find them.
+        if self.win.size_of(loc.owner) > 0 {
+            let mut ep = rank.win_lock(&self.win, loc.owner, LockKind::Exclusive)?;
+            ep.put_gathered(&parts).map_err(TcioError::Mpi)?;
+            rank.win_unlock(ep)?;
+        }
         if self.cfg.sync == SyncMode::Fence {
             rank.win_fence(&self.win)?;
         }
@@ -568,6 +674,54 @@ impl<'a> TcioFile<'a> {
         parts: &mut [(usize, &mut [u8])],
     ) -> Result<()> {
         let seg_base = segment as u64 * self.cfg.segment_size;
+        // A crash-stopped owner exposes a zero-byte window (it never joined
+        // this open's `win_create`), so its level-2 cache cannot hold the
+        // segment. Serve the parts straight from the file system instead —
+        // no caching, every reader pays the I/O, but the data flows.
+        if self.win.size_of(owner) == 0 {
+            let t0 = rank.now();
+            let lo = parts
+                .iter()
+                .map(|&(d, _)| d as u64)
+                .min()
+                .unwrap_or(seg_base);
+            let hi = parts
+                .iter()
+                .map(|(d, b)| *d as u64 + b.len() as u64)
+                .max()
+                .unwrap_or(seg_base);
+            if hi == lo {
+                return Ok(());
+            }
+            // One sieved read covering the whole group (the span between
+            // the extreme parts is in-file: every part end was validated
+            // against the file length), then scatter into the buffers.
+            let len = hi - lo;
+            let file_off = self.map.file_offset(owner, segment) + (lo - seg_base);
+            let _tmp_mem = rank.alloc(len)?;
+            let mut tmp = vec![0u8; len as usize];
+            let pfs = Arc::clone(&self.pfs);
+            let fid = self.fid;
+            let opened_at = self.opened_at;
+            let mut first = true;
+            let t = mpiio::pfs_retry(rank, |rk| {
+                let at = if first { opened_at } else { rk.now() };
+                first = false;
+                pfs.read_at(fid, rk.rank(), file_off, &mut tmp, at)
+            })?;
+            rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
+            rank.stats.io_reads += 1;
+            rank.stats.io_read_bytes += len;
+            let mut bytes = 0u64;
+            for (disp, buf) in parts.iter_mut() {
+                let s = (*disp as u64 - lo) as usize;
+                buf.copy_from_slice(&tmp[s..s + buf.len()]);
+                bytes += buf.len() as u64;
+            }
+            rank.charge_memcpy(bytes);
+            rank.trace_mark("tcio_read_fallback", Phase::Io, t0, bytes);
+            return Ok(());
+        }
         let meta = self.meta.segs[owner][segment].lock();
         if meta.loaded {
             drop(meta);
@@ -659,12 +813,21 @@ impl<'a> TcioFile<'a> {
     /// `tcio_close`: collective. Write mode: barrier, then each rank drains
     /// its populated level-2 segments to the file system with large
     /// contiguous writes. Read mode: resolves outstanding lazy reads.
+    ///
+    /// Under a crash fault plan (durability epochs active), a doomed rank
+    /// never drains — its buddy reconstructs every dirty segment from the
+    /// replica window and drains it instead, so the file ends up
+    /// bit-identical to the fault-free run for all acknowledged bytes.
     pub fn close(mut self, rank: &mut Rank) -> Result<TcioStats> {
         match self.mode {
             TcioMode::Write => {
                 self.flush_l1(rank)?;
                 rank.barrier()?;
-                self.drain_l2(rank)?;
+                let doomed = self.dur.as_ref().is_some_and(|d| d.doomed[rank.rank()]);
+                if !doomed {
+                    self.drain_l2(rank)?;
+                    self.recover_l2(rank)?;
+                }
                 rank.barrier()?;
             }
             TcioMode::Read => {
@@ -722,6 +885,72 @@ impl<'a> TcioFile<'a> {
         }
         rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
         rank.trace_mark("tcio_drain", Phase::Io, t0, drained);
+        Ok(())
+    }
+
+    /// Recovery drain: for every doomed rank this rank buddies for,
+    /// reconstruct its dirty segments from the local replica region and
+    /// write them to the file system. The dead owner's primary copy is
+    /// quarantined (zeroed) first — its memory died with the process, and
+    /// poisoning it proves the recovered bytes can only have come from the
+    /// replica.
+    fn recover_l2(&mut self, rank: &mut Rank) -> Result<()> {
+        let Some(dur) = &self.dur else {
+            return Ok(());
+        };
+        let me = rank.rank();
+        let s = self.cfg.segment_size;
+        for (idx, d) in dur.covered[me].iter().copied().enumerate() {
+            if !dur.doomed[d] {
+                continue;
+            }
+            let rbase = idx as u64 * self.cfg.l2_bytes();
+            for seg in 0..self.cfg.num_segments {
+                let runs: Vec<(u64, u64)> = self.meta.segs[d][seg].lock().valid.runs().to_vec();
+                if runs.is_empty() {
+                    continue;
+                }
+                let t0 = rank.now();
+                let seg_base = seg as u64 * s;
+                let maxlen = runs.iter().map(|&(_, l)| l).max().expect("non-empty") as usize;
+                let zeros = vec![0u8; maxlen];
+                // A rank that died before the open has a zero-byte window:
+                // nothing to quarantine, its primary copy never existed.
+                if self.win.size_of(d) > 0 {
+                    let mut ep = rank.win_lock(&self.win, d, LockKind::Exclusive)?;
+                    for &(o, l) in &runs {
+                        ep.put((seg_base + o) as usize, &zeros[..l as usize])
+                            .map_err(TcioError::Mpi)?;
+                    }
+                    rank.win_unlock(ep)?;
+                }
+                let chunks: Vec<(u64, Vec<u8>)> = dur.rwin.with_local(|region| {
+                    runs.iter()
+                        .map(|&(o, l)| {
+                            let lo = (rbase + seg_base + o) as usize;
+                            (o, region[lo..lo + l as usize].to_vec())
+                        })
+                        .collect()
+                });
+                let file_base = self.map.file_offset(d, seg);
+                let pfs = Arc::clone(&self.pfs);
+                let fid = self.fid;
+                let mut done = rank.now();
+                let mut recovered = 0u64;
+                for (o, bytes) in &chunks {
+                    let t = mpiio::pfs_retry(rank, |rk| {
+                        pfs.write_at(fid, me, file_base + o, bytes, rk.now())
+                    })?;
+                    done = done.max(t);
+                    rank.stats.io_writes += 1;
+                    rank.stats.io_write_bytes += bytes.len() as u64;
+                    recovered += bytes.len() as u64;
+                }
+                rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+                rank.stats.segments_recovered += 1;
+                rank.trace_mark("tcio_recover", Phase::Io, t0, recovered);
+            }
+        }
         Ok(())
     }
 }

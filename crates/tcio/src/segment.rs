@@ -119,6 +119,27 @@ impl SegmentMap {
         (segment as u64 * self.nprocs as u64 + slot) * self.segment_size
     }
 
+    /// The rank serving round-robin slot `slot` (equation (1) applied to
+    /// a slot index instead of an offset).
+    #[inline]
+    pub fn owner_of_slot(&self, slot: usize) -> usize {
+        match &self.order {
+            Some(o) => o.perm[slot],
+            None => slot,
+        }
+    }
+
+    /// Inverse of [`SegmentMap::owner_of_slot`]: the round-robin slot
+    /// `rank` serves. The slot ring is the deterministic, all-ranks-agreed
+    /// order used to pick a crashed owner's *buddy* (next live owner).
+    #[inline]
+    pub fn slot_of_owner(&self, rank: usize) -> usize {
+        match &self.order {
+            Some(o) => o.inv[rank],
+            None => rank,
+        }
+    }
+
     /// Number of segments per process needed to cover a file of
     /// `file_size` bytes.
     pub fn segments_for(&self, file_size: u64) -> usize {

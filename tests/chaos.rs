@@ -51,6 +51,20 @@ fn mixed_plan() -> chaos::FaultPlan {
         })
 }
 
+/// [`mixed_plan`] plus the crash-stop and silent-corruption families.
+/// Used only *scaled to zero* by the zero-cost-off test: adding a live
+/// crash to `mixed_plan` itself would change what the full-intensity
+/// determinism test measures.
+fn extended_plan() -> chaos::FaultPlan {
+    mixed_plan()
+        .with(chaos::Fault::RankCrash { rank: 1, at: 0.003 })
+        .with(chaos::Fault::SilentCorruption {
+            rate: 0.3,
+            from: 0.0,
+            until: 0.05,
+        })
+}
+
 /// Owner-local, OST-disjoint TCIO dump + restart: rank r's data lives in
 /// its own level-2 segment and on its own OST, so virtual times do not
 /// depend on host thread scheduling. Returns (clocks, makespan, retries,
@@ -114,10 +128,12 @@ fn deterministic_tcio_run(
 
 #[test]
 fn faults_disabled_is_bit_identical_to_no_engine() {
-    // Zero-cost-off: attaching an engine whose plan was scaled to zero
-    // must leave both the data and every virtual clock bit-identical to a
-    // run with no engine at all.
-    let inert = mixed_plan().scaled(0.0).build().unwrap();
+    // Zero-cost-off: attaching an engine whose plan was scaled to zero —
+    // including the crash-stop and silent-corruption families — must leave
+    // both the data and every virtual clock bit-identical to a run with no
+    // engine at all (in particular, no durability replication may be set
+    // up when no crash is planned).
+    let inert = extended_plan().scaled(0.0).build().unwrap();
     assert!(inert.is_inert());
     let (c0, m0, r0, s0, b0) = deterministic_tcio_run(None, false);
     let (c1, m1, r1, s1, b1) = deterministic_tcio_run(Some(inert), false);
@@ -400,5 +416,207 @@ fn tcio_and_ocio_survive_outage_and_message_delay_end_to_end() {
             rep.makespan >= 0.05,
             "{method}: retries must wait out the outage in virtual time"
         );
+    }
+}
+
+/// Interleaved 4-rank TCIO dump where rank 1 crash-stops (when `engine`
+/// says so) after all its writes were acknowledged by a collective flush
+/// but before the close-time drain. Returns the on-disk bytes and the
+/// per-rank stats.
+fn crash_recovery_workload(
+    engine: Option<Arc<chaos::ChaosEngine>>,
+) -> (Vec<u8>, Vec<mpisim::RankStats>) {
+    let nprocs = 4;
+    let block = 16usize;
+    let blocks_per_rank = 6usize;
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    if let Some(e) = &engine {
+        fs.attach_chaos(Arc::clone(e)).unwrap();
+    }
+    let sim = mpisim::SimConfig {
+        trace: true,
+        chaos: engine,
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let cfg = TcioConfig {
+            segment_size: 64,
+            num_segments: 4,
+            ..Default::default()
+        };
+        let mut f = TcioFile::open(rk, &fs2, "/cr", TcioMode::Write, cfg).map_err(to_mpi)?;
+        let me = rk.rank();
+        let data = vec![me as u8 + 1; block];
+        for i in 0..blocks_per_rank {
+            let off = ((i * nprocs + me) * block) as u64;
+            f.write_at(rk, off, &data).map_err(to_mpi)?;
+        }
+        // Collective flush: every byte above is now *acknowledged* — parked
+        // in its level-2 segment and (under a crash plan) mirrored to the
+        // owner's buddy. The durability guarantee covers exactly these.
+        f.flush(rk).map_err(to_mpi)?;
+        // Move past the crash instant so the failure fires inside close.
+        rk.advance(1.0);
+        match f.close(rk) {
+            Ok(_) => Ok(()),
+            // Fault-tolerant caller: the crashed rank's own close fails
+            // with the typed error; survivors finish the close (including
+            // the buddy's recovery drain) without it.
+            Err(tcio::TcioError::Mpi(mpisim::MpiError::RankCrashed { rank })) if rank == me => {
+                Ok(())
+            }
+            Err(e) => Err(to_mpi(e)),
+        }
+    })
+    .unwrap();
+    let fid = fs.open("/cr").unwrap();
+    (fs.snapshot_file(fid).unwrap(), rep.stats)
+}
+
+#[test]
+fn crashed_owner_recovery_is_bit_identical_to_fault_free() {
+    // Golden run: no faults at all.
+    let (golden, base_stats) = crash_recovery_workload(None);
+    assert!(base_stats.iter().all(|s| s.rank_crashes == 0));
+    assert!(base_stats.iter().all(|s| s.segments_recovered == 0));
+
+    // Crash run: rank 1 (a level-2 segment owner) dies at t = 0.5, after
+    // the collective flush acknowledged every byte but before it could
+    // drain its segments. Its buddy must reconstruct them from the replica
+    // window and drain them instead — bit-identically.
+    let engine = chaos::FaultPlan::new(55)
+        .with(chaos::Fault::RankCrash { rank: 1, at: 0.5 })
+        .build()
+        .unwrap();
+    let (bytes, stats) = crash_recovery_workload(Some(engine));
+    assert_eq!(
+        bytes, golden,
+        "recovered file must be bit-identical to the fault-free run"
+    );
+    let crashes: u64 = stats.iter().map(|s| s.rank_crashes).sum();
+    assert_eq!(crashes, 1, "exactly rank 1 must have crash-stopped");
+    assert_eq!(stats[1].rank_crashes, 1);
+    let recovered: u64 = stats.iter().map(|s| s.segments_recovered).sum();
+    assert!(
+        recovered >= 1,
+        "the buddy must have recovered at least one segment"
+    );
+    assert_eq!(
+        stats[1].segments_recovered, 0,
+        "the dead rank cannot have drained anything"
+    );
+
+    // End-to-end read-back of the recovered file in a fresh, fault-free
+    // simulation: every rank sees its own blocks intact.
+    let nprocs = 4;
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    let fid = fs.open_or_create("/cr").unwrap();
+    for (i, chunk) in bytes.chunks(4096).enumerate() {
+        fs.write_at(fid, 0, i as u64 * 4096, chunk, 0.0).unwrap();
+    }
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, mpisim::SimConfig::default(), move |rk| {
+        let cfg = TcioConfig {
+            segment_size: 64,
+            num_segments: 4,
+            ..Default::default()
+        };
+        let mut g = TcioFile::open(rk, &fs2, "/cr", TcioMode::Read, cfg).map_err(to_mpi)?;
+        let mut back = vec![0u8; 16];
+        g.read_at(rk, (rk.rank() * 16) as u64, &mut back)
+            .map_err(to_mpi)?;
+        g.fetch(rk).map_err(to_mpi)?;
+        g.close(rk).map_err(to_mpi)?;
+        Ok(back)
+    })
+    .unwrap();
+    for (r, back) in rep.results.iter().enumerate() {
+        assert!(
+            back.iter().all(|&b| b == r as u8 + 1),
+            "rank {r} read bad data from the recovered file"
+        );
+    }
+}
+
+#[test]
+fn collectives_with_a_crashed_rank_terminate_with_typed_errors() {
+    // The acceptance bar: every collective involving a crashed rank must
+    // terminate in finite time with a typed error or a shrunk
+    // communicator — never hang. Bound the whole thing by wall-clock.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        // Run A — fault-tolerant body: rank 1 catches its own crash;
+        // survivors shrink every collective around the hole and agree on
+        // the member list without extra communication.
+        let engine = chaos::FaultPlan::new(9)
+            .with(chaos::Fault::RankCrash { rank: 1, at: 1e-6 })
+            .build()
+            .unwrap();
+        let sim = mpisim::SimConfig {
+            chaos: Some(engine),
+            ..Default::default()
+        };
+        let shrunk = mpisim::run(4, sim, |rk| {
+            let me = rk.rank();
+            rk.advance(1.0); // everyone is past the crash instant
+            let gathered = match rk.allgather(&[me as u8 + 1]) {
+                Ok(g) => g,
+                Err(mpisim::MpiError::RankCrashed { rank }) if rank == me => {
+                    return Ok((Vec::new(), Vec::new(), false));
+                }
+                Err(e) => return Err(e),
+            };
+            let survivors = rk.agree_survivors()?;
+            // Point-to-point with the dead rank fails typed, not hangs.
+            let p2p_typed = matches!(
+                rk.recv(Some(1), Some(77)),
+                Err(mpisim::MpiError::PeerCrashed { rank: 1 })
+            );
+            let lens = gathered.iter().map(|v| v.len()).collect();
+            Ok((lens, survivors, p2p_typed))
+        });
+
+        // Run B — oblivious body: the unhandled crash tears the collective
+        // down into a typed simulation error instead of a hang.
+        let engine = chaos::FaultPlan::new(9)
+            .with(chaos::Fault::RankCrash { rank: 2, at: 1e-6 })
+            .build()
+            .unwrap();
+        let sim = mpisim::SimConfig {
+            chaos: Some(engine),
+            ..Default::default()
+        };
+        let aborted = mpisim::run(4, sim, |rk| {
+            rk.advance(1.0);
+            rk.barrier()?;
+            rk.allreduce_u64(1, mpisim::ReduceOp::Sum)
+        });
+        let _ = tx.send((shrunk, aborted));
+    });
+
+    let (shrunk, aborted) = rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("a collective involving a crashed rank hung");
+
+    let rep = shrunk.expect("fault-tolerant survivors must complete");
+    for (r, (lens, survivors, p2p_typed)) in rep.results.iter().enumerate() {
+        if r == 1 {
+            assert!(lens.is_empty(), "the crashed rank returned its sentinel");
+            continue;
+        }
+        assert_eq!(
+            lens,
+            &vec![1, 0, 1, 1],
+            "rank {r}: the dead rank's allgather slot must be empty"
+        );
+        assert_eq!(survivors, &vec![0, 2, 3], "rank {r}: survivor agreement");
+        assert!(p2p_typed, "rank {r}: recv from the dead rank must be typed");
+    }
+    assert_eq!(rep.stats[1].rank_crashes, 1);
+
+    match aborted {
+        Err(mpisim::SimError::CollectiveAborted { crashed_rank: 2 }) => {}
+        other => panic!("expected CollectiveAborted for rank 2, got {other:?}"),
     }
 }

@@ -442,3 +442,122 @@ fn extent_set_matches_boolean_model() {
         }
     }
 }
+
+/// A random fault plan drawing from every family, including the
+/// crash-stop and silent-corruption ones.
+fn random_fault_plan(seed: u64) -> chaos::FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = chaos::FaultPlan::new(pick(&mut rng, 1, 1 << 20));
+    for _ in 0..pick(&mut rng, 1, 9) {
+        let from = pick(&mut rng, 0, 1000) as f64 * 1e-4;
+        let until = from + pick(&mut rng, 1, 1000) as f64 * 1e-4;
+        let rank = pick(&mut rng, 0, 4) as usize;
+        let ost = pick(&mut rng, 0, 4) as usize;
+        let factor = 1.0 + pick(&mut rng, 0, 40) as f64 / 10.0;
+        let fault = match pick(&mut rng, 0, 10) {
+            0 => chaos::Fault::OstSlowdown {
+                ost,
+                factor,
+                from,
+                until,
+            },
+            1 => chaos::Fault::OstOutage { ost, from, until },
+            2 => chaos::Fault::RequestOverhead {
+                extra: pick(&mut rng, 0, 500) as f64 * 1e-6,
+                from,
+                until,
+            },
+            3 => chaos::Fault::LockStorm { from, until },
+            4 => chaos::Fault::MessageDelay {
+                delay: pick(&mut rng, 0, 200) as f64 * 1e-6,
+                from,
+                until,
+            },
+            5 => chaos::Fault::ConnFlush { at: from },
+            6 => chaos::Fault::RankStall { rank, from, until },
+            7 => chaos::Fault::RankSlowdown {
+                rank,
+                factor,
+                from,
+                until,
+            },
+            8 => chaos::Fault::RankCrash { rank, at: from },
+            _ => chaos::Fault::SilentCorruption {
+                rate: pick(&mut rng, 0, 101) as f64 / 100.0,
+                from,
+                until,
+            },
+        };
+        plan = plan.with(fault);
+    }
+    plan
+}
+
+/// Evaluate every chaos query over a seeded grid of `(rank, ost, site, t)`
+/// points and fold the answers into one fingerprint vector.
+fn chaos_fingerprint(e: &chaos::ChaosEngine, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5F1E);
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        let r = pick(&mut rng, 0, 4) as usize;
+        let ost = pick(&mut rng, 0, 4) as usize;
+        let t = pick(&mut rng, 0, 2500) as f64 * 1e-4;
+        let site = rng.next_u64();
+        out.push(e.ost_factor(ost, t).to_bits());
+        out.push(e.ost_outage_until(ost, t).map_or(0, f64::to_bits));
+        out.push(e.extra_request_overhead(t).to_bits());
+        out.push(e.lock_storm(t) as u64);
+        out.push(e.message_delay(t).to_bits());
+        out.push(e.conn_flush_generation(t));
+        out.push(e.rank_stall_until(r, t).map_or(0, f64::to_bits));
+        out.push(e.is_stalled(r, t) as u64);
+        out.push(e.stall_ahead(r, t) as u64);
+        out.push(e.rank_slowdown(r, t).to_bits());
+        out.push(e.crash_at(r).map_or(0, f64::to_bits));
+        out.push(e.crashed(r, t) as u64);
+        out.push(e.crash_ahead(r) as u64);
+        out.push(e.any_crash() as u64);
+        out.push(e.corruption_rate(t).to_bits());
+        out.push(e.corrupts(site, t) as u64);
+        out.push(e.unit_hash(site).to_bits());
+    }
+    out
+}
+
+#[test]
+fn chaos_queries_are_pure_functions_of_site_and_time() {
+    // The whole failure-agreement design (survivor lists, buddy election,
+    // recovery responsibility) rests on every rank being able to evaluate
+    // the fault plan independently and get the same answer. So for 50
+    // random plans spanning all ten fault families: re-asking, rebuilding
+    // the plan from its seed, and asking concurrently from racing threads
+    // must all produce bit-identical answers.
+    for seed in 0..50u64 {
+        let engine = random_fault_plan(seed).build().unwrap();
+        let base = chaos_fingerprint(&engine, seed);
+        assert_eq!(
+            base,
+            chaos_fingerprint(&engine, seed),
+            "seed {seed}: repeated evaluation diverged"
+        );
+        let rebuilt = random_fault_plan(seed).build().unwrap();
+        assert_eq!(
+            base,
+            chaos_fingerprint(&rebuilt, seed),
+            "seed {seed}: rebuilt engine diverged"
+        );
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || chaos_fingerprint(&e, seed))
+            })
+            .collect();
+        for h in threads {
+            assert_eq!(
+                base,
+                h.join().unwrap(),
+                "seed {seed}: concurrent evaluation diverged"
+            );
+        }
+    }
+}
