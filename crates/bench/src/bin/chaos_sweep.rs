@@ -201,4 +201,10 @@ fn main() {
     }
     out.push_str("\n}\n");
     print!("{out}");
+    if let Some(path) = args.get("json") {
+        bench::write_json_text(path, &out).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
 }

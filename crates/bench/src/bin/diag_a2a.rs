@@ -1,7 +1,8 @@
 //! Diagnostic: cost of one pairwise-exchange all-to-all vs process count,
 //! isolating the collective-wall noise term. Calibration aid.
+//! `--json <path>` additionally writes the points as structured JSON.
 
-use bench::{Args, Calib};
+use bench::{emit_json, Args, Calib, Json};
 
 fn main() {
     let args = Args::parse();
@@ -9,6 +10,7 @@ fn main() {
     let per_rank_virtual = args.get_u64("bytes", 48 << 20); // 48 MB/rank
     let calib = Calib::paper(scale);
     let per_rank_real = (per_rank_virtual / scale).max(1) as usize;
+    let mut points = Vec::new();
     for p in args.get_list("procs", &[64, 256, 1024]) {
         let msg = per_rank_real / p;
         let rep = mpisim::run(p, calib.sim_config_unbudgeted(), move |rk| {
@@ -21,11 +23,23 @@ fn main() {
         })
         .expect("run");
         let t = rep.results[0];
+        let ms_round = t / (p - 1) as f64 * 1e3;
         println!(
             "P={p}: alltoallv of {}B/rank → {:.3}s ({:.2} ms/round)",
-            per_rank_real,
-            t,
-            t / (p - 1) as f64 * 1e3
+            per_rank_real, t, ms_round
+        );
+        points.push(
+            Json::obj()
+                .with("procs", Json::num(p as f64))
+                .with("bytes_per_rank", Json::num(per_rank_real as f64))
+                .with("elapsed_s", Json::num(t))
+                .with("ms_per_round", Json::num(ms_round)),
         );
     }
+    emit_json(
+        &args,
+        &Json::obj()
+            .with("bench", Json::str("diag_a2a"))
+            .with("points", Json::Arr(points)),
+    );
 }

@@ -3,8 +3,9 @@
 //! documents the resulting constants).
 //!
 //! Usage: `cargo run --release -p bench --bin diag_breakdown [-- --procs 64 --scale 256 --len 4194304]`
+//! `--json <path>` additionally writes the runs as structured JSON.
 
-use bench::{Args, Calib};
+use bench::{emit_json, Args, Calib, Json};
 use pfs::Pfs;
 use std::sync::Arc;
 use tcio::TcioConfig;
@@ -27,6 +28,7 @@ fn main() {
         calib.segment_size
     );
 
+    let mut runs = Vec::new();
     for method in [Method::Tcio, Method::Ocio] {
         for phase in ["write", "read"] {
             let fs = Pfs::new(nprocs, calib.pfs.clone()).unwrap();
@@ -101,6 +103,53 @@ fn main() {
                 "  collectives: {}, total collective wait {:.3}s",
                 agg.collectives, agg.collective_wait
             );
+            runs.push(
+                Json::obj()
+                    .with("method", Json::str(method.label()))
+                    .with("phase", Json::str(phase))
+                    .with("elapsed_s", Json::num(elapsed))
+                    .with(
+                        "throughput_mbs",
+                        Json::num(calib.throughput_mbs(bytes_real, elapsed)),
+                    )
+                    .with(
+                        "net",
+                        Json::obj()
+                            .with("messages", Json::num(fstats.messages as f64))
+                            .with("bytes", Json::num(fstats.bytes as f64))
+                            .with("conn_misses", Json::num(fstats.conn_misses as f64))
+                            .with("congested", Json::num(fstats.congested_transfers as f64)),
+                    )
+                    .with(
+                        "rma",
+                        Json::obj()
+                            .with("epochs", Json::num(agg.rma_epochs as f64))
+                            .with("puts", Json::num(agg.puts as f64))
+                            .with("put_bytes", Json::num(agg.put_bytes as f64))
+                            .with("gets", Json::num(agg.gets as f64))
+                            .with("get_bytes", Json::num(agg.get_bytes as f64)),
+                    )
+                    .with(
+                        "pfs",
+                        Json::obj()
+                            .with("write_rpcs", Json::num(pstats.write_rpcs as f64))
+                            .with("bytes_written", Json::num(pstats.bytes_written as f64))
+                            .with("read_rpcs", Json::num(pstats.read_rpcs as f64))
+                            .with("bytes_read", Json::num(pstats.bytes_read as f64))
+                            .with("lock_transfers", Json::num(pstats.lock_transfers as f64)),
+                    )
+                    .with("collectives", Json::num(agg.collectives as f64))
+                    .with("collective_wait_s", Json::num(agg.collective_wait)),
+            );
         }
     }
+    emit_json(
+        &args,
+        &Json::obj()
+            .with("bench", Json::str("diag_breakdown"))
+            .with("procs", Json::num(nprocs as f64))
+            .with("len_real", Json::num(len_real as f64))
+            .with("file_real_bytes", Json::num(bytes_real as f64))
+            .with("runs", Json::Arr(runs)),
+    );
 }

@@ -1,7 +1,8 @@
 //! Diagnostic: phase timestamps inside one TCIO write/read, to locate
 //! where virtual time accumulates. Calibration aid, not a paper figure.
+//! `--json <path>` additionally writes the timings as structured JSON.
 
-use bench::{Args, Calib};
+use bench::{emit_json, Args, Calib, Json};
 use pfs::Pfs;
 use std::sync::Arc;
 use tcio::{TcioConfig, TcioFile, TcioMode};
@@ -63,5 +64,17 @@ fn main() {
     println!(
         "per-flush cost (loop/flushes): {:.1} us",
         lp / flushes as f64 * 1e6
+    );
+    emit_json(
+        &args,
+        &Json::obj()
+            .with("bench", Json::str("diag_phase"))
+            .with("procs", Json::num(nprocs as f64))
+            .with("open_s", Json::num(open))
+            .with("loop_max_s", Json::num(lp))
+            .with("loop_min_s", Json::num(lp_min))
+            .with("close_s", Json::num(close))
+            .with("flushes_per_rank", Json::num(flushes as f64))
+            .with("per_flush_us", Json::num(lp / flushes as f64 * 1e6)),
     );
 }

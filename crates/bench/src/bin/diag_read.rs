@@ -1,7 +1,8 @@
 //! Diagnostic: clock progression through a TCIO lazy-read loop.
 //! Calibration aid, not a paper figure.
+//! `--json <path>` additionally writes the timings as structured JSON.
 
-use bench::{Args, Calib};
+use bench::{emit_json, Args, Calib, Json};
 use pfs::Pfs;
 use std::sync::Arc;
 use tcio::{TcioConfig, TcioFile, TcioMode};
@@ -78,4 +79,17 @@ fn main() {
     let min_loop = rep.results.iter().map(|r| r.0).fold(f64::MAX, f64::min);
     let loads: u64 = rep.results.iter().map(|r| r.1).sum();
     println!("read loop max {max_loop:.4}s min {min_loop:.4}s | total loads {loads}");
+    emit_json(
+        &args,
+        &Json::obj()
+            .with("bench", Json::str("diag_read"))
+            .with("procs", Json::num(nprocs as f64))
+            .with("loop_max_s", Json::num(max_loop))
+            .with("loop_min_s", Json::num(min_loop))
+            .with("total_loads", Json::num(loads as f64))
+            .with(
+                "per_rank_loop_s",
+                Json::Arr(rep.results.iter().map(|r| Json::num(r.0)).collect()),
+            ),
+    );
 }

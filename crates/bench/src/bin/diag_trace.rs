@@ -9,8 +9,11 @@
 //! Pass `--fault-plan plans/ost_outage.toml` to run the same workload
 //! under a deterministic fault plan; injected faults and retries show up
 //! as `chaos_stall` / `io_retry` spans in the exported trace.
+//! `--json <path>` additionally writes per-method stats (makespan, span
+//! count, critical-path breakdown) as structured JSON.
 
-use bench::{runner, Args, Calib};
+use bench::{emit_json, runner, Args, Calib, Json};
+use insight::{Analyzer, Category};
 use mpisim::{chrome_trace_json, Phase, TraceReport};
 use std::sync::Arc;
 use workloads::synthetic::Method;
@@ -57,6 +60,7 @@ fn main() {
         Calib::paper(scale)
     };
 
+    let mut by_method = Json::obj();
     for method in methods {
         let label = format!("{method:?}").to_lowercase();
         let (rep, osts) = runner::run_traced_synth_chaos(
@@ -95,8 +99,37 @@ fn main() {
             println!("fault plan: {retries} io retries, {stalls} stall windows absorbed");
         }
 
+        // Critical-path attribution of the same trace (what the makespan
+        // is actually spent on, not what ranks were busy with).
+        let cp = Analyzer::new(&rep.traces).critical_path();
+        println!("critical path:\n{}", cp.render());
+
         let path = format!("{out}_{label}.json");
         std::fs::write(&path, chrome_trace_json(&rep.traces)).expect("write trace json");
         println!("chrome trace -> {path}\n");
+
+        let b = cp.breakdown();
+        let mut cp_json = Json::obj();
+        for c in Category::ALL {
+            cp_json.set(c.as_str(), Json::num(b.get(c)));
+        }
+        by_method.set(
+            &label,
+            Json::obj()
+                .with("makespan", Json::num(rep.makespan))
+                .with("spans", Json::num(spans as f64))
+                .with("phase_residual_s", Json::num(worst))
+                .with("io_imbalance", Json::num(report.imbalance(Phase::Io)))
+                .with("critical_path", cp_json)
+                .with("path_imbalance", Json::num(cp.imbalance()))
+                .with("chrome_trace", Json::str(&path)),
+        );
     }
+    emit_json(
+        &args,
+        &Json::obj()
+            .with("bench", Json::str("diag_trace"))
+            .with("procs", Json::num(nprocs as f64))
+            .with("methods", by_method),
+    );
 }

@@ -1,0 +1,185 @@
+//! Canonical perf summary + regression gate.
+//!
+//! Builds `BENCH_summary.json`: critical-path breakdowns (via the
+//! `insight` analyzer) and key counters/histograms for the Table-I
+//! interleaved-arrays workload and the ART dump, each at 16 and 64 ranks
+//! (sizes kept small enough for CI). With `--diff <baseline>` the freshly
+//! built summary is compared against the committed baseline using the
+//! perfgate tolerance policy, and the process exits nonzero on any
+//! regression — this is the CI perf gate.
+//!
+//!   cargo run --release -p bench --bin perf_report -- \
+//!       [--ranks 16,64] [--len 4096] [--out bench_results/BENCH_summary.json] \
+//!       [--diff bench_results/BENCH_baseline.json]
+
+use bench::{perfgate, report, Args, Calib, Json};
+use insight::{Analyzer, Category};
+use mpisim::{Registry, SimConfig, SimReport};
+use pfs::Pfs;
+use std::sync::Arc;
+use workloads::art::{self, ArtConfig, ArtMethod};
+use workloads::synthetic::{self, SynthParams};
+use workloads::WlError;
+
+/// Table-I/II interleaved-arrays dump-then-restart through TCIO, with
+/// tracing and metrics on. Returns the report and the exported registry.
+fn run_synth_perf(nprocs: usize, len: usize) -> (SimReport<f64>, Registry) {
+    let calib = Calib::unscaled();
+    let p = SynthParams::with_types("i,d", len, 1).expect("valid params");
+    let sim = SimConfig {
+        trace: true,
+        metrics: true,
+        ..calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    fs.enable_latency_metrics();
+    let seg = calib.segment_size;
+    let fs2 = Arc::clone(&fs);
+    let p2 = p.clone();
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let tcfg = tcio::TcioConfig::for_file_size_with_segment(
+            p2.file_size(rk.nprocs()),
+            rk.nprocs(),
+            seg,
+        );
+        let w = synthetic::write_tcio(rk, &fs2, &p2, "/perf", Some(tcfg.clone()))
+            .map_err(WlError::into_mpi)?;
+        let r =
+            synthetic::read_tcio(rk, &fs2, &p2, "/perf", Some(tcfg)).map_err(WlError::into_mpi)?;
+        Ok(w.elapsed + r.elapsed)
+    })
+    .expect("perf synth run");
+    let mut reg = Registry::new();
+    reg.export_sim_report(&rep);
+    fs.export_metrics(&mut reg);
+    (rep, reg)
+}
+
+/// ART dump through TCIO with tracing and metrics on, sized for CI.
+fn run_art_perf(nprocs: usize) -> (SimReport<f64>, Registry) {
+    let calib = Calib::unscaled();
+    let cfg = ArtConfig {
+        num_segments: 4 * nprocs,
+        mu: 8.0,
+        sigma: 2.0,
+        ..ArtConfig::default()
+    };
+    let sim = SimConfig {
+        trace: true,
+        metrics: true,
+        ..calib.sim_config_unbudgeted()
+    };
+    let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
+    fs.enable_latency_metrics();
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        art::dump(rk, &fs2, &cfg, ArtMethod::Tcio, "/art")
+            .map(|m| m.elapsed)
+            .map_err(WlError::into_mpi)
+    })
+    .expect("perf art run");
+    let mut reg = Registry::new();
+    reg.export_sim_report(&rep);
+    fs.export_metrics(&mut reg);
+    (rep, reg)
+}
+
+/// One workload's summary entry: makespan, critical-path breakdown,
+/// path imbalance, cache hit ratios, and the full registry export.
+fn workload_entry(label: &str, rep: &SimReport<f64>, reg: &Registry) -> Json {
+    let cp = Analyzer::new(&rep.traces).critical_path();
+    assert!(
+        !cp.truncated && cp.residual().abs() <= 1e-6 * cp.makespan.max(1.0),
+        "{label}: critical path lost time (residual {})",
+        cp.residual()
+    );
+    eprintln!("== {label} ==\n{}", cp.render());
+    let b = cp.breakdown();
+    let mut path = Json::obj();
+    for c in Category::ALL {
+        path.set(c.as_str(), Json::num(b.get(c)));
+    }
+    path.set("total", Json::num(b.total()));
+    let mut entry = Json::obj()
+        .with("makespan", Json::num(rep.makespan))
+        .with("imbalance", Json::num(cp.imbalance()))
+        .with("path", path);
+    let ratio = |hits: Option<u64>, misses: Option<u64>| -> Option<f64> {
+        let (h, m) = (hits? as f64, misses? as f64);
+        (h + m > 0.0).then_some(h / (h + m))
+    };
+    if let Some(r) = ratio(
+        reg.counter("tcio_l1_hits_total"),
+        reg.counter("tcio_l1_misses_total"),
+    ) {
+        entry.set("l1_hit_ratio", Json::num(r));
+    }
+    if let Some(r) = ratio(
+        reg.counter("tcio_l2_hits_total"),
+        reg.counter("tcio_l2_misses_total"),
+    ) {
+        entry.set("l2_hit_ratio", Json::num(r));
+    }
+    let mut counters = Json::obj();
+    for (k, v) in reg.counters() {
+        counters.set(k, Json::num(v as f64));
+    }
+    let mut hists = Json::obj();
+    for (k, h) in reg.hists() {
+        hists.set(
+            k,
+            Json::obj()
+                .with("count", Json::num(h.count() as f64))
+                .with("sum", Json::num(h.sum() as f64)),
+        );
+    }
+    entry.with("counters", counters).with("hists", hists)
+}
+
+fn main() {
+    let args = Args::parse();
+    let ranks = args.get_list("ranks", &[16, 64]);
+    let len = args.get_usize("len", 1 << 12);
+    let out = args
+        .get("out")
+        .unwrap_or("bench_results/BENCH_summary.json");
+
+    let mut workloads = Json::obj();
+    for &n in &ranks {
+        let (rep, reg) = run_synth_perf(n, len);
+        workloads.set(
+            &format!("synth_p{n}"),
+            workload_entry(&format!("synth_p{n}"), &rep, &reg),
+        );
+        let (rep, reg) = run_art_perf(n);
+        workloads.set(
+            &format!("art_p{n}"),
+            workload_entry(&format!("art_p{n}"), &rep, &reg),
+        );
+    }
+    let summary = Json::obj()
+        .with("schema", Json::str("tcio-perf-v1"))
+        .with("workloads", workloads);
+    report::write_json_file(out, &summary).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+
+    if let Some(base_path) = args.get("diff") {
+        let text = std::fs::read_to_string(base_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        let verdict = perfgate::diff(&baseline, &summary);
+        print!("{}", verdict.render());
+        if !verdict.passed() {
+            eprintln!("perf gate FAILED against {base_path}");
+            std::process::exit(1);
+        }
+        println!("perf gate PASSED against {base_path}");
+    }
+}

@@ -54,14 +54,19 @@ fn main() {
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
-    match args.get("out") {
-        Some(path) => {
-            std::fs::write(path, &out).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            });
-            eprintln!("wrote {path}");
-        }
-        None => print!("{out}"),
+    // `--out` (historic name) and `--json` (uniform across binaries) both
+    // route through the shared writer; with neither, print to stdout.
+    let sinks: Vec<&str> = [args.get("out"), args.get("json")]
+        .into_iter()
+        .flatten()
+        .collect();
+    if sinks.is_empty() {
+        print!("{out}");
+    }
+    for path in sinks {
+        bench::write_json_text(path, &out).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
     }
 }

@@ -17,11 +17,12 @@
 //! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
 pub mod calib;
+pub mod perfgate;
 pub mod report;
 pub mod runner;
 pub mod topo;
 
 pub use calib::{fmt_bytes, Calib};
-pub use report::{mbs, sparkline, Args, Table};
+pub use report::{emit_json, mbs, sparkline, write_json_file, write_json_text, Args, Json, Table};
 pub use runner::{run_art, run_synth, run_traced_synth, Outcome};
 pub use topo::{cell_to_json, run_cell, TopoCell, Variant};

@@ -1,0 +1,342 @@
+//! Perf-regression gating: compare two `BENCH_summary.json` documents
+//! metric-by-metric with per-metric tolerances and directions.
+//!
+//! The diff walks every numeric leaf of the *baseline* (dotted paths like
+//! `workloads.synth_p16.path.ost_service`) and checks the corresponding
+//! leaf of the *candidate*:
+//!
+//! * **Cost metrics** (times, path seconds, counters, histogram moments) —
+//!   lower is better; a candidate above `base × (1 + tol) + floor` fails.
+//! * **Benefit metrics** (throughput, hit ratios; matched by name) —
+//!   higher is better; a candidate below `base × (1 − tol) − floor` fails.
+//! * A leaf missing from the candidate fails (a silently dropped metric is
+//!   how regressions hide). Extra candidate leaves are reported but pass —
+//!   new instrumentation must not break an older baseline.
+//!
+//! ## Tolerance policy
+//!
+//! Virtual time is deterministic in aggregate, but thread scheduling picks
+//! between equivalent interleavings (timeline reservation order, flush
+//! partner choice), so a run can land in one of a few *modes*: the
+//! makespan agrees to ≪1%, while tiny path components and the fabric's
+//! intra/inter locality split can shift by large relative factors.
+//! The policy encodes that:
+//!
+//! * `makespan` and `path.total` — 5% relative, negligible floor. These
+//!   are the headline gates: a 10% end-to-end regression always fails.
+//! * other `path.*` components — 5% relative **plus a floor of 5% of the
+//!   workload's baseline makespan**: a category must move by more than the
+//!   gate's resolution of total runtime before it fails on its own.
+//! * counters and histogram moments — 10% relative plus an absolute floor
+//!   of 2 (3 → 4 RPCs is not a regression).
+//! * `imbalance` and the fabric `intra_*`/`inter_*` locality split —
+//!   informational only (mode-dependent), never gated.
+//!
+//! The unit tests pin the acceptance criteria: a synthetic 10%
+//! critical-path regression exits nonzero, a re-run of the same workload
+//! (including a mode flip) against its own baseline passes.
+
+use crate::report::Json;
+
+/// Relative tolerance for virtual-time metrics.
+pub const TIME_TOL: f64 = 0.05;
+/// Relative tolerance for discrete counters and histogram moments.
+pub const COUNT_TOL: f64 = 0.10;
+/// Absolute slack for discrete counters.
+pub const COUNT_FLOOR: f64 = 2.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+}
+
+/// Per-metric gate, keyed off the dotted path. `workload_makespan` is the
+/// baseline makespan of the enclosing workload (when known), used to floor
+/// path-component noise. `None` = informational metric, never gated.
+fn policy(path: &str, workload_makespan: Option<f64>) -> Option<(f64, f64, Direction)> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "imbalance" || leaf.starts_with("fabric_intra_") || leaf.starts_with("fabric_inter_")
+    {
+        return None;
+    }
+    if leaf.contains("throughput") || leaf.contains("mbs") || leaf.contains("hit_ratio") {
+        return Some((TIME_TOL, 1e-12, Direction::HigherBetter));
+    }
+    if path.contains(".counters.") || path.contains(".hists.") || leaf.ends_with("_total") {
+        return Some((COUNT_TOL, COUNT_FLOOR, Direction::LowerBetter));
+    }
+    if leaf == "makespan" || path.ends_with("path.total") {
+        return Some((TIME_TOL, 1e-12, Direction::LowerBetter));
+    }
+    if path.contains(".path.") {
+        let floor = workload_makespan.map_or(1e-12, |m| TIME_TOL * m);
+        return Some((TIME_TOL, floor, Direction::LowerBetter));
+    }
+    Some((TIME_TOL, 1e-12, Direction::LowerBetter))
+}
+
+/// Baseline makespan of the workload enclosing `path`
+/// (`workloads.<name>.…` → the `workloads.<name>.makespan` leaf).
+fn workload_makespan(path: &str, baseline: &Json) -> Option<f64> {
+    let rest = path.strip_prefix("workloads.")?;
+    let name = rest.split('.').next()?;
+    baseline
+        .get("workloads")?
+        .get(name)?
+        .get("makespan")?
+        .as_f64()
+}
+
+/// One failed comparison.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub path: String,
+    pub baseline: f64,
+    pub candidate: Option<f64>,
+    /// Human-readable verdict (bound that was violated, or "missing").
+    pub detail: String,
+}
+
+/// Outcome of a summary diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub regressions: Vec<Regression>,
+    /// Leaves compared (present in both documents).
+    pub compared: usize,
+    /// Leaves present but informational-only under the policy.
+    pub skipped: usize,
+    /// Candidate leaves with no baseline counterpart (informational).
+    pub new_metrics: usize,
+}
+
+impl DiffReport {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perfdiff: {} metrics gated, {} informational, {} new, {} regressions",
+            self.compared,
+            self.skipped,
+            self.new_metrics,
+            self.regressions.len()
+        );
+        for r in &self.regressions {
+            let cand = r
+                .candidate
+                .map(|c| format!("{c:.6}"))
+                .unwrap_or_else(|| "missing".to_string());
+            let _ = writeln!(
+                out,
+                "  FAIL {}: baseline {:.6} candidate {} ({})",
+                r.path, r.baseline, cand, r.detail
+            );
+        }
+        out
+    }
+}
+
+/// Compare `candidate` against `baseline`. Both are parsed summary
+/// documents; only numeric leaves participate.
+pub fn diff(baseline: &Json, candidate: &Json) -> DiffReport {
+    let base_leaves = baseline.leaves();
+    let cand_leaves = candidate.leaves();
+    let cand_map: std::collections::BTreeMap<&str, f64> =
+        cand_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut rep = DiffReport {
+        new_metrics: cand_leaves.len(),
+        ..Default::default()
+    };
+    for (path, base) in &base_leaves {
+        let Some(&cand) = cand_map.get(path.as_str()) else {
+            rep.regressions.push(Regression {
+                path: path.clone(),
+                baseline: *base,
+                candidate: None,
+                detail: "metric missing from candidate".to_string(),
+            });
+            continue;
+        };
+        rep.new_metrics -= 1;
+        let Some((tol, floor, dir)) = policy(path, workload_makespan(path, baseline)) else {
+            rep.skipped += 1;
+            continue;
+        };
+        rep.compared += 1;
+        if !base.is_finite() || !cand.is_finite() {
+            continue;
+        }
+        match dir {
+            Direction::LowerBetter => {
+                let bound = base * (1.0 + tol) + floor;
+                if cand > bound {
+                    rep.regressions.push(Regression {
+                        path: path.clone(),
+                        baseline: *base,
+                        candidate: Some(cand),
+                        detail: format!("exceeds bound {bound:.6} (+{:.0}%)", tol * 100.0),
+                    });
+                }
+            }
+            Direction::HigherBetter => {
+                let bound = base * (1.0 - tol) - floor;
+                if cand < bound {
+                    rep.regressions.push(Regression {
+                        path: path.clone(),
+                        baseline: *base,
+                        candidate: Some(cand),
+                        detail: format!("below bound {bound:.6} (-{:.0}%)", tol * 100.0),
+                    });
+                }
+            }
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(makespan: f64, path_io: f64, rpcs: f64, ratio: f64) -> Json {
+        Json::obj().with(
+            "workloads",
+            Json::obj().with(
+                "synth_p16",
+                Json::obj()
+                    .with("makespan", Json::num(makespan))
+                    .with("imbalance", Json::num(8.0))
+                    .with(
+                        "path",
+                        Json::obj()
+                            .with("ost_service", Json::num(path_io))
+                            .with("lock_wait", Json::num(0.001 * makespan))
+                            .with("total", Json::num(makespan)),
+                    )
+                    .with(
+                        "counters",
+                        Json::obj()
+                            .with("pfs_write_rpcs_total", Json::num(rpcs))
+                            .with("fabric_intra_bytes_total", Json::num(1e6)),
+                    )
+                    .with("l1_hit_ratio", Json::num(ratio)),
+            ),
+        )
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let b = summary(1.0, 0.6, 128.0, 0.95);
+        let rep = diff(&b, &b.clone());
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.compared, 6);
+        assert_eq!(rep.skipped, 2, "imbalance + fabric split are informational");
+        assert_eq!(rep.new_metrics, 0);
+    }
+
+    #[test]
+    fn ten_percent_critical_path_regression_fails() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        let slow = summary(1.10, 0.66, 128.0, 0.95);
+        let rep = diff(&base, &slow);
+        assert!(!rep.passed());
+        let paths: Vec<&str> = rep.regressions.iter().map(|r| r.path.as_str()).collect();
+        assert!(paths.iter().any(|p| p.ends_with("makespan")), "{paths:?}");
+        assert!(paths.iter().any(|p| p.ends_with("path.total")), "{paths:?}");
+    }
+
+    #[test]
+    fn mode_wobble_within_policy_passes() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        // 2% makespan wobble, a path component moving by 4% of makespan,
+        // one extra RPC, a 4x swing in the informational fabric split and
+        // a big imbalance shift: all within policy.
+        let mut near = summary(1.02, 0.64, 129.0, 0.94);
+        if let Some(w) = near.get("workloads").cloned() {
+            let mut w = w;
+            if let Some(mut s) = w.get("synth_p16").cloned() {
+                s.set("imbalance", Json::num(16.0));
+                if let Some(mut c) = s.get("counters").cloned() {
+                    c.set("fabric_intra_bytes_total", Json::num(4e6));
+                    s.set("counters", c);
+                }
+                w.set("synth_p16", s);
+            }
+            near.set("workloads", w);
+        }
+        let rep = diff(&base, &near);
+        assert!(rep.passed(), "{}", rep.render());
+    }
+
+    #[test]
+    fn small_path_components_are_floored_by_makespan() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        // lock_wait grows 10x but stays below 5% of makespan: not gated on
+        // its own (path.total / makespan still police aggregate drift).
+        let mut near = summary(1.0, 0.6, 128.0, 0.95);
+        if let Some(w) = near.get("workloads").cloned() {
+            let mut w = w;
+            if let Some(mut s) = w.get("synth_p16").cloned() {
+                if let Some(mut p) = s.get("path").cloned() {
+                    p.set("lock_wait", Json::num(0.01));
+                    s.set("path", p);
+                }
+                w.set("synth_p16", s);
+            }
+            near.set("workloads", w);
+        }
+        assert!(diff(&base, &near).passed());
+    }
+
+    #[test]
+    fn counter_blowup_fails_but_small_counts_have_slack() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        let noisy = summary(1.0, 0.6, 160.0, 0.95); // +25% RPCs
+        assert!(!diff(&base, &noisy).passed());
+        // 3 → 5 RPCs is inside the absolute floor even though +66%.
+        let tiny_base = summary(1.0, 0.6, 3.0, 0.95);
+        let tiny_now = summary(1.0, 0.6, 5.0, 0.95);
+        assert!(diff(&tiny_base, &tiny_now).passed());
+    }
+
+    #[test]
+    fn hit_ratio_is_higher_better() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        let worse = summary(1.0, 0.6, 128.0, 0.70);
+        let rep = diff(&base, &worse);
+        assert!(!rep.passed());
+        assert!(rep.regressions[0].path.ends_with("l1_hit_ratio"));
+        // Improvement never fails.
+        let better = summary(1.0, 0.6, 128.0, 1.0);
+        assert!(diff(&base, &better).passed());
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_passes() {
+        let base = summary(1.0, 0.6, 128.0, 0.95);
+        let mut stripped = summary(1.0, 0.6, 128.0, 0.95);
+        // Remove the l1_hit_ratio leaf entirely.
+        if let Some(w) = stripped.get("workloads").cloned() {
+            let mut w = w;
+            if let Some(mut s) = w.get("synth_p16").cloned() {
+                if let Json::Obj(pairs) = &mut s {
+                    pairs.retain(|(k, _)| k != "l1_hit_ratio");
+                }
+                w.set("synth_p16", s);
+            }
+            stripped.set("workloads", w);
+        }
+        let rep = diff(&base, &stripped);
+        assert!(!rep.passed());
+        assert!(rep.regressions[0].detail.contains("missing"));
+        // The reverse direction (baseline lacks the metric) passes.
+        let rep2 = diff(&stripped, &base);
+        assert!(rep2.passed(), "{}", rep2.render());
+        assert_eq!(rep2.new_metrics, 1);
+    }
+}

@@ -1,4 +1,9 @@
-//! Table printing and CSV output for the experiment binaries.
+//! Table printing, CSV output, and JSON plumbing for the experiment
+//! binaries. [`Json`] is a minimal self-contained value type (the offline
+//! build has no serde): deterministic rendering — object keys keep
+//! insertion order, numbers use Rust's shortest-roundtrip formatting — a
+//! full parser for reading summaries back, and the shared `--json <path>`
+//! writers every diagnostic and sweep binary routes file output through.
 
 use std::fs;
 use std::io::Write;
@@ -138,6 +143,364 @@ impl Args {
     }
 }
 
+/// A JSON value. Objects preserve insertion order so rendered output is
+/// deterministic for a deterministic producer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) a key; builder-style.
+    pub fn with(mut self, key: &str, val: Json) -> Json {
+        self.set(key, val);
+        self
+    }
+
+    pub fn set(&mut self, key: &str, val: Json) {
+        let Json::Obj(pairs) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = val,
+            None => pairs.push((key.to_string(), val)),
+        }
+    }
+
+    pub fn num(x: f64) -> Json {
+        Json::Num(x)
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Flatten to `(dotted.path, value)` numeric leaves, in document order.
+    /// Array elements use their index as the path component.
+    pub fn leaves(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        fn walk(j: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+            match j {
+                Json::Num(x) => out.push((prefix.to_string(), *x)),
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        let p = if prefix.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{prefix}.{k}")
+                        };
+                        walk(v, &p, out);
+                    }
+                }
+                Json::Arr(items) => {
+                    for (i, v) in items.iter().enumerate() {
+                        walk(v, &format!("{prefix}.{i}"), out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(self, "", &mut out);
+        out
+    }
+
+    /// Render with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_to(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Shortest-roundtrip formatting: deterministic and
+                    // re-parses to the identical f64.
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    v.write_to(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, depth + 1);
+                    Json::Str(k.clone()).write_to(out, depth + 1);
+                    out.push_str(": ");
+                    v.write_to(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Accepts the full grammar the renderer emits
+    /// (plus arbitrary whitespace); returns a description of the first
+    /// error otherwise.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte safe).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// The shared `--json <path>` writer: creates parent directories, writes
+/// the rendered value, and notes the path on stderr.
+pub fn write_json_file(path: &str, value: &Json) -> std::io::Result<()> {
+    write_json_text(path, &value.render())
+}
+
+/// [`write_json_file`] for binaries that assemble JSON text themselves
+/// (the sweeps keep their pinned stdout formats byte-identical).
+pub fn write_json_text(path: &str, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(path, text)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// Honor a binary's `--json <path>` flag: write `value` there when given.
+pub fn emit_json(args: &Args, value: &Json) {
+    if let Some(path) = args.get("json") {
+        write_json_file(path, value).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+}
+
 /// Render a series as a one-line unicode sparkline (quick shape check in
 /// the terminal; the CSVs carry the real numbers).
 pub fn sparkline(values: &[f64]) -> String {
@@ -208,5 +571,71 @@ mod tests {
     fn mbs_formatting() {
         assert_eq!(mbs(1234.6), "1235");
         assert_eq!(mbs(12.34), "12.3");
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let j = Json::obj()
+            .with("schema", Json::str("v1"))
+            .with("pi", Json::num(std::f64::consts::PI))
+            .with("count", Json::num(42.0))
+            .with("flag", Json::Bool(true))
+            .with("none", Json::Null)
+            .with(
+                "arr",
+                Json::Arr(vec![Json::num(1.0), Json::str("a\"b\\c\nd")]),
+            )
+            .with("nested", Json::obj().with("x", Json::num(1e-9)));
+        let text = j.render();
+        let back = Json::parse(&text).expect("parse back");
+        assert_eq!(back, j);
+        // Rendering is deterministic and key order is preserved.
+        assert_eq!(back.render(), text);
+        let keys: Vec<&str> = match &back {
+            Json::Obj(p) => p.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => unreachable!(),
+        };
+        assert_eq!(keys[0], "schema");
+        assert_eq!(keys[6], "nested");
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn json_leaves_flatten_with_dotted_paths() {
+        let j = Json::obj()
+            .with("a", Json::num(1.0))
+            .with(
+                "b",
+                Json::obj()
+                    .with("c", Json::num(2.0))
+                    .with("skip", Json::str("text")),
+            )
+            .with("arr", Json::Arr(vec![Json::num(5.0)]));
+        let leaves = j.leaves();
+        assert_eq!(
+            leaves,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b.c".to_string(), 2.0),
+                ("arr.0".to_string(), 5.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_accepts_external_whitespace_styles() {
+        let j = Json::parse("  {\"a\":[1,2.5,-3e2],\"b\":{\"c\":null}}  ").unwrap();
+        assert_eq!(
+            j.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
     }
 }

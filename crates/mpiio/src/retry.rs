@@ -21,7 +21,12 @@ pub fn pfs_retry<T>(rank: &mut Rank, mut op: impl FnMut(&mut Rank) -> pfs::Resul
     let mut attempt = 1u32;
     loop {
         match op(rank) {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                if attempt > 1 {
+                    rank.metrics.observe_retry_attempts(attempt as u64);
+                }
+                return Ok(v);
+            }
             Err(e @ pfs::PfsError::Transient { retry_after, .. }) => {
                 let policy = rank
                     .chaos()

@@ -26,10 +26,14 @@ struct RvState {
     arrived: usize,
     slots: Vec<Option<Vec<u8>>>,
     max_t: f64,
+    /// Rank that set `max_t` (lowest rank on ties — arrival-order
+    /// independent, so deterministic across runs).
+    max_rank: usize,
     /// Published result of the most recently completed generation.
     done_gen: u64,
     result: Arc<Vec<Vec<u8>>>,
     result_max: f64,
+    result_max_rank: usize,
     /// Ranks that crash-stopped: they will never arrive again, so a
     /// generation completes when every *surviving* rank has deposited.
     /// Dead ranks' slots publish as empty payloads.
@@ -54,6 +58,10 @@ pub(crate) struct RvResult {
     pub payloads: Arc<Vec<Vec<u8>>>,
     /// Maximum clock among participants at entry.
     pub max_t: f64,
+    /// Rank (within this rendezvous' numbering) whose entry clock equals
+    /// `max_t` — the straggler every other participant waited on. Lowest
+    /// rank on ties.
+    pub max_rank: usize,
     /// Unique id of this collective (generation number).
     pub gen: u64,
 }
@@ -66,9 +74,11 @@ impl Rendezvous {
                 arrived: 0,
                 slots: vec![None; n],
                 max_t: f64::NEG_INFINITY,
+                max_rank: usize::MAX,
                 done_gen: u64::MAX,
                 result: Arc::new(Vec::new()),
                 result_max: 0.0,
+                result_max_rank: usize::MAX,
                 dead: vec![false; n],
             }),
             cv: Condvar::new(),
@@ -90,14 +100,17 @@ impl Rendezvous {
             .collect();
         st.result = Arc::new(payloads);
         st.result_max = st.max_t;
+        st.result_max_rank = st.max_rank;
         st.done_gen = my_gen;
         st.gen = my_gen + 1;
         st.arrived = 0;
         st.max_t = f64::NEG_INFINITY;
+        st.max_rank = usize::MAX;
         cv.notify_all();
         RvResult {
             payloads: Arc::clone(&st.result),
             max_t: st.result_max,
+            max_rank: st.result_max_rank,
             gen: my_gen,
         }
     }
@@ -138,8 +151,9 @@ impl Rendezvous {
         );
         st.slots[me] = Some(payload);
         st.arrived += 1;
-        if t > st.max_t {
+        if t > st.max_t || (t == st.max_t && me < st.max_rank) {
             st.max_t = t;
+            st.max_rank = me;
         }
         if st.complete() {
             // Last (surviving) arrival: publish and open the next generation.
@@ -151,6 +165,7 @@ impl Rendezvous {
                 return Some(RvResult {
                     payloads: Arc::clone(&st.result),
                     max_t: st.result_max,
+                    max_rank: st.result_max_rank,
                     gen: my_gen,
                 });
             }
@@ -201,9 +216,33 @@ mod tests {
         for h in handles {
             let r = h.join().unwrap();
             assert_eq!(r.max_t, 3.0);
+            assert_eq!(r.max_rank, 3);
             assert_eq!(r.gen, 0);
             for (i, p) in r.payloads.iter().enumerate() {
                 assert_eq!(p, &vec![i as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_ties_break_to_lowest_rank() {
+        // All ranks enter with the same clock; the straggler must be rank 0
+        // regardless of thread arrival order.
+        for _ in 0..20 {
+            let rv = Arc::new(Rendezvous::new(4));
+            let abort = Arc::new(AtomicBool::new(false));
+            let mut handles = Vec::new();
+            for me in 0..4 {
+                let rv = Arc::clone(&rv);
+                let abort = Arc::clone(&abort);
+                handles.push(thread::spawn(move || {
+                    rv.enter(me, Vec::new(), 7.5, &abort).unwrap()
+                }));
+            }
+            for h in handles {
+                let r = h.join().unwrap();
+                assert_eq!(r.max_rank, 0);
+                assert_eq!(r.max_t, 7.5);
             }
         }
     }

@@ -32,6 +32,7 @@ pub mod collectives;
 pub mod datatype;
 pub mod error;
 pub mod mem;
+pub mod metrics;
 pub mod net;
 pub mod p2p;
 pub mod rma;
@@ -46,6 +47,7 @@ pub use collectives::log2ceil;
 pub use datatype::{Committed, Datatype, Named, Order};
 pub use error::{MpiError, Result, SimError};
 pub use mem::{MemGuard, MemTracker};
+pub use metrics::{Hist, RankMetrics, Registry};
 pub use net::{FabricStatsSnapshot, NetConfig, Transfer};
 pub use p2p::{Received, Request, Tag};
 pub use rma::{Epoch, LockKind, Window};

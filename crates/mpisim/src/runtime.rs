@@ -56,6 +56,11 @@ pub struct SimConfig {
     /// Record per-operation trace spans (phase totals are always kept).
     /// Costs nothing when `false`.
     pub trace: bool,
+    /// Collect per-rank metric histograms (message sizes, retry counts,
+    /// buffer hit ratios) for the [`crate::metrics`] registry. Like
+    /// `trace`, costs nothing when `false`: every observation site is a
+    /// single branch on a plain bool.
+    pub metrics: bool,
     /// Fault-injection engine (`None` = healthy machine, zero cost).
     /// Runtime operations poll it for rank-stall windows and compute
     /// slowdowns; the fabric polls it for message delays and
@@ -81,6 +86,7 @@ pub(crate) struct Shared {
     registry: Mutex<HashMap<u64, RegistryEntry>>,
     abort: AtomicBool,
     trace: bool,
+    metrics: bool,
     chaos: Option<Arc<chaos::ChaosEngine>>,
     /// Per-rank crash-stop flags. A rank marks itself dead at the
     /// chaos checkpoint where it first observes its injected crash; peers
@@ -107,6 +113,7 @@ impl Shared {
             registry: Mutex::new(HashMap::new()),
             abort: AtomicBool::new(false),
             trace: cfg.trace,
+            metrics: cfg.metrics,
             chaos: cfg.chaos.clone(),
             dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
         }
@@ -153,6 +160,9 @@ pub struct Rank {
     noise_seq: u64,
     /// Public, rank-local statistics (also collected into the report).
     pub stats: RankStats,
+    /// Optional metric histograms (gated on `SimConfig::metrics`); I/O
+    /// layers record into it directly, like `stats`.
+    pub metrics: crate::metrics::RankMetrics,
     /// Clock-attribution and span-recording state.
     tracer: Tracer,
     /// Sticky crash-stop flag: set when this rank first observes its own
@@ -168,6 +178,7 @@ impl Rank {
             state: Arc::clone(&shared.mem[id]),
         };
         let trace = shared.trace;
+        let metrics = shared.metrics;
         Rank {
             id,
             nprocs: shared.nprocs,
@@ -176,6 +187,7 @@ impl Rank {
             mem,
             noise_seq: 0x9E37_79B9_7F4A_7C15 ^ (id as u64),
             stats: RankStats::default(),
+            metrics: crate::metrics::RankMetrics::new(metrics),
             tracer: Tracer::new(id, trace),
             crashed: false,
         }
@@ -328,6 +340,42 @@ impl Rank {
         self.tracer.record(name, phase, start, end, bytes, None);
     }
 
+    /// Record a rendezvous-collective span: `ready` is the reconciled
+    /// entry clock (`rv.max_t`) and `straggler` the world rank whose late
+    /// arrival set it — the causal edge the critical-path walker follows.
+    fn record_sync(
+        &mut self,
+        name: &'static str,
+        start: f64,
+        bytes: u64,
+        rv: &crate::collectives::RvResult,
+    ) {
+        self.record_sync_mapped(name, start, bytes, rv, rv.max_rank);
+    }
+
+    /// Like [`Rank::record_sync`] but with the straggler already mapped to
+    /// a world rank (sub-communicator rendezvous report group ranks).
+    fn record_sync_mapped(
+        &mut self,
+        name: &'static str,
+        start: f64,
+        bytes: u64,
+        rv: &crate::collectives::RvResult,
+        world_straggler: usize,
+    ) {
+        let straggler = (world_straggler != usize::MAX).then_some(world_straggler);
+        self.tracer.record_full(
+            name,
+            Phase::Sync,
+            start,
+            self.clock,
+            bytes,
+            None,
+            rv.max_t,
+            straggler,
+        );
+    }
+
     /// This rank's per-phase time totals so far.
     pub fn phase_totals(&self) -> PhaseTotals {
         self.tracer.totals()
@@ -413,6 +461,7 @@ impl Rank {
         self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival, span);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        self.metrics.observe_msg_bytes(data.len() as u64);
         Ok(())
     }
 
@@ -438,6 +487,7 @@ impl Rank {
         self.shared.mailboxes[dst].push(self.id, tag, data.to_vec(), tr.arrival, span);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        self.metrics.observe_msg_bytes(data.len() as u64);
         Ok(Request::Send {
             done: tr.sender_done,
         })
@@ -478,13 +528,15 @@ impl Rank {
             + cfg.recv_overhead
             + r.queue_depth as f64 * cfg.match_overhead;
         self.set_clock_as(done, Phase::Exchange);
-        self.tracer.record(
+        self.tracer.record_full(
             "recv",
             Phase::Exchange,
             start,
             self.clock,
             r.data.len() as u64,
             r.send_span,
+            r.arrival,
+            None,
         );
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += r.data.len() as u64;
@@ -547,8 +599,7 @@ impl Rank {
             rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
             Phase::Sync,
         );
-        self.tracer
-            .record("barrier", Phase::Sync, start, self.clock, 0, None);
+        self.record_sync("barrier", start, 0, &rv);
         Ok(())
     }
 
@@ -563,14 +614,7 @@ impl Rank {
             rv.max_t + cfg.latency * log2ceil(self.nprocs) as f64 + foreign as f64 * cfg.byte_time,
             Phase::Sync,
         );
-        self.tracer.record(
-            "allgather",
-            Phase::Sync,
-            start,
-            self.clock,
-            total as u64,
-            None,
-        );
+        self.record_sync("allgather", start, total as u64, &rv);
         Ok(rv.payloads.iter().cloned().collect())
     }
 
@@ -638,8 +682,7 @@ impl Rank {
             rv.max_t + (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64,
             Phase::Sync,
         );
-        self.tracer
-            .record("bcast", Phase::Sync, start, self.clock, bytes as u64, None);
+        self.record_sync("bcast", start, bytes as u64, &rv);
         Ok(rv.payloads[root].clone())
     }
 
@@ -665,8 +708,7 @@ impl Rank {
             );
             None
         };
-        self.tracer
-            .record("gather", Phase::Sync, start, self.clock, total as u64, None);
+        self.record_sync("gather", start, total as u64, &rv);
         Ok(out)
     }
 
@@ -717,14 +759,7 @@ impl Rank {
                 + mine.len() as f64 * cfg.byte_time,
             Phase::Sync,
         );
-        self.tracer.record(
-            "scatter",
-            Phase::Sync,
-            start,
-            self.clock,
-            mine.len() as u64,
-            None,
-        );
+        self.record_sync("scatter", start, mine.len() as u64, &rv);
         Ok(mine)
     }
 
@@ -741,14 +776,7 @@ impl Rank {
                 + 2.0 * (cfg.latency + bytes as f64 * cfg.byte_time) * log2ceil(self.nprocs) as f64,
             Phase::Sync,
         );
-        self.tracer.record(
-            "allreduce",
-            Phase::Sync,
-            start,
-            self.clock,
-            bytes as u64,
-            None,
-        );
+        self.record_sync("allreduce", start, bytes as u64, &rv);
         if bytes == 0 {
             return Ok(Vec::new());
         }
@@ -897,8 +925,8 @@ impl Rank {
             rv.max_t + 2.0 * cfg.latency * comm.log2() as f64,
             Phase::Sync,
         );
-        self.tracer
-            .record("barrier_in", Phase::Sync, start, self.clock, 0, None);
+        let straggler = comm.world_of(rv.max_rank);
+        self.record_sync_mapped("barrier_in", start, 0, &rv, straggler);
         Ok(())
     }
 
@@ -914,14 +942,8 @@ impl Rank {
                 + (total - payload.len()) as f64 * cfg.byte_time,
             Phase::Sync,
         );
-        self.tracer.record(
-            "allgather_in",
-            Phase::Sync,
-            start,
-            self.clock,
-            total as u64,
-            None,
-        );
+        let straggler = comm.world_of(rv.max_rank);
+        self.record_sync_mapped("allgather_in", start, total as u64, &rv, straggler);
         Ok(rv.payloads.iter().cloned().collect())
     }
 
@@ -1344,6 +1366,7 @@ impl Rank {
         );
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        self.metrics.observe_msg_bytes(data.len() as u64);
         self.shared.mailboxes[dst].push(self.id, tag, data, tr.arrival, span);
         Ok(Request::Send {
             done: tr.sender_done,
@@ -1364,8 +1387,7 @@ impl Rank {
             rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
             Phase::Sync,
         );
-        self.tracer
-            .record("shared_state", Phase::Sync, start, self.clock, 0, None);
+        self.record_sync("shared_state", start, 0, &rv);
         let arc_any = {
             let mut reg = self.shared.registry.lock();
             let entry = reg
@@ -1397,14 +1419,7 @@ impl Rank {
             rv.max_t + 2.0 * cfg.latency * log2ceil(self.nprocs) as f64,
             Phase::Sync,
         );
-        self.tracer.record(
-            "win_create",
-            Phase::Sync,
-            start,
-            self.clock,
-            local_size as u64,
-            None,
-        );
+        self.record_sync("win_create", start, local_size as u64, &rv);
         let sizes: Vec<usize> = rv
             .payloads
             .iter()
@@ -1486,6 +1501,19 @@ impl Rank {
                 .reserve(self.clock, intrinsic),
             LockKind::Shared => self.clock,
         };
+        if start > epoch_start {
+            // The exclusive token was held by an earlier epoch: the gap is
+            // pure lock wait, recorded as its own span so the critical-path
+            // analyzer can attribute it separately from the transfers.
+            self.tracer.record(
+                "rma_lock_wait",
+                Phase::Exchange,
+                epoch_start,
+                start,
+                0,
+                None,
+            );
+        }
         let mut now = start;
         let mut moved = 0u64;
         for &(bytes, parts) in &ep.put_msgs {
@@ -1510,12 +1538,14 @@ impl Rank {
         }
         self.stats.rma_epochs += 1;
         self.set_clock_as(now + cfg.rma_lock_cost, Phase::Exchange);
-        self.tracer.record(
+        self.tracer.record_full(
             "rma_epoch",
             Phase::Exchange,
             epoch_start,
             self.clock,
             moved,
+            None,
+            start,
             None,
         );
         Ok(())
@@ -1550,6 +1580,8 @@ pub struct SimReport<T> {
     pub fabric: FabricStatsSnapshot,
     /// Per-rank traces: phase totals always, spans when `SimConfig::trace`.
     pub traces: Vec<RankTrace>,
+    /// Merged per-rank metric histograms (empty unless `SimConfig::metrics`).
+    pub metrics: crate::metrics::RankMetrics,
 }
 
 impl<T> SimReport<T> {
@@ -1586,7 +1618,14 @@ where
         Panic(String),
     }
 
-    let per_rank: Vec<(f64, RankStats, RankTrace, Outcome<T>)> = std::thread::scope(|s| {
+    type PerRank<T> = (
+        f64,
+        RankStats,
+        RankTrace,
+        crate::metrics::RankMetrics,
+        Outcome<T>,
+    );
+    let per_rank: Vec<PerRank<T>> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(nprocs);
         for i in 0..nprocs {
             let shared = Arc::clone(&shared);
@@ -1622,7 +1661,8 @@ where
                         rank.note_mem_peak();
                         let trace =
                             std::mem::replace(&mut rank.tracer, Tracer::new(i, false)).finish();
-                        (rank.clock, rank.stats, trace, outcome)
+                        let metrics = std::mem::take(&mut rank.metrics);
+                        (rank.clock, rank.stats, trace, metrics, outcome)
                     })
                     .expect("failed to spawn rank thread"),
             );
@@ -1638,9 +1678,9 @@ where
     // with `PeerCrashed` on the dead rank) but not unrelated errors.
     let crashed_rank = per_rank
         .iter()
-        .position(|(_, _, _, o)| matches!(o, Outcome::Crashed));
+        .position(|(_, _, _, _, o)| matches!(o, Outcome::Crashed));
     let mut first_abort: Option<SimError> = None;
-    for (i, (_, _, _, outcome)) in per_rank.iter().enumerate() {
+    for (i, (_, _, _, _, outcome)) in per_rank.iter().enumerate() {
         match outcome {
             Outcome::Err(MpiError::Aborted) => {
                 first_abort.get_or_insert(SimError::RankFailed {
@@ -1678,10 +1718,12 @@ where
     let mut clocks = Vec::with_capacity(nprocs);
     let mut stats = Vec::with_capacity(nprocs);
     let mut traces = Vec::with_capacity(nprocs);
-    for (clock, st, trace, outcome) in per_rank {
+    let mut metrics = crate::metrics::RankMetrics::default();
+    for (clock, st, trace, m, outcome) in per_rank {
         clocks.push(clock);
         stats.push(st);
         traces.push(trace);
+        metrics.merge(&m);
         match outcome {
             Outcome::Ok(v) => results.push(v),
             _ => unreachable!("errors handled above"),
@@ -1695,6 +1737,7 @@ where
         stats,
         fabric: shared.fabric.stats.snapshot(),
         traces,
+        metrics,
     })
 }
 

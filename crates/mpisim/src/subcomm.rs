@@ -79,6 +79,16 @@ impl SubComm {
         self.members[i]
     }
 
+    /// World rank of group member `i`, passing the "no straggler" sentinel
+    /// (`usize::MAX`) through unchanged.
+    pub(crate) fn world_of(&self, i: usize) -> usize {
+        if i == usize::MAX {
+            usize::MAX
+        } else {
+            self.members[i]
+        }
+    }
+
     /// All members' world ranks, ascending.
     pub fn members(&self) -> &[usize] {
         &self.members

@@ -107,6 +107,17 @@ pub struct Span {
     /// For receives: the span id of the matching send on the source rank —
     /// the cross-rank dependency edge.
     pub dep: Option<u64>,
+    /// Virtual time at which the operation's *external* dependency was
+    /// satisfied: message arrival for receives, the straggler's entry clock
+    /// for rendezvous collectives, token availability for exclusive RMA
+    /// epochs. Equals `start` for purely local operations. Always within
+    /// `[start, end]` (clamped) so critical-path cuts stay inside the span.
+    pub ready: f64,
+    /// For rendezvous collectives: the rank whose late arrival set the
+    /// reconciled clock (`max_t`) — the causal predecessor the critical
+    /// path jumps to. Ties break to the lowest rank, independent of thread
+    /// arrival order, so traces stay deterministic.
+    pub straggler: Option<usize>,
 }
 
 /// Everything one rank's tracer collected.
@@ -168,7 +179,7 @@ impl Tracer {
     }
 
     /// Record a span if tracing is enabled; returns its id for dependency
-    /// stamping.
+    /// stamping. Local operations only: `ready == start`, no straggler.
     pub(crate) fn record(
         &mut self,
         name: &'static str,
@@ -177,6 +188,23 @@ impl Tracer {
         end: f64,
         bytes: u64,
         dep: Option<u64>,
+    ) -> Option<u64> {
+        self.record_full(name, phase, start, end, bytes, dep, start, None)
+    }
+
+    /// Record a span carrying full causal metadata (`ready` time and
+    /// straggler rank). `ready` is clamped into `[start, end]`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_full(
+        &mut self,
+        name: &'static str,
+        phase: Phase,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        dep: Option<u64>,
+        ready: f64,
+        straggler: Option<usize>,
     ) -> Option<u64> {
         if !self.enabled {
             return None;
@@ -192,6 +220,8 @@ impl Tracer {
             end,
             bytes,
             dep,
+            ready: ready.clamp(start, end),
+            straggler,
         });
         Some(id)
     }

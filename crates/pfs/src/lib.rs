@@ -30,7 +30,7 @@ use mpisim::timeline::Timeline;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifies an open file.
@@ -195,6 +195,69 @@ pub struct PfsStatsSnapshot {
     pub silent_corruptions: u64,
 }
 
+impl PfsStatsSnapshot {
+    /// Export under the canonical `pfs_*` registry names.
+    pub fn export_metrics(&self, reg: &mut mpisim::metrics::Registry) {
+        reg.add_counter("pfs_read_rpcs_total", self.read_rpcs);
+        reg.add_counter("pfs_write_rpcs_total", self.write_rpcs);
+        reg.add_counter("pfs_bytes_read_total", self.bytes_read);
+        reg.add_counter("pfs_bytes_written_total", self.bytes_written);
+        reg.add_counter("pfs_lock_transfers_total", self.lock_transfers);
+        reg.add_counter("pfs_transient_errors_total", self.transient_errors);
+        reg.add_counter("pfs_checksum_failures_total", self.checksum_failures);
+        reg.add_counter("pfs_scrub_repairs_total", self.scrub_repairs);
+        reg.add_counter("pfs_silent_corruptions_total", self.silent_corruptions);
+    }
+}
+
+/// Lock-free per-RPC service-latency histogram (log2 buckets over
+/// nanoseconds of virtual time). Off by default: disabled, each
+/// observation site is a single relaxed load — the same zero-cost-off
+/// contract as the chaos engine.
+#[derive(Debug)]
+struct LatencyHist {
+    enabled: AtomicBool,
+    buckets: [AtomicU64; mpisim::metrics::HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            enabled: AtomicBool::new(false),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHist {
+    fn observe(&self, secs: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let ns = (secs.max(0.0) * 1e9) as u64;
+        let idx = mpisim::metrics::Hist::bucket_index(ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> mpisim::metrics::Hist {
+        let mut raw = [0u64; mpisim::metrics::HIST_BUCKETS];
+        for (r, b) in raw.iter_mut().zip(&self.buckets) {
+            *r = b.load(Ordering::Relaxed);
+        }
+        mpisim::metrics::Hist::from_raw(
+            raw,
+            self.count.load(Ordering::Relaxed),
+            self.sum_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
 impl PfsStats {
     pub fn snapshot(&self) -> PfsStatsSnapshot {
         PfsStatsSnapshot {
@@ -234,6 +297,8 @@ pub struct Pfs {
     /// brownouts). `None` = healthy storage, zero cost.
     chaos: Mutex<Option<Arc<chaos::ChaosEngine>>>,
     pub stats: PfsStats,
+    /// Per-RPC service-latency histogram; see [`Pfs::enable_latency_metrics`].
+    latency: LatencyHist,
 }
 
 /// Accumulated service metrics of one OST (virtual time).
@@ -293,6 +358,7 @@ impl Pfs {
             next_ost_base: Mutex::new(0),
             chaos: Mutex::new(None),
             stats: PfsStats::default(),
+            latency: LatencyHist::default(),
             cfg,
         }))
     }
@@ -779,6 +845,7 @@ impl Pfs {
                 m.lock_transfers += transfer as u64;
             }
             let piece_done = svc_start + service_dur;
+            self.latency.observe(piece_done - client_t);
             done = done.max(piece_done);
             // The client can pipeline the next piece once its link is free.
             client_t = send_start + link_dur;
@@ -867,10 +934,27 @@ impl Pfs {
             let link_dur = len as f64 * self.cfg.client_byte_time;
             let resp_start = reserve(&self.client_busy[client], svc_start + service_dur, link_dur);
             let piece_done = resp_start + link_dur;
+            self.latency.observe(piece_done - client_t);
             done = done.max(piece_done);
             client_t = req_sent;
         }
         done
+    }
+
+    /// Turn on the per-RPC service-latency histogram. Off (the default)
+    /// the recording sites cost one relaxed load each.
+    pub fn enable_latency_metrics(&self) {
+        self.latency.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Export this file system's counters (and the latency histogram when
+    /// enabled and non-empty) into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut mpisim::metrics::Registry) {
+        self.stats.snapshot().export_metrics(reg);
+        let lat = self.latency.snapshot();
+        if !lat.is_empty() {
+            reg.insert_hist("pfs_request_latency_ns", lat);
+        }
     }
 
     /// Convenience for verification in tests and examples: a full copy of

@@ -66,6 +66,19 @@ pub struct TcioStats {
     pub l1_fallbacks: u64,
 }
 
+impl TcioStats {
+    /// Export under the canonical `tcio_*` registry names.
+    pub fn export_metrics(&self, reg: &mut mpisim::metrics::Registry) {
+        reg.add_counter("tcio_flushes_total", self.flushes);
+        reg.add_counter("tcio_window_switches_total", self.window_switches);
+        reg.add_counter("tcio_loads_total", self.loads);
+        reg.add_counter("tcio_bytes_buffered_total", self.bytes_buffered);
+        reg.add_counter("tcio_read_requests_total", self.read_requests);
+        reg.add_counter("tcio_spills_total", self.spills);
+        reg.add_counter("tcio_l1_fallbacks_total", self.l1_fallbacks);
+    }
+}
+
 /// Shared per-segment bookkeeping, co-located with the level-2 window.
 #[derive(Debug, Default)]
 struct SegMeta {
@@ -433,9 +446,12 @@ impl<'a> TcioFile<'a> {
     /// if the buffer is aligned elsewhere.
     fn buffer_chunk(&mut self, rank: &mut Rank, window: u64, off: u64, chunk: &[u8]) -> Result<()> {
         if self.l1.window_start != Some(window) {
+            rank.metrics.miss_l1();
             self.flush_l1(rank)?;
             self.l1.window_start = Some(window);
             self.stats.window_switches += 1;
+        } else {
+            rank.metrics.hit_l1();
         }
         let rel = (off - window) as usize;
         let t0 = rank.now();
@@ -679,6 +695,7 @@ impl<'a> TcioFile<'a> {
         // segment. Serve the parts straight from the file system instead —
         // no caching, every reader pays the I/O, but the data flows.
         if self.win.size_of(owner) == 0 {
+            rank.metrics.miss_l2();
             let t0 = rank.now();
             let lo = parts
                 .iter()
@@ -724,12 +741,14 @@ impl<'a> TcioFile<'a> {
         }
         let meta = self.meta.segs[owner][segment].lock();
         if meta.loaded {
+            rank.metrics.hit_l2();
             drop(meta);
             let mut ep = rank.win_lock(&self.win, owner, LockKind::Shared)?;
             ep.get_gathered(parts).map_err(TcioError::Mpi)?;
             rank.win_unlock(ep)?;
             return Ok(());
         }
+        rank.metrics.miss_l2();
         let mut meta = meta;
         let mut ep = rank.win_lock(&self.win, owner, LockKind::Exclusive)?;
         if !meta.loaded {

@@ -320,3 +320,200 @@ fn chrome_trace_matches_golden_file() {
     assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
     assert!(json.contains("\"ph\":\"X\""));
 }
+
+#[test]
+fn chrome_trace_stays_well_formed_across_a_rank_crash() {
+    // The committed crash plan: rank 0 fails permanently at t = 3 ms,
+    // mid write phase. The exported Chrome trace must remain parseable,
+    // every event well-formed, and — the attribution contract — no span
+    // may be charged to the crashed rank after its crash instant.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/plans/rank_crash.toml"
+    ))
+    .unwrap();
+    let engine = chaos::FaultPlan::parse(&text).unwrap().build().unwrap();
+
+    let nprocs = 4;
+    let block = 16usize;
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    fs.attach_chaos(Arc::clone(&engine)).unwrap();
+    let sim = mpisim::SimConfig {
+        trace: true,
+        chaos: Some(Arc::clone(&engine)),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+            mpisim::MpiError::InvalidDatatype(e.to_string())
+        }
+        let cfg = tcio::TcioConfig {
+            segment_size: 64,
+            num_segments: 4,
+            ..Default::default()
+        };
+        let me = rk.rank();
+        let mut f = tcio::TcioFile::open(rk, &fs2, "/crash_trace", tcio::TcioMode::Write, cfg)
+            .map_err(to_mpi)?;
+        let data = vec![me as u8 + 1; block];
+        for i in 0..6 {
+            let off = ((i * rk.nprocs() + me) * block) as u64;
+            f.write_at(rk, off, &data).map_err(to_mpi)?;
+        }
+        f.flush(rk).map_err(to_mpi)?;
+        // Move past the crash instant so the failure fires inside close.
+        rk.advance(1.0);
+        match f.close(rk) {
+            Ok(_) => Ok(()),
+            Err(tcio::TcioError::Mpi(mpisim::MpiError::RankCrashed { rank })) if rank == me => {
+                Ok(())
+            }
+            Err(e) => Err(to_mpi(e)),
+        }
+    })
+    .unwrap();
+    assert_eq!(rep.stats[0].rank_crashes, 1, "the plan must fire on rank 0");
+
+    // The crash instant, as recorded: the (zero-width) rank_crash span.
+    let crash_span = rep.traces[0]
+        .spans
+        .iter()
+        .find(|s| s.name == "rank_crash")
+        .expect("crashed rank must carry a rank_crash span");
+    let t_crash = crash_span.end;
+
+    // No span may be attributed to the dead rank after the crash: spans
+    // are recorded at completion, and a crashed rank completes nothing.
+    for s in &rep.traces[0].spans {
+        assert!(
+            s.start <= t_crash + 1e-12,
+            "span {:?} starts at {} on rank 0, after the crash at {t_crash}",
+            s.name,
+            s.start
+        );
+    }
+    // Its clock froze at the crash; survivors ran on past it.
+    assert!(rep.clocks[0] <= t_crash + 1e-9);
+    assert!(rep.clocks.iter().skip(1).all(|&c| c > t_crash));
+
+    // The exported trace parses as JSON and every event is well-formed.
+    let trace = mpisim::chrome_trace_json(&rep.traces);
+    let doc = bench::Json::parse(&trace).expect("chrome trace must be valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|j| j.as_str()),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|j| j.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut prev_ts = f64::MIN;
+    let mut ids = std::collections::BTreeSet::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|j| j.as_str()), Some("X"));
+        assert!(ev.get("name").and_then(|j| j.as_str()).is_some());
+        let ts = ev.get("ts").and_then(|j| j.as_f64()).expect("numeric ts");
+        let dur = ev.get("dur").and_then(|j| j.as_f64()).expect("numeric dur");
+        let tid = ev.get("tid").and_then(|j| j.as_f64()).expect("numeric tid");
+        assert!(ts.is_finite() && dur.is_finite() && dur >= 0.0);
+        assert!((tid as usize) < nprocs, "tid {tid} out of range");
+        assert!(ts >= prev_ts, "events must be sorted by start time");
+        prev_ts = ts;
+        let id = ev
+            .get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(|j| j.as_f64())
+            .expect("span id") as u64;
+        assert!(ids.insert(id), "span id {id} duplicated");
+        if tid as usize == 0 {
+            assert!(
+                ts <= t_crash * 1e6 + 1e-3,
+                "event at {ts}us charged to crashed rank 0 after crash at {}us",
+                t_crash * 1e6
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_off_is_bit_identical_and_collects_nothing() {
+    // Zero-cost-off for the metrics registry, guarded like the chaos
+    // checks: the same owner-local deterministic workload with
+    // `metrics: false` vs `true` must produce bit-identical virtual
+    // clocks and file bytes, and the off-run must collect no histogram
+    // observations (counters still flow from the always-on stats).
+    fn run(metrics: bool) -> (Vec<f64>, f64, Vec<u8>, mpisim::Registry) {
+        fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+            mpisim::MpiError::InvalidDatatype(e.to_string())
+        }
+        let nprocs = 4;
+        let seg: u64 = 1 << 12;
+        let pcfg = pfs::PfsConfig {
+            stripe_size: seg,
+            stripe_count: 4,
+            num_osts: 4,
+            ..Default::default()
+        };
+        let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+        let sim = mpisim::SimConfig {
+            metrics,
+            ..Default::default()
+        };
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            let cfg = tcio::TcioConfig {
+                segment_size: seg,
+                num_segments: 1,
+                ..Default::default()
+            };
+            let mut f = tcio::TcioFile::open(rk, &fs2, "/zc", tcio::TcioMode::Write, cfg)
+                .map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; seg as usize];
+            f.write_at(rk, rk.rank() as u64 * seg, &data)
+                .map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            // Deterministic ring exchange: gives the message-size
+            // histogram something to observe when the gate is on.
+            let right = (rk.rank() + 1) % rk.nprocs();
+            rk.send(right, 7, &[0u8; 1024])?;
+            rk.recv(Some((rk.rank() + rk.nprocs() - 1) % rk.nprocs()), Some(7))?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/zc").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        let mut reg = mpisim::Registry::new();
+        reg.export_sim_report(&rep);
+        (rep.clocks, rep.makespan, bytes, reg)
+    }
+
+    let (c0, m0, b0, reg_off) = run(false);
+    let (c1, m1, b1, reg_on) = run(true);
+    assert_eq!(c0, c1, "metrics collection perturbed virtual clocks");
+    assert_eq!(m0, m1, "metrics collection perturbed the makespan");
+    assert_eq!(b0, b1, "metrics collection perturbed file bytes");
+    assert!(
+        reg_off.hists().all(|(_, h)| h.is_empty()),
+        "metrics-off run must not record histogram observations"
+    );
+    assert!(
+        reg_on.hists().any(|(_, h)| !h.is_empty()),
+        "metrics-on run must populate at least one histogram"
+    );
+    // The always-on stats/fabric counters are identical either way (the
+    // tcio_l1/l2 hit counters live in the gated RankMetrics, so they are
+    // legitimately zero when off and excluded here).
+    let stats_only = |reg: &mpisim::Registry| -> Vec<(String, u64)> {
+        reg.counters()
+            .filter(|(k, _)| k.starts_with("mpisim_") || k.starts_with("fabric_"))
+            .map(|(k, v)| (k.into(), v))
+            .collect()
+    };
+    assert_eq!(
+        stats_only(&reg_off),
+        stats_only(&reg_on),
+        "stats-derived counters must not depend on the metrics gate"
+    );
+}

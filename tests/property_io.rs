@@ -561,3 +561,152 @@ fn chaos_queries_are_pure_functions_of_site_and_time() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Critical-path conservation property
+// ---------------------------------------------------------------------------
+
+/// A fault plan drawn only from the non-fatal families: every one perturbs
+/// virtual timing (the thing the critical path must still conserve) without
+/// aborting the run or corrupting data.
+fn benign_fault_plan(seed: u64) -> chaos::FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE9F);
+    let mut plan = chaos::FaultPlan::new(pick(&mut rng, 1, 1 << 20));
+    for _ in 0..pick(&mut rng, 1, 5) {
+        let from = pick(&mut rng, 0, 100) as f64 * 1e-4;
+        let rank = pick(&mut rng, 0, 4) as usize;
+        let ost = pick(&mut rng, 0, 4) as usize;
+        let fault = match pick(&mut rng, 0, 6) {
+            0 => chaos::Fault::OstSlowdown {
+                ost,
+                factor: 1.0 + pick(&mut rng, 0, 30) as f64 / 10.0,
+                from,
+                until: from + 0.05,
+            },
+            // Short outage: well inside the retry budget.
+            1 => chaos::Fault::OstOutage {
+                ost,
+                from,
+                until: from + 0.005,
+            },
+            2 => chaos::Fault::RequestOverhead {
+                extra: pick(&mut rng, 0, 300) as f64 * 1e-6,
+                from,
+                until: from + 0.05,
+            },
+            3 => chaos::Fault::MessageDelay {
+                delay: pick(&mut rng, 0, 100) as f64 * 1e-6,
+                from,
+                until: from + 0.05,
+            },
+            4 => chaos::Fault::RankStall {
+                rank,
+                from,
+                until: from + 0.003,
+            },
+            _ => chaos::Fault::RankSlowdown {
+                rank,
+                factor: 1.0 + pick(&mut rng, 0, 20) as f64 / 10.0,
+                from,
+                until: from + 0.05,
+            },
+        };
+        plan = plan.with(fault);
+    }
+    plan
+}
+
+/// Structural invariants of one computed critical path.
+fn assert_path_conserved(seed: u64, cp: &insight::CriticalPath, makespan: f64) {
+    assert!(!cp.truncated, "seed {seed}: walker hit its iteration cap");
+    assert!(
+        (cp.makespan - makespan).abs() <= 1e-9 * makespan.max(1.0),
+        "seed {seed}: analyzer makespan {} vs report {makespan}",
+        cp.makespan
+    );
+    assert!(
+        cp.residual().abs() <= 1e-9 * makespan.max(1.0),
+        "seed {seed}: path breakdown loses {}s of the makespan",
+        cp.residual()
+    );
+    // Segments tile [0, makespan] without gaps or overlap, and every
+    // same-rank (Seq) hop really stays on one rank.
+    let segs = &cp.segments;
+    assert!(!segs.is_empty(), "seed {seed}: empty path on a real run");
+    assert!(segs[0].start.abs() <= 1e-9);
+    assert!((segs[segs.len() - 1].end - cp.makespan).abs() <= 1e-9 * makespan.max(1.0));
+    for w in segs.windows(2) {
+        assert!(
+            (w[0].end - w[1].start).abs() <= 1e-9 * makespan.max(1.0),
+            "seed {seed}: gap between path segments at {}",
+            w[0].end
+        );
+        if matches!(w[0].link_to_next, insight::Link::Seq) {
+            assert_eq!(
+                w[0].rank, w[1].rank,
+                "seed {seed}: Seq link crosses ranks at {}",
+                w[0].end
+            );
+        }
+    }
+}
+
+#[test]
+fn critical_path_conservation_over_random_runs() {
+    // ≥25 seeded configurations across {Table-I synth, ART} × {flat,
+    // blocked topology} × {fault-free, benign chaos}: the critical path
+    // must tile the makespan exactly (no lost or double-counted virtual
+    // time) and stay causally connected, whatever the run shape.
+    for seed in 0..28u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(51));
+        let nprocs = pick(&mut rng, 2, 9) as usize;
+        let topo = (seed % 3 == 0).then(|| {
+            let ppn = [1, 2, 4][(seed as usize / 3) % 3];
+            mpisim::Topology::blocked(nprocs, ppn)
+        });
+        let engine = (seed % 3 == 1).then(|| benign_fault_plan(seed).build().unwrap());
+
+        let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+        if let Some(e) = &engine {
+            fs.attach_chaos(Arc::clone(e)).unwrap();
+        }
+        let sim = mpisim::SimConfig {
+            trace: true,
+            topology: topo.clone(),
+            chaos: engine,
+            ..Default::default()
+        };
+        let fs2 = Arc::clone(&fs);
+        let use_art = seed % 2 == 1;
+        let len = pick(&mut rng, 32, 129) as usize;
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            if use_art {
+                let cfg = workloads::art::ArtConfig {
+                    num_segments: 2 * rk.nprocs(),
+                    mu: 6.0,
+                    sigma: 1.0,
+                    ..workloads::art::ArtConfig::default()
+                };
+                workloads::art::dump(rk, &fs2, &cfg, workloads::art::ArtMethod::Tcio, "/cp_art")
+                    .map(|_| ())
+                    .map_err(workloads::WlError::into_mpi)
+            } else {
+                let p = workloads::synthetic::SynthParams::with_types("i,d", len, 1)
+                    .expect("valid params");
+                workloads::synthetic::write_tcio(rk, &fs2, &p, "/cp_synth", None)
+                    .map_err(workloads::WlError::into_mpi)?;
+                workloads::synthetic::read_tcio(rk, &fs2, &p, "/cp_synth", None)
+                    .map(|_| ())
+                    .map_err(workloads::WlError::into_mpi)
+            }
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: run failed: {e:?}"));
+
+        let mut an = insight::Analyzer::new(&rep.traces);
+        if let Some(t) = &topo {
+            an = an.with_topology(t);
+        }
+        let cp = an.critical_path();
+        assert_path_conserved(seed, &cp, rep.makespan);
+    }
+}
