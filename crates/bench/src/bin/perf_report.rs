@@ -3,32 +3,38 @@
 //! Builds `BENCH_summary.json`: critical-path breakdowns (via the
 //! `insight` analyzer) and key counters/histograms for the Table-I
 //! interleaved-arrays workload and the ART dump, each at 16 and 64 ranks
-//! (sizes kept small enough for CI). With `--diff <baseline>` the freshly
+//! (sizes kept small enough for CI), plus per-workload `wall` entries
+//! comparing the fiber event core against the OS-thread substrate and a
+//! 2048-rank scheduler-storm cell whose speedup the committed baseline
+//! gates (see `perfgate::WALL_TOL`). With `--diff <baseline>` the freshly
 //! built summary is compared against the committed baseline using the
 //! perfgate tolerance policy, and the process exits nonzero on any
 //! regression — this is the CI perf gate.
 //!
 //!   cargo run --release -p bench --bin perf_report -- \
-//!       [--ranks 16,64] [--len 4096] [--out bench_results/BENCH_summary.json] \
+//!       [--ranks 16,64] [--len 4096] [--scale-ranks 2048] \
+//!       [--out bench_results/BENCH_summary.json] \
 //!       [--diff bench_results/BENCH_baseline.json]
 
 use bench::{perfgate, report, Args, Calib, Json};
 use insight::{Analyzer, Category};
-use mpisim::{Registry, SimConfig, SimReport};
+use mpisim::{Backend, Registry, SimConfig, SimReport};
 use pfs::Pfs;
 use std::sync::Arc;
+use std::time::Instant;
 use workloads::art::{self, ArtConfig, ArtMethod};
 use workloads::synthetic::{self, SynthParams};
 use workloads::WlError;
 
 /// Table-I/II interleaved-arrays dump-then-restart through TCIO, with
 /// tracing and metrics on. Returns the report and the exported registry.
-fn run_synth_perf(nprocs: usize, len: usize) -> (SimReport<f64>, Registry) {
+fn run_synth_perf(nprocs: usize, len: usize, backend: Backend) -> (SimReport<f64>, Registry) {
     let calib = Calib::unscaled();
     let p = SynthParams::with_types("i,d", len, 1).expect("valid params");
     let sim = SimConfig {
         trace: true,
         metrics: true,
+        backend,
         ..calib.sim_config_unbudgeted()
     };
     let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
@@ -56,7 +62,7 @@ fn run_synth_perf(nprocs: usize, len: usize) -> (SimReport<f64>, Registry) {
 }
 
 /// ART dump through TCIO with tracing and metrics on, sized for CI.
-fn run_art_perf(nprocs: usize) -> (SimReport<f64>, Registry) {
+fn run_art_perf(nprocs: usize, backend: Backend) -> (SimReport<f64>, Registry) {
     let calib = Calib::unscaled();
     let cfg = ArtConfig {
         num_segments: 4 * nprocs,
@@ -67,6 +73,7 @@ fn run_art_perf(nprocs: usize) -> (SimReport<f64>, Registry) {
     let sim = SimConfig {
         trace: true,
         metrics: true,
+        backend,
         ..calib.sim_config_unbudgeted()
     };
     let fs = Pfs::new(nprocs, calib.pfs.clone()).expect("pfs config");
@@ -136,6 +143,58 @@ fn workload_entry(label: &str, rep: &SimReport<f64>, reg: &Registry) -> Json {
     entry.with("counters", counters).with("hists", hists)
 }
 
+/// Wall-clock comparison between the two execution substrates: run the
+/// same workload under the fiber event core and the OS-thread substrate
+/// and report both times plus the speedup. Each side is timed `reps`
+/// times and the *minimum* kept — the best-of-N is a far more stable
+/// estimator of the un-contended cost on shared CI machines than any
+/// single sample. The raw seconds are machine-dependent (informational
+/// under the gate policy); the *ratio* is gated — the fiber core earning
+/// its keep over kernel context switches is a headline claim of the
+/// runtime, so a collapse of the speedup is a perf regression.
+fn wall_entry<R>(reps: usize, run: impl Fn(Backend) -> R) -> Json {
+    let best = |backend: Backend| {
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                run(backend);
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let event_s = best(Backend::Event);
+    let thread_s = best(Backend::Thread);
+    Json::obj()
+        .with("event_s", Json::num(event_s))
+        .with("thread_s", Json::num(thread_s))
+        .with("speedup", Json::num(thread_s / event_s.max(1e-9)))
+}
+
+/// Scheduler storm: a ring sendrecv plus a barrier per round, across many
+/// ranks, with negligible data and no file I/O. Every operation blocks,
+/// so the run is dominated by task switching — the cost the event core
+/// exists to remove. This is the workload whose wall-clock speedup the
+/// committed baseline gates: on data-heavy workloads both substrates
+/// spend their time in identical simulation work and the ratio sits near
+/// 1 regardless of scheduler quality.
+fn run_storm(nprocs: usize, rounds: usize, backend: Backend) {
+    let sim = SimConfig {
+        backend,
+        ..Default::default()
+    };
+    mpisim::run(nprocs, sim, move |rk| {
+        for r in 0..rounds {
+            let peer = (rk.rank() + 1) % rk.nprocs();
+            let from = (rk.rank() + rk.nprocs() - 1) % rk.nprocs();
+            rk.send(peer, r as u64, &[0u8; 8])?;
+            rk.recv(Some(from), Some(r as u64))?;
+            rk.barrier()?;
+        }
+        Ok(())
+    })
+    .expect("storm run");
+}
+
 fn main() {
     let args = Args::parse();
     let ranks = args.get_list("ranks", &[16, 64]);
@@ -146,17 +205,25 @@ fn main() {
 
     let mut workloads = Json::obj();
     for &n in &ranks {
-        let (rep, reg) = run_synth_perf(n, len);
+        let (rep, reg) = run_synth_perf(n, len, Backend::Event);
         workloads.set(
             &format!("synth_p{n}"),
-            workload_entry(&format!("synth_p{n}"), &rep, &reg),
+            workload_entry(&format!("synth_p{n}"), &rep, &reg)
+                .with("wall", wall_entry(1, |b| run_synth_perf(n, len, b))),
         );
-        let (rep, reg) = run_art_perf(n);
+        let (rep, reg) = run_art_perf(n, Backend::Event);
         workloads.set(
             &format!("art_p{n}"),
-            workload_entry(&format!("art_p{n}"), &rep, &reg),
+            workload_entry(&format!("art_p{n}"), &rep, &reg)
+                .with("wall", wall_entry(1, |b| run_art_perf(n, b))),
         );
     }
+    // The gated scale cell (see `run_storm`): many ranks, all switching.
+    let scale_ranks = args.get_usize("scale-ranks", 2048);
+    workloads.set(
+        &format!("sched_storm_p{scale_ranks}"),
+        Json::obj().with("wall", wall_entry(3, |b| run_storm(scale_ranks, 10, b))),
+    );
     let summary = Json::obj()
         .with("schema", Json::str("tcio-perf-v1"))
         .with("workloads", workloads);

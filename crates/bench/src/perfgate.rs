@@ -31,6 +31,10 @@
 //!   of 2 (3 → 4 RPCs is not a regression).
 //! * `imbalance` and the fabric `intra_*`/`inter_*` locality split —
 //!   informational only (mode-dependent), never gated.
+//! * `wall.event_s`/`wall.thread_s` — informational (machine-dependent);
+//!   `wall.speedup` — higher is better with 50% relative slack, so the
+//!   committed 10x baseline enforces a 5x wall-clock speedup floor for
+//!   the fiber event core over the OS-thread substrate.
 //!
 //! The unit tests pin the acceptance criteria: a synthetic 10%
 //! critical-path regression exits nonzero, a re-run of the same workload
@@ -44,6 +48,11 @@ pub const TIME_TOL: f64 = 0.05;
 pub const COUNT_TOL: f64 = 0.10;
 /// Absolute slack for discrete counters.
 pub const COUNT_FLOOR: f64 = 2.0;
+/// Relative tolerance for the wall-clock backend speedup: real time on a
+/// shared CI machine is noisy, so the gate only fires when the candidate
+/// falls below *half* the committed baseline ratio. With the committed
+/// baseline of 10x, the effective floor is a 5x fiber-over-thread speedup.
+pub const WALL_TOL: f64 = 0.5;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
@@ -58,6 +67,15 @@ fn policy(path: &str, workload_makespan: Option<f64>) -> Option<(f64, f64, Direc
     let leaf = path.rsplit('.').next().unwrap_or(path);
     if leaf == "imbalance" || leaf.starts_with("fabric_intra_") || leaf.starts_with("fabric_inter_")
     {
+        return None;
+    }
+    if path.contains(".wall.") {
+        // Raw wall-clock seconds depend on the machine running the gate:
+        // informational. The event/thread speedup ratio is first-order
+        // machine-independent and is gated (higher is better).
+        if leaf == "speedup" {
+            return Some((WALL_TOL, 1e-12, Direction::HigherBetter));
+        }
         return None;
     }
     if leaf.contains("throughput") || leaf.contains("mbs") || leaf.contains("hit_ratio") {
@@ -204,6 +222,10 @@ mod tests {
     use super::*;
 
     fn summary(makespan: f64, path_io: f64, rpcs: f64, ratio: f64) -> Json {
+        summary_with_wall(makespan, path_io, rpcs, ratio, 10.0)
+    }
+
+    fn summary_with_wall(makespan: f64, path_io: f64, rpcs: f64, ratio: f64, speedup: f64) -> Json {
         Json::obj().with(
             "workloads",
             Json::obj().with(
@@ -224,7 +246,14 @@ mod tests {
                             .with("pfs_write_rpcs_total", Json::num(rpcs))
                             .with("fabric_intra_bytes_total", Json::num(1e6)),
                     )
-                    .with("l1_hit_ratio", Json::num(ratio)),
+                    .with("l1_hit_ratio", Json::num(ratio))
+                    .with(
+                        "wall",
+                        Json::obj()
+                            .with("event_s", Json::num(0.1 / speedup))
+                            .with("thread_s", Json::num(0.1))
+                            .with("speedup", Json::num(speedup)),
+                    ),
             ),
         )
     }
@@ -234,9 +263,45 @@ mod tests {
         let b = summary(1.0, 0.6, 128.0, 0.95);
         let rep = diff(&b, &b.clone());
         assert!(rep.passed(), "{}", rep.render());
-        assert_eq!(rep.compared, 6);
-        assert_eq!(rep.skipped, 2, "imbalance + fabric split are informational");
+        assert_eq!(rep.compared, 7);
+        assert_eq!(
+            rep.skipped, 4,
+            "imbalance, fabric split, and raw wall seconds are informational"
+        );
         assert_eq!(rep.new_metrics, 0);
+    }
+
+    #[test]
+    fn wall_speedup_collapse_fails_but_raw_seconds_are_informational() {
+        let base = summary_with_wall(1.0, 0.6, 128.0, 0.95, 10.0);
+        // Below half the baseline ratio: the fiber core lost its edge.
+        let collapsed = summary_with_wall(1.0, 0.6, 128.0, 0.95, 3.0);
+        let rep = diff(&base, &collapsed);
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions.len(), 1, "{}", rep.render());
+        assert!(rep.regressions[0].path.ends_with("wall.speedup"));
+        // At exactly half the baseline (the 5x floor) the gate holds.
+        let floor = summary_with_wall(1.0, 0.6, 128.0, 0.95, 5.0);
+        assert!(diff(&base, &floor).passed());
+        // A slower CI machine (every wall time doubled, ratio intact)
+        // never fails the gate.
+        let mut slow_machine = summary_with_wall(1.0, 0.6, 128.0, 0.95, 10.0);
+        if let Some(w) = slow_machine.get("workloads").cloned() {
+            let mut w = w;
+            if let Some(mut s) = w.get("synth_p16").cloned() {
+                s.set(
+                    "wall",
+                    Json::obj()
+                        .with("event_s", Json::num(0.02))
+                        .with("thread_s", Json::num(0.2))
+                        .with("speedup", Json::num(10.0)),
+                );
+                w.set("synth_p16", s);
+            }
+            slow_machine.set("workloads", w);
+        }
+        let rep = diff(&base, &slow_machine);
+        assert!(rep.passed(), "{}", rep.render());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! key window creation and shared-state registries).
 
 use parking_lot::{Condvar, Mutex};
+#[cfg(test)]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -134,15 +135,12 @@ impl Rendezvous {
         }
     }
 
-    /// Enter the collective with `payload` at virtual time `t`.
-    /// Returns `None` if the simulation aborts while waiting.
-    pub(crate) fn enter(
-        &self,
-        me: usize,
-        payload: Vec<u8>,
-        t: f64,
-        abort: &AtomicBool,
-    ) -> Option<RvResult> {
+    /// Deposit `payload` at virtual time `t` without blocking. The last
+    /// surviving arrival gets the published result back immediately;
+    /// everyone else gets the generation to [`Rendezvous::poll`] for.
+    /// This is the primitive the runtime's event loop blocks on (deposit,
+    /// then poll/park until the generation advances).
+    pub(crate) fn deposit(&self, me: usize, payload: Vec<u8>, t: f64) -> Deposit {
         let mut st = self.inner.lock();
         let my_gen = st.gen;
         debug_assert!(
@@ -157,8 +155,51 @@ impl Rendezvous {
         }
         if st.complete() {
             // Last (surviving) arrival: publish and open the next generation.
-            return Some(Self::publish(&mut st, &self.cv));
+            Deposit::Complete(Self::publish(&mut st, &self.cv))
+        } else {
+            Deposit::Waiting { gen: my_gen }
         }
+    }
+
+    /// Check whether the generation a deposit joined has been published.
+    /// A generation's result cannot be overwritten before every depositor
+    /// of that generation has polled it: generation `g+1` only completes
+    /// once all survivors deposit again, and a rank deposits again only
+    /// after collecting its `g` result (a rank turns dead only by its own
+    /// hand, at a chaos checkpoint, never while parked here).
+    pub(crate) fn poll(&self, my_gen: u64) -> Option<RvResult> {
+        let st = self.inner.lock();
+        if st.gen > my_gen {
+            debug_assert_eq!(st.done_gen, my_gen);
+            Some(RvResult {
+                payloads: Arc::clone(&st.result),
+                max_t: st.result_max,
+                max_rank: st.result_max_rank,
+                gen: my_gen,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Enter the collective with `payload` at virtual time `t`, blocking
+    /// on the condvar until the generation completes. Returns `None` if
+    /// the simulation aborts while waiting. Standalone reference path for
+    /// the runtime's deposit/poll/park loop; exercised only by unit tests
+    /// now that all ranks run under the event loop.
+    #[cfg(test)]
+    pub(crate) fn enter(
+        &self,
+        me: usize,
+        payload: Vec<u8>,
+        t: f64,
+        abort: &AtomicBool,
+    ) -> Option<RvResult> {
+        let my_gen = match self.deposit(me, payload, t) {
+            Deposit::Complete(r) => return Some(r),
+            Deposit::Waiting { gen } => gen,
+        };
+        let mut st = self.inner.lock();
         loop {
             if st.gen > my_gen {
                 debug_assert_eq!(st.done_gen, my_gen);
@@ -175,6 +216,16 @@ impl Rendezvous {
             self.cv.wait(&mut st);
         }
     }
+}
+
+/// Outcome of a non-blocking [`Rendezvous::deposit`].
+pub(crate) enum Deposit {
+    /// This deposit was the last one: the generation published and the
+    /// result is in hand. In the event backend the completer must wake
+    /// the parked participants.
+    Complete(RvResult),
+    /// Others are still pending; poll with this generation after waking.
+    Waiting { gen: u64 },
 }
 
 /// `ceil(log2(n))`, with `log2ceil(1) == 0`.

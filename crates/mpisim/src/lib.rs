@@ -8,10 +8,14 @@
 //!
 //! Design:
 //!
-//! * **Ranks are OS threads.** Each rank runs the user closure with a
-//!   [`Rank`] handle; data movement between ranks is real byte movement, so
-//!   everything built on top (collective I/O, TCIO, the workloads) is
-//!   end-to-end checkable.
+//! * **Ranks are cooperative tasks.** Each rank runs the user closure with
+//!   a [`Rank`] handle; data movement between ranks is real byte movement,
+//!   so everything built on top (collective I/O, TCIO, the workloads) is
+//!   end-to-end checkable. Two interchangeable execution backends exist
+//!   ([`runtime::Backend`]): the default discrete-event core drives every
+//!   rank as a fiber under one deterministic virtual-time loop (16k+ ranks
+//!   on one machine); the legacy backend runs one OS thread per rank. Both
+//!   are bit-identical in every observable output.
 //! * **Time is virtual.** Each rank owns an `f64` clock. Sends stamp
 //!   messages with modeled arrival times ([`net::NetConfig`]); receives and
 //!   collectives reconcile clocks; the report's *makespan* is the maximum
@@ -31,6 +35,8 @@
 pub mod collectives;
 pub mod datatype;
 pub mod error;
+mod event;
+mod fiber;
 pub mod mem;
 pub mod metrics;
 pub mod net;
@@ -51,7 +57,7 @@ pub use metrics::{Hist, RankMetrics, Registry};
 pub use net::{FabricStatsSnapshot, NetConfig, Transfer};
 pub use p2p::{Received, Request, Tag};
 pub use rma::{Epoch, LockKind, Window};
-pub use runtime::{run, Rank, ReduceOp, SimConfig, SimReport};
+pub use runtime::{run, Backend, Rank, ReduceOp, SimConfig, SimReport};
 pub use stats::RankStats;
 pub use subcomm::SubComm;
 pub use topology::Topology;

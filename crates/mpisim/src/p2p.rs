@@ -12,6 +12,7 @@
 //! numbers).
 
 use parking_lot::{Condvar, Mutex};
+#[cfg(test)]
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Message tag. Wildcards are expressed with `Option` at the receive side.
@@ -94,8 +95,10 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
-    /// Try to claim the best matching envelope without blocking.
-    fn try_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Received> {
+    /// Try to claim the best matching envelope without blocking. The
+    /// runtime's event loop calls this directly: try, then park until a
+    /// push wakes the rank for a re-check.
+    pub(crate) fn try_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Received> {
         let mut inner = self.inner.lock();
         let best = inner
             .queue
@@ -134,8 +137,10 @@ impl Mailbox {
     }
 
     /// Block until a matching envelope arrives or `abort` is raised.
-    /// Returns `None` on abort. (The runtime itself always goes through
-    /// [`Mailbox::recv_blocking_or_dead`] for crash awareness.)
+    /// Returns `None` on abort. Condvar-based standalone path, kept (with
+    /// [`Mailbox::recv_blocking_or_dead`]) as the reference semantics the
+    /// runtime's park-based loop must mirror; exercised only by unit
+    /// tests now that all ranks run under the event loop.
     #[cfg(test)]
     pub(crate) fn recv_blocking(
         &self,
@@ -151,6 +156,7 @@ impl Mailbox {
     /// message pending, return [`RecvFail::SrcDead`] instead of blocking
     /// forever. Messages the source sent *before* crashing still match and
     /// are delivered first.
+    #[cfg(test)]
     pub(crate) fn recv_blocking_or_dead(
         &self,
         src: Option<usize>,
