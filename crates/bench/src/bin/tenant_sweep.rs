@@ -1,0 +1,74 @@
+//! Multi-tenant facility sweep: run the standard eight-tenant fleet
+//! (`bench::tenant::fleet`) at a range of offered arrival rates under
+//! each requested QoS discipline, and report aggregate throughput plus
+//! per-tenant job-latency percentiles.
+//!
+//!   cargo run --release -p bench --bin tenant_sweep -- \
+//!       [--jobs 2] [--rates 10,80,640] [--qos fair,fifo] \
+//!       [--seed 8276503] [--json bench_results/tenant_sweep.json]
+//!
+//! Rates are open-loop Poisson job-arrival rates in jobs/s per tenant
+//! (0 = every job lands at t=0, the maximum-contention point). The runs
+//! always use the serial event core, so the output — virtual clocks
+//! included — is a pure function of the flags; the committed
+//! `bench_results/tenant_sweep.json` is regenerated with the defaults
+//! above and guarded by `tests/tenant_baseline.rs` through the perfgate
+//! tolerance policy.
+
+use bench::tenant::{self, SWEEP_SEED};
+use bench::{emit_json, mbs, Args, Table};
+use facility::QosMode;
+
+fn main() {
+    let args = Args::parse();
+    let jobs = args.get_usize("jobs", 2).max(1);
+    let rates = args.get_list("rates", &[10, 80, 640]);
+    let seed = args.get_u64("seed", SWEEP_SEED);
+    let modes: Vec<QosMode> = args
+        .get("qos")
+        .unwrap_or("fair,fifo")
+        .split(',')
+        .map(|s| {
+            tenant::parse_mode(s.trim()).unwrap_or_else(|| {
+                eprintln!("unknown QoS mode {s:?} (use off, fifo, fair)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+
+    eprintln!(
+        "tenant_sweep: {} tenants / {} ranks, {jobs} job(s) per tenant, seed {seed:#x}",
+        tenant::fleet(jobs, 0.0).len(),
+        tenant::fleet_ranks(jobs),
+    );
+
+    for &rate in &rates {
+        for &mode in &modes {
+            let rep = tenant::run_point(jobs, rate as f64, mode, 0.0, seed);
+            let agg = rep.total_bytes_written() as f64 / rep.makespan / 1.0e6;
+            println!(
+                "== rate {rate}/s  qos {}  makespan {:.3}s  aggregate {} MB/s",
+                tenant::mode_label(mode),
+                rep.makespan,
+                mbs(agg),
+            );
+            let mut table = Table::new(vec![
+                "tenant", "jobs", "thr MB/s", "p50 ms", "p95 ms", "p99 ms",
+            ]);
+            for t in &rep.tenants {
+                table.row(vec![
+                    t.name.clone(),
+                    t.jobs.to_string(),
+                    mbs(t.throughput_mbs),
+                    format!("{:.3}", t.p50_ns() as f64 / 1.0e6),
+                    format!("{:.3}", t.p95_ns() as f64 / 1.0e6),
+                    format!("{:.3}", t.p99_ns() as f64 / 1.0e6),
+                ]);
+            }
+            table.print();
+        }
+    }
+
+    let doc = tenant::sweep_to_json(jobs, &rates, &modes, seed);
+    emit_json(&args, &doc);
+}

@@ -13,6 +13,7 @@
 //! | `ablation_modes` | §IV.A design choices: L1 combining, lock/unlock vs fence, lazy vs eager reads |
 //! | `ablation_cb` | OCIO hints: unchunked vs cb_buffer-chunked exchange, aggregator counts |
 //! | `topo_sweep` | node topology sweep: ppn × {TCIO, OCIO, OCIO+intra-agg}, intra/inter byte split |
+//! | `tenant_sweep` | multi-tenant facility: offered rate × QoS mode → aggregate + per-tenant p50/p95/p99 |
 //!
 //! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
@@ -20,6 +21,7 @@ pub mod calib;
 pub mod perfgate;
 pub mod report;
 pub mod runner;
+pub mod tenant;
 pub mod topo;
 
 pub use calib::{fmt_bytes, Calib};

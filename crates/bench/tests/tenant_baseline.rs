@@ -1,0 +1,80 @@
+//! Regression guard for the multi-tenant facility sweep: re-run the
+//! committed `bench_results/tenant_sweep.json` grid and diff it against
+//! the committed document through the perfgate tolerance policy
+//! (makespans and latency percentiles lower-better at 5%, throughput
+//! leaves higher-better, counters with discrete slack).
+//!
+//! The facility always runs on the serial event core, so the re-run is
+//! bit-identical to the committed baseline on any machine; the perfgate
+//! tolerances only leave room for *intentional* cost-model drift small
+//! enough not to matter. After an intentional change, regenerate with:
+//!
+//!   cargo run --release -p bench --bin tenant_sweep -- \
+//!       --json bench_results/tenant_sweep.json
+
+use bench::tenant::{self, SWEEP_SEED};
+use bench::{perfgate, Json};
+use facility::QosMode;
+
+/// Must match the defaults of the `tenant_sweep` binary.
+const JOBS: usize = 2;
+const RATES: [usize; 3] = [10, 80, 640];
+const MODES: [QosMode; 2] = [QosMode::FairShare, QosMode::Fifo];
+
+fn baseline() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_results/tenant_sweep.json"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("unparseable baseline {path}: {e}"))
+}
+
+#[test]
+fn sweep_matches_the_committed_baseline_within_perfgate_tolerances() {
+    let baseline = baseline();
+    let candidate = tenant::sweep_to_json(JOBS, &RATES, &MODES, SWEEP_SEED);
+    let rep = perfgate::diff(&baseline, &candidate);
+    assert!(
+        rep.passed(),
+        "tenant sweep regressed against bench_results/tenant_sweep.json:\n{}\
+         If a cost-model or facility change is intentional, regenerate the \
+         baseline with the tenant_sweep binary.",
+        rep.render()
+    );
+}
+
+#[test]
+fn baseline_covers_every_rate_mode_and_tenant() {
+    let baseline = baseline();
+    let points = baseline.get("points").and_then(|p| p.as_arr()).unwrap();
+    assert_eq!(points.len(), RATES.len());
+    for (point, rate) in points.iter().zip(RATES) {
+        assert_eq!(
+            point.get("rate_hz").and_then(|r| r.as_f64()),
+            Some(rate as f64)
+        );
+        for mode in MODES {
+            let cell = point.get(tenant::mode_label(mode)).unwrap_or_else(|| {
+                panic!(
+                    "baseline point rate {rate} missing mode {}",
+                    tenant::mode_label(mode)
+                )
+            });
+            let tenants = cell.get("tenants").unwrap();
+            for spec in tenant::fleet(JOBS, 0.0) {
+                let t = tenants
+                    .get(&spec.name)
+                    .unwrap_or_else(|| panic!("baseline missing tenant {}", spec.name));
+                for leaf in ["throughput_mbs", "p50_ms", "p95_ms", "p99_ms"] {
+                    assert!(
+                        t.get(leaf).and_then(|v| v.as_f64()).is_some(),
+                        "tenant {} missing {leaf}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}

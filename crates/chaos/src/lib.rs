@@ -60,6 +60,17 @@ pub enum Fault {
     /// window behaves as a conflicting transfer (revoke + re-grant), even
     /// from the current holder.
     LockStorm { from: f64, until: f64 },
+    /// A lock storm scoped to the clients in `[lo, hi]` (inclusive world
+    /// ranks). This is the tenant-targeted variant: a facility fault plan
+    /// can hammer one tenant's rank range while the other tenants' lock
+    /// traffic stays healthy, which is what the isolation experiments
+    /// need.
+    ClientLockStorm {
+        lo: usize,
+        hi: usize,
+        from: f64,
+        until: f64,
+    },
     /// Every fabric message transmitted inside the window arrives an extra
     /// `delay` seconds late (switch congestion / route flap).
     MessageDelay { delay: f64, from: f64, until: f64 },
@@ -124,6 +135,18 @@ impl Fault {
                 Ok(())
             }
             Fault::LockStorm { from, until } => check_window(from, until),
+            Fault::ClientLockStorm {
+                lo,
+                hi,
+                from,
+                until,
+            } => {
+                check_window(from, until)?;
+                if lo > hi {
+                    return Err(format!("bad client range [{lo}, {hi}]"));
+                }
+                Ok(())
+            }
             Fault::MessageDelay { delay, from, until } => {
                 check_window(from, until)?;
                 if !delay.is_finite() || delay < 0.0 {
@@ -199,6 +222,20 @@ impl Fault {
             Fault::LockStorm { from, until } => {
                 let (from, until) = w(from, until);
                 Fault::LockStorm { from, until }
+            }
+            Fault::ClientLockStorm {
+                lo,
+                hi,
+                from,
+                until,
+            } => {
+                let (from, until) = w(from, until);
+                Fault::ClientLockStorm {
+                    lo,
+                    hi,
+                    from,
+                    until,
+                }
             }
             Fault::MessageDelay { delay, from, until } => {
                 let (from, until) = w(from, until);
@@ -388,6 +425,7 @@ impl ChaosEngine {
                 Fault::RankStall { rank, .. }
                 | Fault::RankSlowdown { rank, .. }
                 | Fault::RankCrash { rank, .. } => Some(*rank),
+                Fault::ClientLockStorm { hi, .. } => Some(*hi),
                 _ => None,
             })
             .max();
@@ -422,6 +460,7 @@ impl ChaosEngine {
             | Fault::OstOutage { from, until, .. }
             | Fault::RequestOverhead { from, until, .. }
             | Fault::LockStorm { from, until }
+            | Fault::ClientLockStorm { from, until, .. }
             | Fault::MessageDelay { from, until, .. }
             | Fault::RankStall { from, until, .. }
             | Fault::RankSlowdown { from, until, .. } => until <= from,
@@ -500,6 +539,21 @@ impl ChaosEngine {
             .faults
             .iter()
             .any(|f| matches!(*f, Fault::LockStorm { from, until } if from <= t && t < until))
+    }
+
+    /// Is a lock storm affecting `client` in force at `t`? Global storms
+    /// hit everyone; [`Fault::ClientLockStorm`] only hits its rank range.
+    pub fn lock_storm_for(&self, client: usize, t: f64) -> bool {
+        self.plan.faults.iter().any(|f| match *f {
+            Fault::LockStorm { from, until } => from <= t && t < until,
+            Fault::ClientLockStorm {
+                lo,
+                hi,
+                from,
+                until,
+            } => lo <= client && client <= hi && from <= t && t < until,
+            _ => false,
+        })
     }
 
     // ---- fabric-facing queries ----
@@ -961,6 +1015,45 @@ mod tests {
         assert!(FaultPlan::new(0)
             .with(Fault::SilentCorruption {
                 rate: -0.1,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn client_lock_storm_scopes_to_its_range() {
+        let e = FaultPlan::new(0)
+            .with(Fault::ClientLockStorm {
+                lo: 4,
+                hi: 7,
+                from: 1.0,
+                until: 2.0,
+            })
+            .build()
+            .unwrap();
+        assert!(!e.lock_storm(1.5), "scoped storm is not a global storm");
+        assert!(e.lock_storm_for(4, 1.5));
+        assert!(e.lock_storm_for(7, 1.5));
+        assert!(!e.lock_storm_for(3, 1.5), "below the range");
+        assert!(!e.lock_storm_for(8, 1.5), "above the range");
+        assert!(!e.lock_storm_for(5, 2.0), "window is half-open");
+        assert_eq!(e.max_rank(), Some(7), "range feeds the bounds check");
+        // A global storm hits every client through the scoped query too.
+        let g = FaultPlan::new(0)
+            .with(Fault::LockStorm {
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .unwrap();
+        assert!(g.lock_storm_for(123, 0.5));
+        // Bad ranges are rejected at build time.
+        assert!(FaultPlan::new(0)
+            .with(Fault::ClientLockStorm {
+                lo: 5,
+                hi: 4,
                 from: 0.0,
                 until: 1.0,
             })

@@ -26,6 +26,7 @@
 //! | `ost_outage`       | `ost`, `from`, `until`                |
 //! | `request_overhead` | `extra`, `from`, `until`              |
 //! | `lock_storm`       | `from`, `until`                       |
+//! | `client_lock_storm`| `client_lo`, `client_hi`, `from`, `until` |
 //! | `message_delay`    | `delay`, `from`, `until`              |
 //! | `conn_flush`       | `at`                                  |
 //! | `rank_stall`       | `rank`, `from`, `until`               |
@@ -201,6 +202,12 @@ fn fault_from_section(mut s: Section) -> Result<Fault, PlanError> {
             until: s.require_f64("until")?,
         },
         "lock_storm" => Fault::LockStorm {
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "client_lock_storm" => Fault::ClientLockStorm {
+            lo: s.require_usize("client_lo")?,
+            hi: s.require_usize("client_hi")?,
             from: s.require_f64("from")?,
             until: s.require_f64("until")?,
         },
@@ -507,6 +514,21 @@ mod tests {
         let err =
             FaultPlan::parse("[[fault]]\nkind = \"conn_flush\"\nat = 0.0\nwhat = 1").unwrap_err();
         assert!(matches!(err, PlanError::Syntax { line: 4, .. }));
+    }
+
+    #[test]
+    fn client_lock_storm_parses() {
+        let plan = FaultPlan::parse(
+            "[[fault]]\nkind = \"client_lock_storm\"\nclient_lo = 2\nclient_hi = 3\nfrom = 0.0\nuntil = 1.0",
+        )
+        .unwrap();
+        let e = plan.build().unwrap();
+        assert!(e.lock_storm_for(2, 0.5));
+        assert!(!e.lock_storm_for(1, 0.5));
+        assert!(FaultPlan::parse(
+            "[[fault]]\nkind = \"client_lock_storm\"\nclient_lo = 2\nfrom = 0.0\nuntil = 1.0"
+        )
+        .is_err());
     }
 
     #[test]

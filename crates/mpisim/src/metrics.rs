@@ -118,6 +118,41 @@ impl Hist {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Value at quantile `q` (0 ≤ q ≤ 1), resolved to the inclusive upper
+    /// bound of the bucket holding the `⌈q·count⌉`-th smallest observation.
+    /// Bucket resolution is a factor of 2, which is enough for the latency
+    /// tables the benchmark harness reports (p50/p95/p99 across decades).
+    /// Empty histograms report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Median (see [`Hist::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`Hist::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Hist::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -412,8 +447,12 @@ impl Registry {
             }
             let _ = write!(
                 out,
-                "\"{k}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
-                h.count, h.sum
+                "\"{k}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99()
             );
             for (j, (le, n)) in h.nonzero_buckets().enumerate() {
                 if j > 0 {
@@ -446,6 +485,11 @@ impl Registry {
             let _ = writeln!(out, "{k}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{k}_sum {}", h.sum);
             let _ = writeln!(out, "{k}_count {}", h.count);
+            if !h.is_empty() {
+                for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                    let _ = writeln!(out, "{k}{{quantile=\"{q}\"}} {v}");
+                }
+            }
         }
         out
     }
@@ -536,7 +580,9 @@ mod tests {
         assert_eq!(j, reg.to_json());
         // BTreeMap ordering: a before b.
         assert!(j.find("a_metric_total").unwrap() < j.find("b_metric_total").unwrap());
-        assert!(j.contains("\"lat_ns\":{\"count\":2,\"sum\":703,\"buckets\":[[3,1],[1023,1]]}"));
+        assert!(j.contains(
+            "\"lat_ns\":{\"count\":2,\"sum\":703,\"p50\":3,\"p95\":1023,\"p99\":1023,\"buckets\":[[3,1],[1023,1]]}"
+        ));
         let p = reg.to_prometheus();
         assert!(p.contains("# TYPE a_metric_total counter\na_metric_total 1\n"));
         assert!(p.contains("lat_ns_bucket{le=\"3\"} 1"));
@@ -544,6 +590,38 @@ mod tests {
         assert!(p.contains("lat_ns_bucket{le=\"+Inf\"} 2"));
         assert!(p.contains("lat_ns_sum 703"));
         assert!(p.contains("lat_ns_count 2"));
+        assert!(p.contains("lat_ns{quantile=\"0.5\"} 3"));
+        assert!(p.contains("lat_ns{quantile=\"0.99\"} 1023"));
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = Hist::default();
+        assert_eq!(h.p50(), 0, "empty histogram reports 0");
+        assert_eq!(h.p99(), 0);
+        // 90 observations in [2,3], 9 in [1024,2047], 1 huge.
+        for _ in 0..90 {
+            h.observe(2);
+        }
+        for _ in 0..9 {
+            h.observe(1500);
+        }
+        h.observe(1 << 30);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 3, "median sits in the [2,3] bucket");
+        assert_eq!(h.p95(), 2047, "p95 lands in the [1024,2047] bucket");
+        assert_eq!(h.quantile(0.99), 2047, "rank 99 of 100 is the last 1500");
+        assert_eq!(h.quantile(1.0), (1u64 << 31) - 1, "max bucket bound");
+        assert_eq!(h.quantile(0.0), 3, "q=0 clamps to the first observation");
+    }
+
+    #[test]
+    fn quantile_of_single_observation() {
+        let mut h = Hist::default();
+        h.observe(700);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1023);
+        }
     }
 
     #[test]

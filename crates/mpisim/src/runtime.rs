@@ -1718,6 +1718,32 @@ impl<T> SimReport<T> {
         }
         agg
     }
+
+    /// Sum/merge of the stats of a subset of ranks — the tenant-scoped
+    /// view used by the multi-tenant facility (out-of-range ranks are
+    /// ignored so callers can pass speculative groupings).
+    pub fn stats_for(&self, ranks: &[usize]) -> RankStats {
+        let mut agg = RankStats::default();
+        for &r in ranks {
+            if let Some(s) = self.stats.get(r) {
+                agg.merge(s);
+            }
+        }
+        agg
+    }
+
+    /// Merged phase totals of a subset of ranks (tenant-scoped clock
+    /// attribution: compute/exchange/io/sync seconds summed over the
+    /// group's members).
+    pub fn phase_totals_for(&self, ranks: &[usize]) -> crate::trace::PhaseTotals {
+        let mut agg = crate::trace::PhaseTotals::default();
+        for &r in ranks {
+            if let Some(t) = self.traces.get(r) {
+                agg.merge(&t.totals);
+            }
+        }
+        agg
+    }
 }
 
 /// Per-rank outcome of one simulated body.

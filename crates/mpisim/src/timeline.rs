@@ -86,6 +86,14 @@ impl Timeline {
         }
     }
 
+    /// End of the last busy interval (the earliest instant after which the
+    /// resource is idle forever, given today's bookings). The burst-buffer
+    /// drain model uses this to find when staged data has fully reached
+    /// the backing store.
+    pub fn horizon(&self) -> f64 {
+        self.busy.last().map(|&(_, e)| e).unwrap_or(self.floor)
+    }
+
     /// Total reserved time (diagnostics).
     pub fn total_busy(&self) -> f64 {
         self.busy.iter().map(|&(s, e)| e - s).sum()

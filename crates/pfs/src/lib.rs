@@ -22,9 +22,11 @@
 
 pub mod config;
 pub mod locks;
+pub mod qos;
 
 pub use config::PfsConfig;
 pub use locks::{LockManager, LockMode};
+pub use qos::{Discipline, QosConfig, TenantUsage};
 
 use mpisim::timeline::Timeline;
 use parking_lot::{Mutex, RwLock};
@@ -296,6 +298,10 @@ pub struct Pfs {
     /// Fault-injection engine (outages, slow OSTs, lock storms, overhead
     /// brownouts). `None` = healthy storage, zero cost.
     chaos: Mutex<Option<Arc<chaos::ChaosEngine>>>,
+    /// Multi-tenant QoS layer (admission, gateway batching, OST queue
+    /// discipline). `None` = single-tenant direct path, zero cost: the
+    /// cost-model arithmetic is bit-identical with and without the hooks.
+    qos: RwLock<Option<Arc<qos::Qos>>>,
     pub stats: PfsStats,
     /// Per-RPC service-latency histogram; see [`Pfs::enable_latency_metrics`].
     latency: LatencyHist,
@@ -357,6 +363,7 @@ impl Pfs {
             locks: Mutex::new(LockManager::new()),
             next_ost_base: Mutex::new(0),
             chaos: Mutex::new(None),
+            qos: RwLock::new(None),
             stats: PfsStats::default(),
             latency: LatencyHist::default(),
             cfg,
@@ -383,6 +390,34 @@ impl Pfs {
     /// The attached fault-injection engine, if any.
     pub fn chaos(&self) -> Option<Arc<chaos::ChaosEngine>> {
         self.chaos.lock().clone()
+    }
+
+    /// Attach a multi-tenant QoS layer: `tenant_of_client[c]` tags client
+    /// `c`'s requests with its tenant; `cfg` sets admission caps, gateway
+    /// batching, and the OST queue discipline. Clients beyond the map
+    /// (e.g. internal drain agents) bill to tenant 0. Without this call
+    /// every QoS hook in the cost model is a single `None` check and the
+    /// virtual-time arithmetic is exactly the pre-facility code path.
+    pub fn enable_qos(&self, cfg: qos::QosConfig, tenant_of_client: Vec<u32>) -> Result<()> {
+        let q =
+            qos::Qos::new(cfg, tenant_of_client, self.cfg.num_osts).map_err(PfsError::Config)?;
+        *self.qos.write() = Some(Arc::new(q));
+        Ok(())
+    }
+
+    /// The attached QoS layer, if any.
+    pub fn qos(&self) -> Option<Arc<qos::Qos>> {
+        self.qos.read().clone()
+    }
+
+    /// Per-tenant usage/intervention rows, ascending tenant order. Empty
+    /// when no QoS layer is attached.
+    pub fn tenant_report(&self) -> Vec<qos::TenantUsage> {
+        self.qos
+            .read()
+            .as_ref()
+            .map(|q| q.usage())
+            .unwrap_or_default()
     }
 
     pub fn config(&self) -> &PfsConfig {
@@ -800,11 +835,20 @@ impl Pfs {
         now: f64,
     ) -> f64 {
         let engine = self.chaos.lock().clone();
+        let qos = self.qos.read().clone();
         let mut done = now;
-        let mut client_t = now;
+        // Token-bucket admission: a metered tenant's request waits at the
+        // gateway until its bucket covers the payload.
+        let mut client_t = match &qos {
+            Some(q) => q.admit(client, len, now),
+            None => now,
+        };
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.write_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
+            if let Some(q) = &qos {
+                q.note_io(client, true, len);
+            }
             let stripe = pos / self.cfg.stripe_size;
             let acquired = self
                 .locks
@@ -812,7 +856,9 @@ impl Pfs {
                 .acquire(id.0, stripe, client, LockMode::Write);
             // A revocation storm forces a revoke + re-grant even for the
             // current holder.
-            let storm = engine.as_ref().is_some_and(|e| e.lock_storm(client_t));
+            let storm = engine
+                .as_ref()
+                .is_some_and(|e| e.lock_storm_for(client, client_t));
             let transfer = acquired || storm;
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
@@ -820,22 +866,35 @@ impl Pfs {
             } else {
                 0.0
             };
-            // Client marshals the request and streams the payload.
+            // Client marshals the request and streams the payload. Small
+            // pieces landing in an open gateway batch window pay the
+            // coalesced overhead instead of the full per-RPC cost.
             let extra_overhead = engine
                 .as_ref()
                 .map_or(0.0, |e| e.extra_request_overhead(client_t));
+            let base_overhead = match &qos {
+                Some(q) => q.rpc_overhead(client, len, client_t, self.cfg.request_overhead),
+                None => self.cfg.request_overhead,
+            };
             let link_dur = len as f64 * self.cfg.client_byte_time;
             let send_start = reserve(
                 &self.client_busy[client],
-                client_t + self.cfg.request_overhead + extra_overhead,
+                client_t + base_overhead + extra_overhead,
                 link_dur,
             );
             let arrive = send_start + link_dur + lock_cost;
-            // OST services the piece (degraded OSTs run slower).
+            // OST services the piece (degraded OSTs run slower). Under a
+            // fair-share discipline a contended tenant's piece becomes
+            // eligible only at its paced slot; the gap it leaves is
+            // backfilled by competing tenants via the timeline.
             let ost = self.ost_for(file, stripe);
             let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw)
                 * self.slowdown_at(ost, arrive, engine.as_deref());
-            let svc_start = reserve(&self.ost_busy[ost], arrive, service_dur);
+            let eligible = match &qos {
+                Some(q) => q.ost_eligible(ost, client, arrive, service_dur),
+                None => arrive,
+            };
+            let svc_start = reserve(&self.ost_busy[ost], eligible, service_dur);
             {
                 let mut m = self.ost_metrics[ost].lock();
                 m.requests += 1;
@@ -885,6 +944,30 @@ impl Pfs {
         Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now))
     }
 
+    /// Copy `[offset, offset+len)` into `buf` with **no virtual-time
+    /// cost** and no RPC accounting: the data path for reads whose cost is
+    /// modeled elsewhere (a burst-buffer hit serves staged bytes at the
+    /// buffer's speed, but the authoritative content lives here). Same EOF
+    /// and integrity checks as [`Pfs::read_at`].
+    pub fn read_bytes(&self, id: FileId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let file = self.file(id)?;
+        let c = file.data.lock();
+        let end = offset as usize + buf.len();
+        if end > c.bytes.len() {
+            return Err(PfsError::ReadPastEof {
+                offset,
+                len: buf.len() as u64,
+                file_len: c.bytes.len() as u64,
+            });
+        }
+        self.verify_stripes(&file, &c, offset, buf.len() as u64)?;
+        buf.copy_from_slice(&c.bytes[offset as usize..end]);
+        Ok(())
+    }
+
     /// Virtual-time cost of reading `[offset, offset+len)` (no data moved).
     fn read_cost(
         &self,
@@ -896,17 +979,26 @@ impl Pfs {
         now: f64,
     ) -> f64 {
         let engine = self.chaos.lock().clone();
+        let qos = self.qos.read().clone();
         let mut done = now;
-        let mut client_t = now;
+        let mut client_t = match &qos {
+            Some(q) => q.admit(client, len, now),
+            None => now,
+        };
         for (pos, len) in self.rpc_pieces(offset, len) {
             self.stats.read_rpcs.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+            if let Some(q) = &qos {
+                q.note_io(client, false, len);
+            }
             let stripe = pos / self.cfg.stripe_size;
             let acquired = self
                 .locks
                 .lock()
                 .acquire(id.0, stripe, client, LockMode::Read);
-            let storm = engine.as_ref().is_some_and(|e| e.lock_storm(client_t));
+            let storm = engine
+                .as_ref()
+                .is_some_and(|e| e.lock_storm_for(client, client_t));
             let transfer = acquired || storm;
             let lock_cost = if transfer {
                 self.stats.lock_transfers.fetch_add(1, Ordering::Relaxed);
@@ -917,11 +1009,19 @@ impl Pfs {
             let extra_overhead = engine
                 .as_ref()
                 .map_or(0.0, |e| e.extra_request_overhead(client_t));
-            let req_sent = client_t + self.cfg.request_overhead + extra_overhead;
+            let base_overhead = match &qos {
+                Some(q) => q.rpc_overhead(client, len, client_t, self.cfg.request_overhead),
+                None => self.cfg.request_overhead,
+            };
+            let req_sent = client_t + base_overhead + extra_overhead;
             let ost = self.ost_for(file, stripe);
             let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw)
                 * self.slowdown_at(ost, req_sent + lock_cost, engine.as_deref());
-            let svc_start = reserve(&self.ost_busy[ost], req_sent + lock_cost, service_dur);
+            let eligible = match &qos {
+                Some(q) => q.ost_eligible(ost, client, req_sent + lock_cost, service_dur),
+                None => req_sent + lock_cost,
+            };
+            let svc_start = reserve(&self.ost_busy[ost], eligible, service_dur);
             {
                 let mut m = self.ost_metrics[ost].lock();
                 m.requests += 1;
@@ -954,6 +1054,23 @@ impl Pfs {
         let lat = self.latency.snapshot();
         if !lat.is_empty() {
             reg.insert_hist("pfs_request_latency_ns", lat);
+        }
+        // Per-tenant attribution, only when a QoS layer is attached.
+        for u in self.tenant_report() {
+            let p = format!("pfs_tenant{}", u.tenant);
+            reg.add_counter(&format!("{p}_read_rpcs_total"), u.read_rpcs);
+            reg.add_counter(&format!("{p}_write_rpcs_total"), u.write_rpcs);
+            reg.add_counter(&format!("{p}_bytes_read_total"), u.bytes_read);
+            reg.add_counter(&format!("{p}_bytes_written_total"), u.bytes_written);
+            reg.add_counter(&format!("{p}_batched_rpcs_total"), u.batched_rpcs);
+            reg.add_counter(
+                &format!("{p}_throttle_wait_ns_total"),
+                (u.throttle_wait.max(0.0) * 1e9) as u64,
+            );
+            reg.add_counter(
+                &format!("{p}_fair_delay_ns_total"),
+                (u.fair_delay.max(0.0) * 1e9) as u64,
+            );
         }
     }
 
@@ -1637,5 +1754,199 @@ mod failure_tests {
         assert_eq!(st.stripe_size, 1 << 20);
         assert_eq!(st.stripe_count, 30);
         assert_eq!(p.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod qos_integration {
+    use super::*;
+    use crate::qos::{Discipline, QosConfig};
+
+    /// One OST, one stripe: all contention lands in one place.
+    fn hot_fs(nclients: usize) -> Arc<Pfs> {
+        let cfg = PfsConfig {
+            num_osts: 1,
+            stripe_count: 1,
+            ..Default::default()
+        };
+        Pfs::new(nclients, cfg).unwrap()
+    }
+
+    #[test]
+    fn tenant_report_attributes_bytes_per_tenant() {
+        let p = hot_fs(4);
+        p.enable_qos(QosConfig::default(), vec![0, 0, 1, 1])
+            .unwrap();
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 0, &[1u8; 1000], 0.0).unwrap();
+        p.write_at(id, 3, 1000, &[2u8; 500], 0.0).unwrap();
+        let mut buf = vec![0u8; 200];
+        p.read_at(id, 2, 0, &mut buf, 1.0).unwrap();
+        let rep = p.tenant_report();
+        assert_eq!(rep.len(), 2);
+        assert_eq!(rep[0].bytes_written, 1000);
+        assert_eq!(rep[1].bytes_written, 500);
+        assert_eq!(rep[1].bytes_read, 200);
+        assert_eq!(rep[0].bytes_read, 0);
+        // Conservation against the global counters.
+        let snap = p.stats.snapshot();
+        assert_eq!(
+            rep[0].bytes_written + rep[1].bytes_written,
+            snap.bytes_written
+        );
+        // And the registry carries per-tenant rows.
+        let mut reg = mpisim::metrics::Registry::new();
+        p.export_metrics(&mut reg);
+        assert_eq!(reg.counter("pfs_tenant1_bytes_written_total"), Some(500));
+    }
+
+    #[test]
+    fn fair_share_bounds_victim_wait_under_a_storm() {
+        // Tenant 0 (client 0) floods the lone OST with 32 MB of
+        // back-to-back large writes before tenant 1 ever shows up. Under
+        // FIFO the victim's small request queues behind the whole booked
+        // flood; under fair share the storm exhausts its burst allowance
+        // after a couple of pieces and its remaining reservations are
+        // spaced at its share, so the victim's piece backfills one of the
+        // gaps even though it arrives after the storm booked everything.
+        let run = |discipline: Discipline| -> f64 {
+            let p = hot_fs(2);
+            p.enable_qos(
+                QosConfig {
+                    discipline,
+                    ..Default::default()
+                },
+                vec![0, 1],
+            )
+            .unwrap();
+            let id = p.create("/f").unwrap();
+            let chunk = vec![7u8; 1 << 20];
+            for i in 0..32u64 {
+                p.write_at(id, 0, i << 20, &chunk, 0.0).unwrap();
+            }
+            // The victim's small write lands mid-storm.
+            p.write_at(id, 1, 40 << 20, &[1u8; 4096], 0.001).unwrap() - 0.001
+        };
+        let fifo = run(Discipline::Fifo);
+        let fair = run(Discipline::FairShare);
+        assert!(
+            fair < fifo / 4.0,
+            "fair share must shield the victim: fair={fair:.4}s fifo={fifo:.4}s"
+        );
+    }
+
+    #[test]
+    fn qos_off_and_single_tenant_fair_share_cost_identically() {
+        // Work conservation: with no competing tenant the fair-share
+        // discipline never paces, so completion times match the direct
+        // path bit for bit.
+        let run = |with_qos: bool| -> Vec<f64> {
+            let p = hot_fs(2);
+            if with_qos {
+                p.enable_qos(QosConfig::default(), vec![0, 0]).unwrap();
+            }
+            let id = p.create("/f").unwrap();
+            let chunk = vec![5u8; 300_000];
+            let mut out = Vec::new();
+            for i in 0..6u64 {
+                out.push(
+                    p.write_at(id, (i % 2) as usize, i * 300_000, &chunk, 0.0)
+                        .unwrap(),
+                );
+            }
+            let mut buf = vec![0u8; 100_000];
+            out.push(p.read_at(id, 1, 0, &mut buf, out[5]).unwrap());
+            out
+        };
+        let off = run(false);
+        let on = run(true);
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.to_bits(), b.to_bits(), "direct {a} vs qos-on {b}");
+        }
+    }
+
+    #[test]
+    fn token_bucket_slows_a_metered_tenant_only() {
+        let p = hot_fs(2);
+        p.enable_qos(
+            QosConfig {
+                // Tenant 0 capped at 1 MB/s with a 64 KB burst.
+                token_buckets: vec![Some((1.0e6, 65536.0)), None],
+                ..Default::default()
+            },
+            vec![0, 1],
+        )
+        .unwrap();
+        let id = p.create("/f").unwrap();
+        let data = vec![9u8; 1 << 20];
+        let metered = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+        let free = p.write_at(id, 1, 1 << 20, &data, 0.0).unwrap();
+        // ~1 MB at 1 MB/s ⇒ close to a second of admission wait.
+        assert!(metered > 0.9, "metered tenant finished at {metered}");
+        assert!(free < 0.5, "unmetered tenant dragged to {free}");
+        assert!(p.tenant_report()[0].throttle_wait > 0.9);
+    }
+
+    #[test]
+    fn gateway_batching_coalesces_small_write_overheads() {
+        let run = |window: f64| -> f64 {
+            // Metadata-heavy regime: per-request overhead dominates OST
+            // service, which is exactly where gateway batching pays.
+            let cfg = PfsConfig {
+                num_osts: 1,
+                stripe_count: 1,
+                ost_service: 1.0e-5,
+                ..Default::default()
+            };
+            let p = Pfs::new(1, cfg).unwrap();
+            p.enable_qos(
+                QosConfig {
+                    batch_window: window,
+                    batch_threshold: 4096,
+                    batched_overhead: 1.0e-6,
+                    ..Default::default()
+                },
+                vec![0],
+            )
+            .unwrap();
+            let id = p.create("/f").unwrap();
+            let mut t = 0.0;
+            for i in 0..200u64 {
+                t = p.write_at(id, 0, i * 64, &[0u8; 64], t).unwrap();
+            }
+            t
+        };
+        let unbatched = run(0.0);
+        let batched = run(5.0e-3);
+        assert!(
+            batched < unbatched * 0.6,
+            "batching must absorb per-RPC overhead: {batched} vs {unbatched}"
+        );
+    }
+
+    #[test]
+    fn drain_clients_beyond_the_map_bill_to_tenant_zero() {
+        let p = hot_fs(3);
+        p.enable_qos(QosConfig::default(), vec![0, 1]).unwrap();
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 2, 0, &[1u8; 128], 0.0).unwrap();
+        assert_eq!(p.tenant_report()[0].bytes_written, 128);
+    }
+
+    #[test]
+    fn read_bytes_serves_data_with_integrity_but_no_cost() {
+        let p = hot_fs(1);
+        let id = p.create("/f").unwrap();
+        p.write_at(id, 0, 0, b"staged data", 0.0).unwrap();
+        let rpcs_before = p.stats.snapshot().read_rpcs;
+        let mut buf = vec![0u8; 6];
+        p.read_bytes(id, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"staged");
+        assert_eq!(p.stats.snapshot().read_rpcs, rpcs_before);
+        let mut long = vec![0u8; 64];
+        assert!(matches!(
+            p.read_bytes(id, 0, &mut long),
+            Err(PfsError::ReadPastEof { .. })
+        ));
     }
 }
