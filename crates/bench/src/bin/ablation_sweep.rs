@@ -1,0 +1,75 @@
+//! Pipelining/request-aggregation ablation sweep: the Table II
+//! interleaved-arrays dump-then-restart workload across the four
+//! collective-I/O configurations {flat, +req-agg, +pipeline, +both} for
+//! both methods (TCIO and two-phase OCIO). Emits JSON on stdout (one
+//! deterministic cell object per line inside `"cells"`) and a progress
+//! table on stderr.
+//!
+//!   cargo run --release -p bench --bin ablation_sweep -- \
+//!       --procs 1,8,32,128 --ppns 1,4,16 --len 65536 --scale 1024 \
+//!       [--out bench_results/ablation_sweep.json]
+//!
+//! The overlap fraction column is the share of per-rank OST-service span
+//! coverage that coincided with exchange spans — exactly 0 for every
+//! non-pipelined cell, > 0 once the round pipeline double-buffers. Cells
+//! where `ppn` exceeds the process count are skipped.
+
+use bench::ablation::{cell_to_json, run_cell, AblationMethod, AblationVariant};
+use bench::topo::sweep_ppns;
+use bench::{Args, Calib};
+
+fn main() {
+    let args = Args::parse();
+    let procs = args.get_list("procs", &[1, 8, 32, 128]);
+    let ppns = args.get_list("ppns", &[1, 4, 16]);
+    let len = args.get_usize("len", 1 << 16);
+    let size_access = args.get_usize("size-access", 1);
+    let scale = args.get_u64("scale", 1024);
+    let calib = if scale == 1 {
+        Calib::unscaled()
+    } else {
+        Calib::paper(scale)
+    };
+
+    let mut cells = Vec::new();
+    for &nprocs in &procs {
+        for ppn in sweep_ppns(nprocs, &ppns) {
+            for method in AblationMethod::ALL {
+                for variant in AblationVariant::ALL {
+                    let c = run_cell(&calib, nprocs, ppn, method, variant, len, size_access);
+                    eprintln!(
+                        "P={nprocs} ppn={ppn} {:>4}/{:>8}: write {:.6}s read {:.6}s \
+                         overlap {:.3}",
+                        method.label(),
+                        variant.label(),
+                        c.write_s,
+                        c.read_s,
+                        c.overlap_frac
+                    );
+                    cells.push(cell_to_json(&c));
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("{\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(c);
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let sinks: Vec<&str> = [args.get("out"), args.get("json")]
+        .into_iter()
+        .flatten()
+        .collect();
+    if sinks.is_empty() {
+        print!("{out}");
+    }
+    for path in sinks {
+        bench::write_json_text(path, &out).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+}

@@ -13,10 +13,12 @@
 //! | `ablation_modes` | §IV.A design choices: L1 combining, lock/unlock vs fence, lazy vs eager reads |
 //! | `ablation_cb` | OCIO hints: unchunked vs cb_buffer-chunked exchange, aggregator counts |
 //! | `topo_sweep` | node topology sweep: ppn × {TCIO, OCIO, OCIO+intra-agg}, intra/inter byte split |
+//! | `ablation_sweep` | pipelining/request-aggregation ablation: {flat, +req-agg, +pipeline, +both} × {tcio, ocio}, makespans + overlap fraction |
 //! | `tenant_sweep` | multi-tenant facility: offered rate × QoS mode → aggregate + per-tenant p50/p95/p99 |
 //!
 //! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
+pub mod ablation;
 pub mod calib;
 pub mod perfgate;
 pub mod report;
@@ -24,6 +26,7 @@ pub mod runner;
 pub mod tenant;
 pub mod topo;
 
+pub use ablation::{AblationCell, AblationMethod, AblationVariant};
 pub use calib::{fmt_bytes, Calib};
 pub use report::{emit_json, mbs, sparkline, write_json_file, write_json_text, Args, Json, Table};
 pub use runner::{run_art, run_synth, run_traced_synth, Outcome};

@@ -1,0 +1,129 @@
+//! Regression guard for the pipelining/request-aggregation ablation:
+//! re-run the smallest cells of the committed
+//! `bench_results/ablation_sweep.json` and require the rendered JSON —
+//! virtual clocks included, to the digit — to appear verbatim in the
+//! baseline. Also pins the headline result: at 128 ranks × 16 ppn the
+//! pipelined+req-agg collective write must stay at least 20% under flat.
+//!
+//! Only the single-rank cells are pinned verbatim: they are the one part
+//! of the sweep whose virtual clocks are fully scheduler-independent
+//! (multi-rank cells race on shared timeline reservations, so their
+//! clocks wobble in the last digits run-to-run). A single-rank cell
+//! still exercises the whole cost model, so any calibration change
+//! shows up as a mismatch here and requires regenerating the baseline:
+//!
+//!   cargo run --release -p bench --bin ablation_sweep -- \
+//!       --out bench_results/ablation_sweep.json
+
+use bench::ablation::{cell_to_json, run_cell, AblationMethod, AblationVariant};
+use bench::Calib;
+
+/// Must match the defaults of the `ablation_sweep` binary.
+const LEN: usize = 1 << 16;
+const SIZE_ACCESS: usize = 1;
+const SCALE: u64 = 1024;
+
+fn baseline() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_results/ablation_sweep.json"
+    );
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {path}: {e}"))
+}
+
+#[test]
+fn smallest_cells_match_the_committed_baseline_exactly() {
+    let baseline = baseline();
+    let calib = Calib::paper(SCALE);
+    for method in AblationMethod::ALL {
+        for variant in AblationVariant::ALL {
+            let cell = run_cell(&calib, 1, 1, method, variant, LEN, SIZE_ACCESS);
+            let json = cell_to_json(&cell);
+            assert!(
+                baseline.contains(&json),
+                "{}/{} guard cell diverged from bench_results/ablation_sweep.json:\n  \
+                 re-ran: {json}\nIf a cost-model change is intentional, regenerate \
+                 the baseline with the ablation_sweep binary.",
+                method.label(),
+                variant.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_covers_the_sweep_grid() {
+    let baseline = baseline();
+    for nprocs in [1usize, 8, 32, 128] {
+        for ppn in [1usize, 4, 16] {
+            if ppn > nprocs {
+                continue;
+            }
+            for method in ["tcio", "ocio"] {
+                for variant in ["flat", "req_agg", "pipeline", "both"] {
+                    let prefix = format!(
+                        "{{\"nprocs\": {nprocs}, \"ppn\": {ppn}, \
+                         \"method\": \"{method}\", \"variant\": \"{variant}\", "
+                    );
+                    assert!(
+                        baseline.contains(&prefix),
+                        "baseline is missing cell {prefix}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(baseline.contains("\"overlap_frac\""));
+    assert!(baseline.contains("\"hidden_s\""));
+}
+
+/// Parse `field` out of the baseline cell matching `(nprocs, ppn, method,
+/// variant)` — the cells are one JSON object per line with a fixed field
+/// order, so a line scan suffices (no JSON parser in the dev-deps).
+fn baseline_field(
+    baseline: &str,
+    nprocs: usize,
+    ppn: usize,
+    method: &str,
+    variant: &str,
+    field: &str,
+) -> f64 {
+    let prefix = format!(
+        "{{\"nprocs\": {nprocs}, \"ppn\": {ppn}, \
+         \"method\": \"{method}\", \"variant\": \"{variant}\", "
+    );
+    let line = baseline
+        .lines()
+        .find(|l| l.trim_start().starts_with(&prefix))
+        .unwrap_or_else(|| panic!("baseline cell {prefix} not found"));
+    let key = format!("\"{field}\": ");
+    let start = line
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {field} in {line}"))
+        + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric baseline field")
+}
+
+#[test]
+fn committed_headline_pins_the_pipelined_req_agg_win() {
+    // The acceptance bar, read from the committed file itself so CI can
+    // gate it without re-running the (expensive) 128-rank cells: at
+    // 128 ranks × 16 ppn the pipelined+req-agg collective write beats
+    // flat by >=20%, and only pipelined cells report overlap.
+    let baseline = baseline();
+    let flat_w = baseline_field(&baseline, 128, 16, "ocio", "flat", "write_s");
+    let both_w = baseline_field(&baseline, 128, 16, "ocio", "both", "write_s");
+    assert!(
+        both_w <= 0.8 * flat_w,
+        "committed baseline lost the headline win: both {both_w}s vs flat {flat_w}s"
+    );
+    let flat_ov = baseline_field(&baseline, 128, 16, "ocio", "flat", "overlap_frac");
+    let both_ov = baseline_field(&baseline, 128, 16, "ocio", "both", "overlap_frac");
+    assert_eq!(flat_ov, 0.0, "flat cells must report zero overlap");
+    assert!(both_ov > 0.0, "pipelined cells must report overlap");
+}

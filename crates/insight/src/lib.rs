@@ -160,6 +160,63 @@ impl Breakdown {
     }
 }
 
+/// Inter-comm/OST-service overlap achieved by pipelined collective I/O
+/// (see [`Analyzer::overlap_report`]). All quantities are summed over
+/// ranks, in virtual seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapReport {
+    /// Total OST-service span coverage (per-rank interval union).
+    pub io_busy: f64,
+    /// Portion of `io_busy` that coincided with exchange spans on the
+    /// same rank — service time hidden behind communication.
+    pub overlapped: f64,
+}
+
+impl OverlapReport {
+    /// `overlapped / io_busy`; 0.0 when there was no I/O at all. Exactly
+    /// 0.0 for flat two-phase, > 0 when the round pipeline overlaps.
+    pub fn fraction(&self) -> f64 {
+        if self.io_busy <= 0.0 {
+            0.0
+        } else {
+            self.overlapped / self.io_busy
+        }
+    }
+}
+
+/// Union of (possibly overlapping, unsorted) closed intervals, as a
+/// sorted list of disjoint intervals. Empty/inverted inputs are dropped.
+fn interval_union(iv: impl Iterator<Item = (f64, f64)>) -> Vec<(f64, f64)> {
+    let mut v: Vec<(f64, f64)> = iv.filter(|&(a, b)| b > a).collect();
+    v.sort_by(|x, y| x.partial_cmp(y).expect("finite interval bounds"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(v.len());
+    for (a, b) in v {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval lists.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
 /// One rank's share of the critical path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankShare {
@@ -407,6 +464,40 @@ impl<'a> Analyzer<'a> {
     /// The job's makespan: the maximum per-rank horizon.
     pub fn makespan(&self) -> f64 {
         self.horizons.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Pipelining effectiveness: how much OST service time ran *while the
+    /// same rank was also inside an exchange span*. Flat two-phase
+    /// serializes the two (exchange, then I/O, then the next exchange), so
+    /// its overlap is exactly zero; the pipelined round loop submits round
+    /// k's I/O, runs round k+1's exchange, and settles the completion
+    /// afterwards, so its `Io` spans cover the exchange in wall-clock
+    /// terms. Computed per rank as |union(Io spans) ∩ union(Exchange
+    /// spans)|, then summed — unions, not sums, so overlapping I/O spans
+    /// (double-buffer depth 2) are not double counted.
+    pub fn overlap_report(&self) -> OverlapReport {
+        let mut io_busy = 0.0;
+        let mut overlapped = 0.0;
+        for t in self.traces {
+            let io = interval_union(
+                t.spans
+                    .iter()
+                    .filter(|s| s.phase == Phase::Io)
+                    .map(|s| (s.start, s.end)),
+            );
+            let exch = interval_union(
+                t.spans
+                    .iter()
+                    .filter(|s| s.phase == Phase::Exchange)
+                    .map(|s| (s.start, s.end)),
+            );
+            io_busy += io.iter().map(|&(a, b)| b - a).sum::<f64>();
+            overlapped += intersection_len(&io, &exch);
+        }
+        OverlapReport {
+            io_busy,
+            overlapped,
+        }
     }
 
     /// Resolve a span id (`rank << 32 | seq`) to the span it names. Span

@@ -44,7 +44,30 @@ pub struct CollectiveConfig {
     /// participates in the inter-node all-to-all burst. A no-op (falls
     /// back to the flat burst) when the simulation has no topology.
     pub intra_agg: bool,
+    /// Full intra-node *request* aggregation (Kang et al., going beyond
+    /// `intra_agg`'s opaque byte forwarding): node leaders decode their
+    /// members' offset–length lists, merge them per aggregator with
+    /// adjacent-extent coalescing, and ship one merged list per
+    /// (node, aggregator) pair — see [`crate::reqagg`]. Classic two-phase
+    /// (`write_all_at`/`read_all_at`) merges semantically; the view-based
+    /// and partitioned paths treat this flag as `intra_agg` (their wire
+    /// formats are already per-interval, not per-extent). Falls back to
+    /// the flat burst without a topology.
+    pub req_agg: bool,
+    /// Pipelined (double-buffered) rounds: an aggregator submits round
+    /// k's file I/O, *keeps the completion as a deferred handle*, and
+    /// runs round k+1's exchange while the OSTs service round k —
+    /// settling the handle only when both collective buffers are in
+    /// flight (depth 2) or the round loop ends. File bytes are identical
+    /// to the serialized path (the storage layer applies data at
+    /// submission); only the clock attribution changes. Combine with
+    /// `cb_buffer` — a single unchunked round has nothing to overlap.
+    pub pipeline: bool,
 }
+
+/// Pipeline depth of the round loop: double buffering, matching the two
+/// collective buffers an aggregator holds in flight.
+const PIPELINE_DEPTH: usize = 2;
 
 /// The data-exchange step shared by all two-phase paths: the flat
 /// all-to-all burst, or the two-level (intra-node aggregated) variant.
@@ -53,15 +76,23 @@ pub(crate) fn exchange(
     cfg: &CollectiveConfig,
     payloads: Vec<Vec<u8>>,
 ) -> Result<Vec<Vec<u8>>> {
-    if cfg.intra_agg {
+    if cfg.intra_agg || cfg.req_agg {
+        // `req_agg` on the paths that don't merge semantically (view-based,
+        // partitioned) still gets the leader-forwarded two-level exchange.
         Ok(rank.alltoallv_burst_hier(payloads)?)
     } else {
         Ok(rank.alltoallv_burst(payloads)?)
     }
 }
 
+/// Does this collective use the semantic request-aggregation exchange?
+/// (Needs a topology to have node leaders at all.)
+fn use_reqagg(rank: &Rank, cfg: &CollectiveConfig) -> bool {
+    cfg.req_agg && rank.topology().is_some_and(|t| !t.is_trivial())
+}
+
 /// Serialize a piece list `[(file_off, len, payload)]` for the exchange.
-fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
+pub(crate) fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
     let header = 4 + pieces.len() * 12;
     let data: usize = pieces.iter().map(|(_, d)| d.len()).sum();
     let mut out = Vec::with_capacity(header + data);
@@ -77,7 +108,7 @@ fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
 }
 
 /// Decode a piece list; returns `(off, payload)` views into `buf`.
-fn decode_pieces(buf: &[u8]) -> Result<Vec<(u64, &[u8])>> {
+pub(crate) fn decode_pieces(buf: &[u8]) -> Result<Vec<(u64, &[u8])>> {
     if buf.is_empty() {
         return Ok(Vec::new());
     }
@@ -109,7 +140,7 @@ fn decode_pieces(buf: &[u8]) -> Result<Vec<(u64, &[u8])>> {
 }
 
 /// Serialize a request list `[(file_off, len)]` (reads, phase 1).
-fn encode_requests(reqs: &[(u64, u64)]) -> Vec<u8> {
+pub(crate) fn encode_requests(reqs: &[(u64, u64)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + reqs.len() * 12);
     out.extend_from_slice(&(reqs.len() as u32).to_le_bytes());
     for &(off, len) in reqs {
@@ -119,7 +150,7 @@ fn encode_requests(reqs: &[(u64, u64)]) -> Vec<u8> {
     out
 }
 
-fn decode_requests(buf: &[u8]) -> Result<Vec<(u64, u64)>> {
+pub(crate) fn decode_requests(buf: &[u8]) -> Result<Vec<(u64, u64)>> {
     if buf.is_empty() {
         return Ok(Vec::new());
     }
@@ -278,8 +309,22 @@ pub fn write_all_at(
     };
     let nprocs = rank.nprocs();
     let my_agg = doms.my_agg_index(rank.rank(), nprocs);
+    let reqagg = use_reqagg(rank, cfg);
+
+    // Deferred I/O completions of in-flight rounds (pipelined mode only).
+    // The collective buffer's memory guard rides along: both buffers stay
+    // charged against the rank's budget until their round is settled.
+    let mut inflight: std::collections::VecDeque<(mpisim::DeferredIo, mpisim::MemGuard)> =
+        std::collections::VecDeque::new();
 
     for r in 0..doms.rounds {
+        // Double buffering: before opening round r's exchange, settle the
+        // oldest in-flight write so at most PIPELINE_DEPTH collective
+        // buffers exist at once.
+        while inflight.len() >= PIPELINE_DEPTH {
+            let (h, _cb) = inflight.pop_front().expect("non-empty inflight");
+            rank.io_complete(h);
+        }
         // Build per-destination piece payloads for this round.
         let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
         for i in 0..doms.naggs {
@@ -300,15 +345,20 @@ pub fn write_all_at(
                 payloads[doms.agg_rank(i, nprocs)] = encode_pieces(&pieces);
             }
         }
-        // Data exchange phase: the all-to-all burst.
-        let exchanged = exchange(rank, cfg, payloads)?;
+        // Data exchange phase: the all-to-all burst (or the leader-merged
+        // request-aggregation exchange).
+        let exchanged = if reqagg {
+            crate::reqagg::exchange_pieces(rank, &doms.agg_ranks, payloads)?
+        } else {
+            exchange(rank, cfg, payloads)?
+        };
 
         // I/O phase (aggregators only).
         if let Some(i) = my_agg {
             let (ws, we) = doms.window(i, r);
             if ws < we {
                 let win_len = (we - ws) as usize;
-                let _cb = rank.alloc(win_len as u64)?; // collective buffer
+                let cb = rank.alloc(win_len as u64)?; // collective buffer
                 rank.note_mem_peak();
                 let mut buf = vec![0u8; win_len];
                 let mut dirty = ExtentSet::new();
@@ -335,10 +385,31 @@ pub fn write_all_at(
                     rank.stats.io_writes += 1;
                     rank.stats.io_write_bytes += len;
                 }
-                rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
-                rank.trace_mark("ocio_io", Phase::Io, io_start, written);
+                if cfg.pipeline {
+                    // The PFS applied the bytes at submission; only the
+                    // completion time is outstanding. Keep it as a handle
+                    // so round r+1's exchange overlaps the OST service.
+                    inflight.push_back((
+                        mpisim::DeferredIo {
+                            name: "ocio_io_pipe",
+                            submitted: io_start,
+                            done,
+                            bytes: written,
+                        },
+                        cb,
+                    ));
+                } else {
+                    drop(cb);
+                    rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+                    rank.trace_mark("ocio_io", Phase::Io, io_start, written);
+                }
             }
         }
+    }
+    // Drain the pipeline before the closing barrier so every rank's clock
+    // covers its own I/O completions.
+    while let Some((h, _cb)) = inflight.pop_front() {
+        rank.io_complete(h);
     }
     rank.barrier()?;
     Ok(())
@@ -372,13 +443,13 @@ pub fn read_all_at(
     };
     let nprocs = rank.nprocs();
     let my_agg = doms.my_agg_index(rank.rank(), nprocs);
+    let reqagg = use_reqagg(rank, cfg);
 
-    for r in 0..doms.rounds {
-        // Phase 1: send each aggregator the extents we need from its window.
+    // Per-round request builder: payloads per destination rank plus the
+    // (buf_cursor, len) slots the responses will fill, in request order.
+    let build_round = |r: u64| -> (Vec<Vec<u8>>, FillPlan) {
         let mut requests: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
-        // Remember, per aggregator, which (buf_cursor, len) slots the
-        // responses will fill, in request order.
-        let mut fill_plan: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nprocs];
+        let mut fill_plan: FillPlan = vec![Vec::new(); nprocs];
         for i in 0..doms.naggs {
             let (ws, we) = doms.window(i, r);
             if ws >= we {
@@ -398,14 +469,100 @@ pub fn read_all_at(
                 requests[a] = encode_requests(&reqs);
             }
         }
-        let incoming = exchange(rank, cfg, requests)?;
+        (requests, fill_plan)
+    };
 
-        // Phase 2: aggregators read their window and answer.
-        let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+    if !cfg.pipeline {
+        for r in 0..doms.rounds {
+            // Phase 1: send each aggregator the extents we need from its
+            // window.
+            let (requests, fill_plan) = build_round(r);
+            let (incoming, session) = if reqagg {
+                let (inc, s) = crate::reqagg::exchange_requests(rank, &doms.agg_ranks, requests)?;
+                (inc, Some(s))
+            } else {
+                (exchange(rank, cfg, requests)?, None)
+            };
+
+            // Phase 2: aggregators read their window and answer.
+            let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+            if let Some(i) = my_agg {
+                let (ws, we) = doms.window(i, r);
+                if ws < we {
+                    // Union of everything requested in this window.
+                    let mut wanted = ExtentSet::new();
+                    let mut per_rank_reqs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(nprocs);
+                    for payload in &incoming {
+                        let reqs = decode_requests(payload)?;
+                        for &(o, l) in &reqs {
+                            wanted.insert(o, l);
+                        }
+                        per_rank_reqs.push(reqs);
+                    }
+                    if !wanted.is_empty() {
+                        let win_len = (we - ws) as usize;
+                        let _cb = rank.alloc(win_len as u64)?;
+                        rank.note_mem_peak();
+                        let mut wbuf = vec![0u8; win_len];
+                        let io_start = rank.now();
+                        let mut read = 0u64;
+                        let mut done = rank.now();
+                        for &(off, len) in wanted.runs() {
+                            let at = (off - ws) as usize;
+                            let pfs = file.pfs().clone();
+                            let fid = file.file_id();
+                            let dst = &mut wbuf[at..at + len as usize];
+                            let t = crate::retry::pfs_retry(rank, |rk| {
+                                pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                            })?;
+                            done = done.max(t);
+                            read += len;
+                            rank.stats.io_reads += 1;
+                            rank.stats.io_read_bytes += len;
+                        }
+                        rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
+                        rank.trace_mark("ocio_read", Phase::Io, io_start, read);
+                        fill_responses(rank, &mut responses, &per_rank_reqs, ws, &wbuf);
+                    }
+                }
+            }
+            let answers = match session {
+                Some(s) => crate::reqagg::exchange_responses(rank, s, responses)?,
+                None => exchange(rank, cfg, responses)?,
+            };
+            scatter_answers(buf, &doms, nprocs, &fill_plan, &answers);
+        }
+        rank.barrier()?;
+        return Ok(());
+    }
+
+    // Pipelined rounds: the aggregator submits round r's window read as a
+    // deferred handle, runs round r+1's *request* exchange while the OSTs
+    // service it, then settles the handle and answers round r. The first
+    // round's requests are exchanged before the loop.
+    struct PendingRead {
+        ws: u64,
+        wbuf: Vec<u8>,
+        per_rank_reqs: Vec<Vec<(u64, u64)>>,
+        handle: mpisim::DeferredIo,
+        _cb: mpisim::MemGuard,
+    }
+    let (req0, fill0) = build_round(0);
+    let (mut incoming, mut session) = if reqagg {
+        let (inc, s) = crate::reqagg::exchange_requests(rank, &doms.agg_ranks, req0)?;
+        (inc, Some(s))
+    } else {
+        (exchange(rank, cfg, req0)?, None)
+    };
+    let mut fill = fill0;
+    for r in 0..doms.rounds {
+        // Submit this round's window read (aggregators only). The PFS
+        // delivers the bytes into `wbuf` at submission; the completion
+        // time stays outstanding in the handle.
+        let mut pending: Option<PendingRead> = None;
         if let Some(i) = my_agg {
             let (ws, we) = doms.window(i, r);
             if ws < we {
-                // Union of everything requested in this window.
                 let mut wanted = ExtentSet::new();
                 let mut per_rank_reqs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(nprocs);
                 for payload in &incoming {
@@ -417,7 +574,7 @@ pub fn read_all_at(
                 }
                 if !wanted.is_empty() {
                     let win_len = (we - ws) as usize;
-                    let _cb = rank.alloc(win_len as u64)?;
+                    let cb = rank.alloc(win_len as u64)?;
                     rank.note_mem_peak();
                     let mut wbuf = vec![0u8; win_len];
                     let io_start = rank.now();
@@ -436,44 +593,106 @@ pub fn read_all_at(
                         rank.stats.io_reads += 1;
                         rank.stats.io_read_bytes += len;
                     }
-                    rank.with_phase(Phase::Io, |rk| rk.sync_to(done));
-                    rank.trace_mark("ocio_read", Phase::Io, io_start, read);
-                    for (src, reqs) in per_rank_reqs.iter().enumerate() {
-                        if reqs.is_empty() {
-                            continue;
-                        }
-                        let total: u64 = reqs.iter().map(|&(_, l)| l).sum();
-                        let mut resp = Vec::with_capacity(total as usize);
-                        for &(off, len) in reqs {
-                            let at = (off - ws) as usize;
-                            resp.extend_from_slice(&wbuf[at..at + len as usize]);
-                        }
-                        rank.charge_memcpy(total);
-                        responses[src] = resp;
-                    }
+                    pending = Some(PendingRead {
+                        ws,
+                        wbuf,
+                        per_rank_reqs,
+                        handle: mpisim::DeferredIo {
+                            name: "ocio_read_pipe",
+                            submitted: io_start,
+                            done,
+                            bytes: read,
+                        },
+                        _cb: cb,
+                    });
                 }
             }
         }
-        let answers = exchange(rank, cfg, responses)?;
-
-        // Scatter answers into the caller's buffer.
-        for i in 0..doms.naggs {
-            let a = doms.agg_rank(i, nprocs);
-            let plan = &fill_plan[a];
-            if plan.is_empty() {
-                continue;
-            }
-            let payload = &answers[a];
-            let mut pos = 0usize;
-            for &(cursor, len) in plan {
-                buf[cursor..cursor + len].copy_from_slice(&payload[pos..pos + len]);
-                pos += len;
-            }
-            debug_assert_eq!(pos, payload.len());
+        // Prefetch round r+1's request exchange while the read is in
+        // flight.
+        let next = if r + 1 < doms.rounds {
+            let (reqs, fp) = build_round(r + 1);
+            let (inc, s) = if reqagg {
+                let (inc, s) = crate::reqagg::exchange_requests(rank, &doms.agg_ranks, reqs)?;
+                (inc, Some(s))
+            } else {
+                (exchange(rank, cfg, reqs)?, None)
+            };
+            Some((inc, s, fp))
+        } else {
+            None
+        };
+        // Settle the read, then build and exchange this round's answers.
+        let mut responses: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
+        if let Some(p) = pending {
+            rank.io_complete(p.handle);
+            fill_responses(rank, &mut responses, &p.per_rank_reqs, p.ws, &p.wbuf);
+        }
+        let answers = match session.take() {
+            Some(s) => crate::reqagg::exchange_responses(rank, s, responses)?,
+            None => exchange(rank, cfg, responses)?,
+        };
+        scatter_answers(buf, &doms, nprocs, &fill, &answers);
+        if let Some((inc, s, fp)) = next {
+            incoming = inc;
+            session = s;
+            fill = fp;
         }
     }
     rank.barrier()?;
     Ok(())
+}
+
+/// Per destination rank, the `(buf_cursor, len)` slots a round's read
+/// responses will fill, in request order.
+type FillPlan = Vec<Vec<(usize, usize)>>;
+
+/// Slice each source's requested extents out of the window buffer, in
+/// request order (the order the source's scatter plan expects).
+fn fill_responses(
+    rank: &mut Rank,
+    responses: &mut [Vec<u8>],
+    per_rank_reqs: &[Vec<(u64, u64)>],
+    ws: u64,
+    wbuf: &[u8],
+) {
+    for (src, reqs) in per_rank_reqs.iter().enumerate() {
+        if reqs.is_empty() {
+            continue;
+        }
+        let total: u64 = reqs.iter().map(|&(_, l)| l).sum();
+        let mut resp = Vec::with_capacity(total as usize);
+        for &(off, len) in reqs {
+            let at = (off - ws) as usize;
+            resp.extend_from_slice(&wbuf[at..at + len as usize]);
+        }
+        rank.charge_memcpy(total);
+        responses[src] = resp;
+    }
+}
+
+/// Scatter exchanged answers into the caller's buffer per the fill plan.
+fn scatter_answers(
+    buf: &mut [u8],
+    doms: &Domains,
+    nprocs: usize,
+    fill_plan: &[Vec<(usize, usize)>],
+    answers: &[Vec<u8>],
+) {
+    for i in 0..doms.naggs {
+        let a = doms.agg_rank(i, nprocs);
+        let plan = &fill_plan[a];
+        if plan.is_empty() {
+            continue;
+        }
+        let payload = &answers[a];
+        let mut pos = 0usize;
+        for &(cursor, len) in plan {
+            buf[cursor..cursor + len].copy_from_slice(&payload[pos..pos + len]);
+            pos += len;
+        }
+        debug_assert_eq!(pos, payload.len());
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +826,226 @@ mod tests {
             };
             let (_, bytes) = run_interleaved_sim(8, 6, cfg, sim);
             assert_eq!(bytes, flat, "ppn={ppn} diverged from the flat burst");
+        }
+    }
+
+    fn run_interleaved_report(
+        nprocs: usize,
+        len_array: usize,
+        cfg: CollectiveConfig,
+        sim: SimConfig,
+    ) -> (Vec<u8>, mpisim::SimReport<()>) {
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            let mut f = File::open(rk, &fs2, "/c", Mode::WriteOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 12 * len_array];
+            write_all_at(rk, &mut f, 0, &data, &cfg).map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/c").unwrap();
+        (fs.snapshot_file(fid).unwrap(), rep)
+    }
+
+    #[test]
+    fn pipelined_chunked_write_is_byte_identical_and_overlaps() {
+        let flat = run_interleaved(
+            4,
+            8,
+            CollectiveConfig {
+                cb_buffer: Some(64),
+                ..Default::default()
+            },
+        )
+        .1;
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(64),
+            pipeline: true,
+            ..Default::default()
+        };
+        let (bytes, rep) = run_interleaved_report(4, 8, cfg, SimConfig::default());
+        assert_eq!(bytes, flat, "pipelining changed the file contents");
+        let hidden = rep.aggregate_stats().io_overlap;
+        assert!(
+            hidden > 0.0,
+            "multi-round pipelined write hid no I/O time (io_overlap={hidden})"
+        );
+    }
+
+    #[test]
+    fn pipelined_single_round_still_correct() {
+        // Nothing to overlap (one round), but the drain path must still
+        // settle the lone deferred handle.
+        let cfg = CollectiveConfig {
+            pipeline: true,
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved(4, 8, cfg);
+        check_interleaved(&bytes, 4, 8);
+    }
+
+    #[test]
+    fn pipelined_read_roundtrips() {
+        let nprocs = 4;
+        let len_array = 8;
+        let (fs, _) = run_interleaved(nprocs, len_array, CollectiveConfig::default());
+        let fs2 = Arc::clone(&fs);
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(64),
+            pipeline: true,
+            ..Default::default()
+        };
+        let rep = mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let mut f = File::open(rk, &fs2, "/c", Mode::ReadOnly).map_err(to_mpi)?;
+            let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+            let ftype =
+                Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone()).commit();
+            f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                .map_err(to_mpi)?;
+            let mut buf = vec![0u8; 12 * len_array];
+            read_all_at(rk, &mut f, 0, &mut buf, &cfg).map_err(to_mpi)?;
+            Ok(buf)
+        })
+        .unwrap();
+        for (r, buf) in rep.results.iter().enumerate() {
+            assert!(
+                buf.iter().all(|&b| b == r as u8 + 1),
+                "rank {r} read back foreign data under pipelining"
+            );
+        }
+        assert!(rep.aggregate_stats().io_overlap > 0.0);
+    }
+
+    #[test]
+    fn req_agg_write_is_byte_identical() {
+        let flat = run_interleaved(8, 6, CollectiveConfig::default()).1;
+        for ppn in [2, 4] {
+            let sim = SimConfig {
+                topology: Some(mpisim::Topology::blocked(8, ppn)),
+                ..Default::default()
+            };
+            let cfg = CollectiveConfig {
+                req_agg: true,
+                cb_nodes: Some(2),
+                ..Default::default()
+            };
+            let (_, bytes) = run_interleaved_sim(8, 6, cfg, sim);
+            assert_eq!(
+                bytes, flat,
+                "ppn={ppn} req-agg diverged from the flat burst"
+            );
+        }
+    }
+
+    #[test]
+    fn req_agg_pipelined_chunked_write_is_byte_identical() {
+        let flat = run_interleaved(
+            8,
+            6,
+            CollectiveConfig {
+                cb_buffer: Some(96),
+                ..Default::default()
+            },
+        )
+        .1;
+        let sim = SimConfig {
+            topology: Some(mpisim::Topology::blocked(8, 4)),
+            ..Default::default()
+        };
+        let cfg = CollectiveConfig {
+            cb_buffer: Some(96),
+            req_agg: true,
+            pipeline: true,
+            ..Default::default()
+        };
+        let (_, bytes) = run_interleaved_sim(8, 6, cfg, sim);
+        assert_eq!(
+            bytes, flat,
+            "req-agg + pipeline diverged from the flat burst"
+        );
+    }
+
+    #[test]
+    fn req_agg_read_roundtrips() {
+        let nprocs = 8;
+        let len_array = 6;
+        let (fs, _) = run_interleaved(nprocs, len_array, CollectiveConfig::default());
+        for (pipeline, cb_buffer) in [(false, None), (false, Some(96)), (true, Some(96))] {
+            let fs2 = Arc::clone(&fs);
+            let sim = SimConfig {
+                topology: Some(mpisim::Topology::blocked(8, 4)),
+                ..Default::default()
+            };
+            let cfg = CollectiveConfig {
+                cb_nodes: Some(2),
+                cb_buffer,
+                req_agg: true,
+                pipeline,
+                ..Default::default()
+            };
+            let rep = mpisim::run(nprocs, sim, move |rk| {
+                let mut f = File::open(rk, &fs2, "/c", Mode::ReadOnly).map_err(to_mpi)?;
+                let etype = Datatype::contiguous(12, Datatype::named(Named::Byte)).commit();
+                let ftype =
+                    Datatype::vector(len_array, 1, nprocs as isize, etype.datatype().clone())
+                        .commit();
+                f.set_view(rk, rk.rank() as u64 * 12, &etype, &ftype)
+                    .map_err(to_mpi)?;
+                let mut buf = vec![0u8; 12 * len_array];
+                read_all_at(rk, &mut f, 0, &mut buf, &cfg).map_err(to_mpi)?;
+                Ok(buf)
+            })
+            .unwrap();
+            for (r, buf) in rep.results.iter().enumerate() {
+                assert!(
+                    buf.iter().all(|&b| b == r as u8 + 1),
+                    "rank {r} read foreign data (pipeline={pipeline}, cb={cb_buffer:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn req_agg_intra_node_overwrite_keeps_rank_order() {
+        // Ranks 0 and 1 share a node and both write offset 0; MPI leaves
+        // overlap order undefined, but our merge mirrors the flat burst's
+        // rank-index order: the higher rank's bytes win.
+        for req_agg in [false, true] {
+            let fs = Pfs::new(4, PfsConfig::default()).unwrap();
+            let fs2 = Arc::clone(&fs);
+            let sim = SimConfig {
+                topology: Some(mpisim::Topology::blocked(4, 2)),
+                ..Default::default()
+            };
+            let cfg = CollectiveConfig {
+                req_agg,
+                cb_nodes: Some(1),
+                ..Default::default()
+            };
+            mpisim::run(4, sim, move |rk| {
+                let mut f = File::open(rk, &fs2, "/ow", Mode::WriteOnly).map_err(to_mpi)?;
+                let data = if rk.rank() < 2 {
+                    vec![rk.rank() as u8 + 1; 8]
+                } else {
+                    Vec::new()
+                };
+                write_all_at(rk, &mut f, 0, &data, &cfg).map_err(to_mpi)?;
+                Ok(())
+            })
+            .unwrap();
+            let fid = fs.open("/ow").unwrap();
+            let bytes = fs.snapshot_file(fid).unwrap();
+            assert!(
+                bytes.iter().all(|&b| b == 2),
+                "req_agg={req_agg}: expected rank 1's bytes to win, got {bytes:?}"
+            );
         }
     }
 

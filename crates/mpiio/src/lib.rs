@@ -19,6 +19,7 @@ pub mod error;
 pub mod extents;
 pub mod file;
 pub mod parcoll;
+pub mod reqagg;
 pub mod retry;
 pub mod sieve;
 pub mod view;

@@ -106,72 +106,116 @@ pub fn write_all_partitioned(
             dsize = dsize.div_ceil(a) * a;
         }
     }
+    // ROMIO-style chunking: cb_buffer bounds the per-round collective
+    // buffer, turning the group exchange into multiple rounds (one round
+    // over the whole domain when unset — the historical behaviour).
+    let round_size = cfg.cb_buffer.unwrap_or(dsize).max(1).min(dsize);
+    let rounds = dsize.div_ceil(round_size);
     // Aggregator i (a group index) owns [gmin + i·dsize, …).
     let agg_index_of =
         |grank: usize| -> Option<usize> { (0..naggs).find(|&i| i * g / naggs == grank) };
-
-    // Exchange phase, scoped to the group.
-    let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); g];
-    for i in 0..naggs {
-        let ws = gmin + i as u64 * dsize;
-        let we = (ws + dsize).min(gmax);
-        if ws >= we {
-            continue;
-        }
-        let mut pieces: Vec<(u64, &[u8])> = Vec::new();
-        for (k, &(eoff, elen)) in extents.iter().enumerate() {
-            let s = eoff.max(ws);
-            let e = (eoff + elen).min(we);
-            if s < e {
-                let dstart = (cursors[k] + (s - eoff)) as usize;
-                pieces.push((s, &data[dstart..dstart + (e - s) as usize]));
-            }
-        }
-        if !pieces.is_empty() {
-            payloads[i * g / naggs] = encode_pieces(&pieces);
-        }
-    }
-    // Group-scoped burst, optionally two-level (node leaders only cross
-    // nodes) when the config asks for intra-node aggregation.
-    let exchanged = if cfg.intra_agg {
-        rank.alltoallv_burst_hier_in(comm, payloads)?
-    } else {
-        rank.alltoallv_burst_in(comm, payloads)?
+    let window = |i: usize, r: u64| -> (u64, u64) {
+        let ds = gmin + i as u64 * dsize;
+        let de = (ds + dsize).min(gmax);
+        let ws = ds + r * round_size;
+        let we = (ws + round_size).min(de);
+        (ws.min(de), we)
     };
 
-    // I/O phase (group aggregators only).
-    if let Some(i) = agg_index_of(comm.group_rank()) {
-        let ws = gmin + i as u64 * dsize;
-        let we = (ws + dsize).min(gmax);
-        if ws < we {
-            let win_len = (we - ws) as usize;
-            let _cb = rank.alloc(win_len as u64)?;
-            rank.note_mem_peak();
-            let mut buf = vec![0u8; win_len];
-            let mut dirty = ExtentSet::new();
-            for payload in &exchanged {
-                for (off, bytes) in decode_pieces(payload)? {
-                    let at = (off - ws) as usize;
-                    buf[at..at + bytes.len()].copy_from_slice(bytes);
-                    rank.charge_memcpy(bytes.len() as u64);
-                    dirty.insert(off, bytes.len() as u64);
+    // Deferred completions of in-flight rounds (pipelined mode only).
+    let mut inflight: std::collections::VecDeque<(mpisim::DeferredIo, mpisim::MemGuard)> =
+        std::collections::VecDeque::new();
+
+    for r in 0..rounds {
+        // Double buffering: settle the oldest in-flight write before
+        // opening this round's exchange.
+        while inflight.len() >= 2 {
+            let (h, _cb) = inflight.pop_front().expect("non-empty inflight");
+            rank.io_complete(h);
+        }
+        // Exchange phase, scoped to the group.
+        let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); g];
+        for i in 0..naggs {
+            let (ws, we) = window(i, r);
+            if ws >= we {
+                continue;
+            }
+            let mut pieces: Vec<(u64, &[u8])> = Vec::new();
+            for (k, &(eoff, elen)) in extents.iter().enumerate() {
+                let s = eoff.max(ws);
+                let e = (eoff + elen).min(we);
+                if s < e {
+                    let dstart = (cursors[k] + (s - eoff)) as usize;
+                    pieces.push((s, &data[dstart..dstart + (e - s) as usize]));
                 }
             }
-            let pfs = file.pfs().clone();
-            let fid = file.file_id();
-            let mut done = rank.now();
-            for &(off, len) in dirty.runs() {
-                let at = (off - ws) as usize;
-                let slice = &buf[at..at + len as usize];
-                let t = crate::retry::pfs_retry(rank, |rk| {
-                    pfs.write_at(fid, rk.rank(), off, slice, rk.now())
-                })?;
-                done = done.max(t);
-                rank.stats.io_writes += 1;
-                rank.stats.io_write_bytes += len;
+            if !pieces.is_empty() {
+                payloads[i * g / naggs] = encode_pieces(&pieces);
             }
-            rank.sync_to(done);
         }
+        // Group-scoped burst, optionally two-level (node leaders only
+        // cross nodes) when the config asks for intra-node aggregation.
+        // `req_agg` rides the same two-level path here: the sub-communicator
+        // exchange has no semantic-merge variant.
+        let exchanged = if cfg.intra_agg || cfg.req_agg {
+            rank.alltoallv_burst_hier_in(comm, payloads)?
+        } else {
+            rank.alltoallv_burst_in(comm, payloads)?
+        };
+
+        // I/O phase (group aggregators only).
+        if let Some(i) = agg_index_of(comm.group_rank()) {
+            let (ws, we) = window(i, r);
+            if ws < we {
+                let win_len = (we - ws) as usize;
+                let cb = rank.alloc(win_len as u64)?;
+                rank.note_mem_peak();
+                let mut buf = vec![0u8; win_len];
+                let mut dirty = ExtentSet::new();
+                for payload in &exchanged {
+                    for (off, bytes) in decode_pieces(payload)? {
+                        let at = (off - ws) as usize;
+                        buf[at..at + bytes.len()].copy_from_slice(bytes);
+                        rank.charge_memcpy(bytes.len() as u64);
+                        dirty.insert(off, bytes.len() as u64);
+                    }
+                }
+                let pfs = file.pfs().clone();
+                let fid = file.file_id();
+                let io_start = rank.now();
+                let mut written = 0u64;
+                let mut done = rank.now();
+                for &(off, len) in dirty.runs() {
+                    let at = (off - ws) as usize;
+                    let slice = &buf[at..at + len as usize];
+                    let t = crate::retry::pfs_retry(rank, |rk| {
+                        pfs.write_at(fid, rk.rank(), off, slice, rk.now())
+                    })?;
+                    done = done.max(t);
+                    written += len;
+                    rank.stats.io_writes += 1;
+                    rank.stats.io_write_bytes += len;
+                }
+                if cfg.pipeline {
+                    inflight.push_back((
+                        mpisim::DeferredIo {
+                            name: "par_io_pipe",
+                            submitted: io_start,
+                            done,
+                            bytes: written,
+                        },
+                        cb,
+                    ));
+                } else {
+                    drop(cb);
+                    rank.sync_to(done);
+                }
+            }
+        }
+    }
+    // Drain the pipeline before the closing group barrier.
+    while let Some((h, _cb)) = inflight.pop_front() {
+        rank.io_complete(h);
     }
     rank.barrier_in(comm)?;
     Ok(())
@@ -233,6 +277,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn run_partitioned_cfg(
+        nprocs: usize,
+        groups: usize,
+        block: usize,
+        cfg: CollectiveConfig,
+    ) -> Vec<u8> {
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        mpisim::run(nprocs, SimConfig::default(), move |rk| {
+            let gsize = nprocs / groups;
+            let comm = rk.split((rk.rank() / gsize) as u64)?;
+            let mut f = File::open(rk, &fs2, "/pc", Mode::WriteOnly).map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; block];
+            write_all_partitioned(rk, &mut f, &comm, (rk.rank() * block) as u64, &data, &cfg)
+                .map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/pc").unwrap();
+        fs.snapshot_file(fid).unwrap()
+    }
+
+    #[test]
+    fn partitioned_chunked_rounds_match_single_round() {
+        let flat = run_partitioned(8, 2, 64);
+        for pipeline in [false, true] {
+            let cfg = CollectiveConfig {
+                cb_buffer: Some(48), // forces multiple rounds per domain
+                cb_nodes: Some(2),
+                pipeline,
+                ..Default::default()
+            };
+            let bytes = run_partitioned_cfg(8, 2, 64, cfg);
+            assert_eq!(bytes, flat, "pipeline={pipeline} diverged");
+        }
+    }
+
+    #[test]
+    fn partitioned_req_agg_uses_two_level_and_stays_correct() {
+        let flat = run_partitioned(8, 2, 64);
+        let nprocs = 8;
+        let fs = Pfs::new(nprocs, PfsConfig::default()).unwrap();
+        let fs2 = Arc::clone(&fs);
+        let sim = SimConfig {
+            topology: Some(mpisim::Topology::blocked(nprocs, 4)),
+            ..Default::default()
+        };
+        mpisim::run(nprocs, sim, move |rk| {
+            let comm = rk.split((rk.rank() / 4) as u64)?;
+            let mut f = File::open(rk, &fs2, "/pc", Mode::WriteOnly).map_err(to_mpi)?;
+            let data = vec![rk.rank() as u8 + 1; 64];
+            let cfg = CollectiveConfig {
+                req_agg: true,
+                cb_buffer: Some(48),
+                pipeline: true,
+                ..Default::default()
+            };
+            write_all_partitioned(rk, &mut f, &comm, (rk.rank() * 64) as u64, &data, &cfg)
+                .map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/pc").unwrap();
+        assert_eq!(fs.snapshot_file(fid).unwrap(), flat);
     }
 
     #[test]

@@ -74,7 +74,18 @@ pub fn write_all_view_based(
     };
     let my_agg = doms.my_agg_index(me, nprocs);
 
+    // Deferred completions of in-flight rounds (pipelined mode only); the
+    // collective-buffer guard rides along so both buffers stay charged.
+    let mut inflight: std::collections::VecDeque<(mpisim::DeferredIo, mpisim::MemGuard)> =
+        std::collections::VecDeque::new();
+
     for r in 0..doms.rounds {
+        // Double buffering: settle the oldest in-flight write before
+        // opening this round's exchange.
+        while inflight.len() >= 2 {
+            let (h, _cb) = inflight.pop_front().expect("non-empty inflight");
+            rank.io_complete(h);
+        }
         // Sender side: one contiguous stream interval per aggregator.
         let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); nprocs];
         for i in 0..doms.naggs {
@@ -103,7 +114,7 @@ pub fn write_all_view_based(
             let (ws, we) = doms.window(i, r);
             if ws < we {
                 let win_len = (we - ws) as usize;
-                let _cb = rank.alloc(win_len as u64)?;
+                let cb = rank.alloc(win_len as u64)?;
                 rank.note_mem_peak();
                 let mut buf = vec![0u8; win_len];
                 let mut dirty = ExtentSet::new();
@@ -133,6 +144,8 @@ pub fn write_all_view_based(
                 }
                 let pfs = file.pfs().clone();
                 let fid = file.file_id();
+                let io_start = rank.now();
+                let mut written = 0u64;
                 let mut done = rank.now();
                 for &(off, len) in dirty.runs() {
                     let at = (off - ws) as usize;
@@ -141,12 +154,30 @@ pub fn write_all_view_based(
                         pfs.write_at(fid, rk.rank(), off, slice, rk.now())
                     })?;
                     done = done.max(t);
+                    written += len;
                     rank.stats.io_writes += 1;
                     rank.stats.io_write_bytes += len;
                 }
-                rank.sync_to(done);
+                if cfg.pipeline {
+                    inflight.push_back((
+                        mpisim::DeferredIo {
+                            name: "vb_io_pipe",
+                            submitted: io_start,
+                            done,
+                            bytes: written,
+                        },
+                        cb,
+                    ));
+                } else {
+                    drop(cb);
+                    rank.sync_to(done);
+                }
             }
         }
+    }
+    // Drain the pipeline before the closing barrier.
+    while let Some((h, _cb)) = inflight.pop_front() {
+        rank.io_complete(h);
     }
     rank.barrier()?;
     Ok(())
@@ -157,6 +188,12 @@ pub fn write_all_view_based(
 /// 16-byte `(stream position, length)` header per aggregator, and the
 /// aggregator derives both what to read from the file and how to slice the
 /// responses from the stored views.
+///
+/// `CollectiveConfig::pipeline` is a no-op here: the read has no separate
+/// request exchange to prefetch (the 16-byte headers *are* the request
+/// phase), so there is no round k+1 traffic to overlap with round k's OST
+/// service without reordering the response exchange the scatter depends
+/// on. The classic [`crate::read_all_at`] path pipelines reads.
 pub fn read_all_view_based(
     rank: &mut Rank,
     file: &mut File,
@@ -347,6 +384,18 @@ mod tests {
         let cfg = CollectiveConfig {
             cb_nodes: Some(2),
             cb_buffer: Some(64),
+            ..Default::default()
+        };
+        let (two_phase, view_based) = write_both_ways(3, 5, cfg);
+        assert_eq!(two_phase, view_based);
+    }
+
+    #[test]
+    fn view_based_pipelined_rounds_match_two_phase() {
+        let cfg = CollectiveConfig {
+            cb_nodes: Some(2),
+            cb_buffer: Some(64),
+            pipeline: true,
             ..Default::default()
         };
         let (two_phase, view_based) = write_both_ways(3, 5, cfg);

@@ -298,6 +298,7 @@ pub const LEGACY_ALIASES: &[(&str, &str)] = &[
     ("io_write_bytes", "mpisim_io_write_bytes_total"),
     ("mem_peak", "mpisim_mem_peak_bytes"),
     ("collective_wait", "mpisim_collective_wait_ns_total"),
+    ("io_overlap", "mpisim_io_overlap_ns_total"),
     ("io_retries", "mpisim_io_retries_total"),
     ("chaos_stalls", "mpisim_chaos_stalls_total"),
     ("leader_fallbacks", "mpisim_leader_fallbacks_total"),
@@ -402,6 +403,10 @@ impl Registry {
         self.add_counter(
             "mpisim_collective_wait_ns_total",
             (agg.collective_wait.max(0.0) * 1e9) as u64,
+        );
+        self.add_counter(
+            "mpisim_io_overlap_ns_total",
+            (agg.io_overlap.max(0.0) * 1e9) as u64,
         );
         self.add_counter("mpisim_io_retries_total", agg.io_retries);
         self.add_counter("mpisim_chaos_stalls_total", agg.chaos_stalls);

@@ -216,6 +216,28 @@ pub enum ReduceOp {
     Sum,
 }
 
+/// A deferred-completion I/O handle — the event-core primitive behind
+/// pipelined collective I/O. The storage layer applies bytes at submission
+/// time and returns the virtual completion instant; a pipelined caller
+/// holds that instant in one of these instead of syncing its clock, keeps
+/// working (e.g. runs the next round's exchange), and settles the clock
+/// later through [`Rank::io_complete`]. Because bytes land at submission
+/// and per-OST service is serialized on the storage timelines, deferring
+/// the *clock* sync never changes file contents — only how much of the
+/// service time hides behind other work.
+#[derive(Debug, Clone)]
+pub struct DeferredIo {
+    /// Span name recorded at completion (pipeline-tagged by convention,
+    /// e.g. `"ocio_io_pipe"`).
+    pub name: &'static str,
+    /// Virtual time the I/O was submitted.
+    pub submitted: f64,
+    /// Virtual completion instant returned by the storage layer.
+    pub done: f64,
+    /// Bytes moved, for span accounting.
+    pub bytes: u64,
+}
+
 /// Per-rank handle passed to the simulation body. Not `Send`: it belongs to
 /// its rank thread.
 pub struct Rank {
@@ -406,6 +428,21 @@ impl Rank {
     pub fn trace_mark(&mut self, name: &'static str, phase: Phase, start: f64, bytes: u64) {
         let end = self.clock;
         self.tracer.record(name, phase, start, end, bytes, None);
+    }
+
+    /// Settle a [`DeferredIo`] handle: record its `Phase::Io` span over
+    /// the true service interval `[submitted, done]`, account the portion
+    /// that elapsed while this rank was doing other work (the pipelining
+    /// win) in [`RankStats::io_overlap`], and sync the clock to the
+    /// completion instant — only the residual, non-hidden wait lands in
+    /// the `Io` phase totals, so conservation still holds.
+    pub fn io_complete(&mut self, h: DeferredIo) {
+        let end = h.done.max(h.submitted);
+        let hidden = (end.min(self.clock) - h.submitted).max(0.0);
+        self.stats.io_overlap += hidden;
+        self.tracer
+            .record(h.name, Phase::Io, h.submitted, end, h.bytes, None);
+        self.set_clock_as(end, Phase::Io);
     }
 
     /// Record a rendezvous-collective span: `ready` is the reconciled

@@ -22,6 +22,10 @@ pub struct RankStats {
     pub mem_peak: u64,
     /// Virtual time spent blocked in collectives (arrival → release).
     pub collective_wait: f64,
+    /// Virtual seconds of deferred (pipelined) I/O service that elapsed
+    /// while this rank was doing other work — exchange rounds, barriers —
+    /// instead of blocking on the completion. 0 for non-pipelined paths.
+    pub io_overlap: f64,
     /// I/O operations retried after a transient fault (chaos injection).
     pub io_retries: u64,
     /// Injected rank-stall windows this rank actually hit.
@@ -55,6 +59,7 @@ impl RankStats {
         self.io_write_bytes += other.io_write_bytes;
         self.mem_peak = self.mem_peak.max(other.mem_peak);
         self.collective_wait += other.collective_wait;
+        self.io_overlap += other.io_overlap;
         self.io_retries += other.io_retries;
         self.chaos_stalls += other.chaos_stalls;
         self.leader_fallbacks += other.leader_fallbacks;

@@ -191,6 +191,59 @@ fn synthetic_matrix_is_bit_identical_across_backends() {
     );
 }
 
+/// The pipelined + request-aggregated collective cell: chunked rounds
+/// (small `cb_buffer`), deferred round I/O, and the semantic intra-node
+/// request merge, on a 2-node topology — the deepest configuration of
+/// the two-phase path. Deferred completions reorder clock updates, so
+/// this cell guards exactly the machinery the plain `Method::Ocio` cell
+/// never touches.
+fn run_pipelined_reqagg(backend: Backend, chaos_seed: Option<u64>) -> Fingerprint {
+    let nprocs = 8;
+    let pcfg = pfs::PfsConfig {
+        num_osts: 4,
+        stripe_count: 4,
+        ..Default::default()
+    };
+    let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+    let (sim, engine) = sim_config(
+        backend,
+        Some(mpisim::Topology::blocked(nprocs, 4)),
+        chaos_seed,
+    );
+    if let Some(e) = &engine {
+        fs.attach_chaos(Arc::clone(e)).unwrap();
+    }
+    let params = SynthParams::with_types("i,d", 512, 2).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let ccfg = mpiio::CollectiveConfig {
+            cb_buffer: Some(512),
+            req_agg: true,
+            pipeline: true,
+            ..Default::default()
+        };
+        let w =
+            synthetic::write_ocio(rk, &fs2, &params, "/pr", &ccfg).map_err(WlError::into_mpi)?;
+        let r = synthetic::read_ocio(rk, &fs2, &params, "/pr", &ccfg).map_err(WlError::into_mpi)?;
+        Ok((w.bytes, w.elapsed.to_bits(), r.elapsed.to_bits()))
+    })
+    .unwrap();
+    fingerprint(&rep, &fs, &["/pr"])
+}
+
+#[test]
+fn pipelined_reqagg_is_bit_identical_across_backends() {
+    for chaos_seed in [None, Some(11)] {
+        let thread = run_pipelined_reqagg(Backend::Thread, chaos_seed);
+        let event = run_pipelined_reqagg(Backend::Event, chaos_seed);
+        assert_fp_eq(
+            &thread,
+            &event,
+            &format!("pipelined+req-agg, chaos {chaos_seed:?}"),
+        );
+    }
+}
+
 fn run_art(backend: Backend, method: ArtMethod) -> Fingerprint {
     let nprocs = 8;
     let cfg = ArtConfig {

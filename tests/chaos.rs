@@ -126,6 +126,103 @@ fn deterministic_tcio_run(
     (rep.clocks, rep.makespan, retries, stalls, bytes)
 }
 
+/// The pipelined + request-aggregated collective write/read (chunked
+/// rounds, deferred round I/O, intra-node request merge) under an
+/// optional fault engine. Returns (makespan, file bytes).
+fn pipelined_collective_run(engine: Option<Arc<chaos::ChaosEngine>>) -> (f64, Vec<u8>) {
+    let nprocs = 8;
+    let block = 4096usize;
+    let pcfg = pfs::PfsConfig {
+        stripe_size: 4096,
+        stripe_count: 4,
+        num_osts: 4,
+        ..Default::default()
+    };
+    let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+    if let Some(e) = &engine {
+        fs.attach_chaos(Arc::clone(e)).unwrap();
+    }
+    let sim = mpisim::SimConfig {
+        topology: Some(mpisim::Topology::blocked(nprocs, 4)),
+        chaos: engine,
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let ccfg = mpiio::CollectiveConfig {
+            cb_buffer: Some(1024), // several rounds per aggregator
+            req_agg: true,
+            pipeline: true,
+            ..Default::default()
+        };
+        let mut f =
+            mpiio::File::open(rk, &fs2, "/pchaos", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+        let data = vec![rk.rank() as u8 + 1; block];
+        mpiio::write_all_at(rk, &mut f, (rk.rank() * block) as u64, &data, &ccfg)
+            .map_err(to_mpi)?;
+        f.close(rk).map_err(to_mpi)?;
+        let mut g =
+            mpiio::File::open(rk, &fs2, "/pchaos", mpiio::Mode::ReadOnly).map_err(to_mpi)?;
+        let mut back = vec![0u8; block];
+        mpiio::read_all_at(rk, &mut g, (rk.rank() * block) as u64, &mut back, &ccfg)
+            .map_err(to_mpi)?;
+        g.close(rk).map_err(to_mpi)?;
+        if !back.iter().all(|&b| b == rk.rank() as u8 + 1) {
+            return Err(to_mpi(format!("rank {} read bad data", rk.rank())));
+        }
+        Ok(())
+    })
+    .unwrap();
+    let fid = fs.open("/pchaos").unwrap();
+    (rep.makespan, fs.snapshot_file(fid).unwrap())
+}
+
+#[test]
+fn pipelined_collective_survives_ost_slowdown_and_lock_storm() {
+    // Regression for the deferred-completion path under the committed
+    // brownout plan (`plans/ost_slowdown.toml`) and a lock-storm: the
+    // pipelined round loop must terminate (no deadlock on in-flight
+    // handles whose service windows got stretched), land every byte, and
+    // each fault family must cost virtual time over the fault-free run.
+    let (base_mk, want) = pipelined_collective_run(None);
+    assert!(!want.is_empty());
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/plans/ost_slowdown.toml"
+    ))
+    .unwrap();
+    let slowdown = chaos::FaultPlan::parse(&text).unwrap().build().unwrap();
+    let (slow_mk, slow_bytes) = pipelined_collective_run(Some(slowdown));
+    assert_eq!(slow_bytes, want, "brownout changed file bytes");
+    assert!(
+        slow_mk > base_mk,
+        "a 6x OST brownout must cost virtual time: {slow_mk} vs {base_mk}"
+    );
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/plans/lock_storm.toml"
+    ))
+    .unwrap();
+    let storm = chaos::FaultPlan::parse(&text).unwrap().build().unwrap();
+    let (storm_mk, storm_bytes) = pipelined_collective_run(Some(storm));
+    assert_eq!(storm_bytes, want, "lock storm changed file bytes");
+    assert!(
+        storm_mk > base_mk,
+        "a revocation storm must cost virtual time: {storm_mk} vs {base_mk}"
+    );
+
+    // Zero-cost-off for the pipelined path: an inert engine (the full
+    // extended plan scaled to zero) must leave makespan and bytes
+    // bit-identical to no engine at all.
+    let inert = extended_plan().scaled(0.0).build().unwrap();
+    assert!(inert.is_inert());
+    let (inert_mk, inert_bytes) = pipelined_collective_run(Some(inert));
+    assert_eq!(inert_bytes, want, "inert engine changed file bytes");
+    assert_eq!(inert_mk, base_mk, "inert engine changed the makespan");
+}
+
 #[test]
 fn faults_disabled_is_bit_identical_to_no_engine() {
     // Zero-cost-off: attaching an engine whose plan was scaled to zero —

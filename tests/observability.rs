@@ -12,8 +12,19 @@ use workloads::synthetic::{self, Method, SynthParams};
 use workloads::WlError;
 
 /// Span names that account for bytes written to the PFS (one per write
-/// path: collective aggregator, independent, data-sieving RMW, TCIO drain).
-const WRITE_SITES: [&str; 4] = ["ocio_io", "indep_write", "sieve_rmw", "tcio_drain"];
+/// path: collective aggregator, independent, data-sieving RMW, TCIO
+/// drain — plus the pipelined twins each path records when its deferred
+/// round/segment handles are in play).
+const WRITE_SITES: [&str; 8] = [
+    "ocio_io",
+    "indep_write",
+    "sieve_rmw",
+    "tcio_drain",
+    "ocio_io_pipe",
+    "vb_io_pipe",
+    "par_io_pipe",
+    "tcio_drain_pipe",
+];
 
 fn traced_write(
     method: Method,
@@ -435,6 +446,111 @@ fn chrome_trace_stays_well_formed_across_a_rank_crash() {
             );
         }
     }
+}
+
+/// Chunked collective write (several rounds per aggregator), flat or
+/// pipelined, with request aggregation on a 2-ranks-per-node topology.
+fn pipelined_conservation_run(pipeline: bool) -> (mpisim::SimReport<()>, Arc<pfs::Pfs>) {
+    let nprocs = 4;
+    let fs = pfs::Pfs::new(nprocs, pfs::PfsConfig::default()).unwrap();
+    let sim = mpisim::SimConfig {
+        trace: true,
+        topology: Some(mpisim::Topology::blocked(nprocs, 2)),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let ccfg = mpiio::CollectiveConfig {
+            cb_buffer: Some(256),
+            req_agg: true,
+            pipeline,
+            ..Default::default()
+        };
+        let p = SynthParams::with_types("i,d", 256, 2).unwrap();
+        synthetic::write_ocio(rk, &fs2, &p, "/pipe_obs", &ccfg).map_err(WlError::into_mpi)?;
+        Ok(())
+    })
+    .unwrap();
+    (rep, fs)
+}
+
+#[test]
+fn pipelined_rounds_conserve_time_bytes_and_report_overlap() {
+    // The overlap-conservation contract for the round pipeline: deferring
+    // I/O completions must not lose or double-count virtual time (the
+    // critical path still tiles [0, makespan] with zero residual), must
+    // not leak bytes (write-site spans still equal PFS bytes landed), and
+    // must show up in the insight overlap report — a strictly positive
+    // exchange/service overlap fraction, where the flat run reports
+    // exactly zero.
+    let (flat, flat_fs) = pipelined_conservation_run(false);
+    let (piped, piped_fs) = pipelined_conservation_run(true);
+
+    for (rep, fs, label) in [(&flat, &flat_fs, "flat"), (&piped, &piped_fs, "pipelined")] {
+        // Per-rank phase totals still partition the clock.
+        for (r, tr) in rep.traces.iter().enumerate() {
+            assert!(
+                (tr.totals.total() - rep.clocks[r]).abs() <= 1e-9,
+                "{label} rank {r}: phase sum {} vs clock {}",
+                tr.totals.total(),
+                rep.clocks[r]
+            );
+        }
+        // Critical path tiles the makespan with zero residual.
+        let cp = insight::Analyzer::new(&rep.traces).critical_path();
+        assert!(!cp.truncated, "{label}: path walker truncated");
+        assert!(
+            cp.residual().abs() <= 1e-9 * rep.makespan.max(1.0),
+            "{label}: path breakdown loses {}s of the makespan",
+            cp.residual()
+        );
+        // Bytes conservation through the (possibly pipelined) write sites.
+        let claimed: u64 = rep
+            .traces
+            .iter()
+            .flat_map(|t| &t.spans)
+            .filter(|s| WRITE_SITES.contains(&s.name))
+            .map(|s| s.bytes)
+            .sum();
+        assert_eq!(
+            claimed,
+            fs.stats.snapshot().bytes_written,
+            "{label}: write-site spans disagree with PFS bytes landed"
+        );
+        assert!(claimed > 0, "{label}: nothing was written");
+    }
+
+    // Same file bytes either way — the pipeline is a pure timing feature.
+    let bytes = |fs: &Arc<pfs::Pfs>| {
+        let fid = fs.open("/pipe_obs").unwrap();
+        fs.snapshot_file(fid).unwrap()
+    };
+    assert_eq!(bytes(&flat_fs), bytes(&piped_fs), "pipeline changed bytes");
+
+    // Overlap attribution: flat is exactly zero; pipelined is positive.
+    let flat_ov = insight::Analyzer::new(&flat.traces).overlap_report();
+    let piped_ov = insight::Analyzer::new(&piped.traces).overlap_report();
+    assert_eq!(
+        flat_ov.fraction(),
+        0.0,
+        "flat rounds are serialized — no exchange/service overlap"
+    );
+    assert!(
+        piped_ov.fraction() > 0.0,
+        "pipelined rounds must hide OST service behind exchange \
+         (io_busy {} overlapped {})",
+        piped_ov.io_busy,
+        piped_ov.overlapped
+    );
+    // And the pipelined spans really are the deferred twins.
+    assert!(
+        piped
+            .traces
+            .iter()
+            .flat_map(|t| &t.spans)
+            .any(|s| s.name == "ocio_io_pipe"),
+        "pipelined run must record deferred-round write spans"
+    );
 }
 
 #[test]

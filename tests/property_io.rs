@@ -188,6 +188,147 @@ fn run_plan_variant(plan: &Plan, ppn: usize, variant: &'static str) -> Vec<u8> {
     fs.snapshot_file(fid).unwrap()
 }
 
+/// Run the plan through one (method, req_agg, pipeline) ablation cell
+/// under a node topology: write every block collectively (or through
+/// TCIO), then read every block back collectively, and return the PFS
+/// bytes plus the read-back bytes (concatenated in block order).
+fn run_plan_ablation(
+    plan: &Plan,
+    ppn: usize,
+    method: &'static str,
+    req_agg: bool,
+    pipeline: bool,
+) -> (Vec<u8>, Vec<u8>) {
+    fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+        mpisim::MpiError::InvalidDatatype(e.to_string())
+    }
+    let fs = pfs::Pfs::new(plan.nprocs, pfs::PfsConfig::default()).unwrap();
+    let sim = mpisim::SimConfig {
+        topology: Some(mpisim::Topology::blocked(plan.nprocs, ppn)),
+        ..Default::default()
+    };
+    let fs2 = Arc::clone(&fs);
+    let plan2 = plan.clone();
+    let reads = mpisim::run(plan.nprocs, sim, move |rk| {
+        // Small collective buffer so multi-block plans take several
+        // rounds — otherwise the pipeline axis would never engage.
+        let ccfg = mpiio::CollectiveConfig {
+            cb_buffer: Some(64),
+            req_agg,
+            pipeline,
+            ..Default::default()
+        };
+        match method {
+            "tcio" => {
+                let file_end = plan2
+                    .blocks
+                    .iter()
+                    .map(|&(_, o, l, _)| o + l as u64)
+                    .max()
+                    .unwrap_or(0);
+                let cfg = TcioConfig {
+                    pipeline_drain: pipeline,
+                    ..TcioConfig::for_file_size_with_segment(
+                        file_end.max(1),
+                        rk.nprocs(),
+                        plan2.segment,
+                    )
+                };
+                let mut f =
+                    TcioFile::open(rk, &fs2, "/abl", TcioMode::Write, cfg).map_err(to_mpi)?;
+                for &(rank, off, len, fill) in &plan2.blocks {
+                    if rank == rk.rank() {
+                        f.write_at(rk, off, &block_data(len, fill))
+                            .map_err(to_mpi)?;
+                    }
+                }
+                f.close(rk).map_err(to_mpi)?;
+            }
+            _ => {
+                let mut f =
+                    mpiio::File::open(rk, &fs2, "/abl", mpiio::Mode::WriteOnly).map_err(to_mpi)?;
+                for &(rank, off, len, fill) in &plan2.blocks {
+                    let (o, data) = if rank == rk.rank() {
+                        (off, block_data(len, fill))
+                    } else {
+                        (0, Vec::new())
+                    };
+                    mpiio::write_all_at(rk, &mut f, o, &data, &ccfg).map_err(to_mpi)?;
+                }
+                f.close(rk).map_err(to_mpi)?;
+            }
+        }
+        // Read-back through the collective read path under the same
+        // ablation config; every rank re-reads its own blocks.
+        let mut f = mpiio::File::open(rk, &fs2, "/abl", mpiio::Mode::ReadOnly).map_err(to_mpi)?;
+        let mut mine = Vec::new();
+        for &(rank, off, len, _) in &plan2.blocks {
+            let (o, mut buf) = if rank == rk.rank() {
+                (off, vec![0u8; len])
+            } else {
+                (0, Vec::new())
+            };
+            mpiio::read_all_at(rk, &mut f, o, &mut buf, &ccfg).map_err(to_mpi)?;
+            mine.extend_from_slice(&buf);
+        }
+        f.close(rk).map_err(to_mpi)?;
+        Ok(mine)
+    })
+    .unwrap();
+    let fid = fs.open("/abl").unwrap();
+    let bytes = fs.snapshot_file(fid).unwrap();
+    // Stitch the per-rank read-backs into block order.
+    let mut cursors = vec![0usize; plan.nprocs];
+    let mut readback = Vec::new();
+    for &(rank, _, len, _) in &plan.blocks {
+        let c = cursors[rank];
+        readback.extend_from_slice(&reads.results[rank][c..c + len]);
+        cursors[rank] = c + len;
+    }
+    (bytes, readback)
+}
+
+#[test]
+fn ablation_matrix_is_byte_identical_across_random_plans() {
+    // The tentpole differential property: for ~50 seeded plans and a
+    // seeded node placement, every combination of the two ablation knobs
+    // — request aggregation and the round pipeline — must produce PFS
+    // bytes identical to the flat run (and to the byte-array model), and
+    // the collective read-back under the same knobs must return exactly
+    // the bytes each rank wrote. The knobs are pure virtual-time
+    // features; any byte drift is a merging or pipelining bug.
+    for seed in 400..450u64 {
+        let plan = random_plan(seed);
+        if plan.blocks.is_empty() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1A);
+        let ppn = pick(&mut rng, 1, plan.nprocs as u64 + 1) as usize;
+        let want = model_file(&plan);
+        let want_readback: Vec<u8> = plan
+            .blocks
+            .iter()
+            .flat_map(|&(_, _, len, fill)| block_data(len, fill))
+            .collect();
+        for method in ["tcio", "ocio"] {
+            for (req_agg, pipeline) in [(false, false), (true, false), (false, true), (true, true)]
+            {
+                let (bytes, readback) = run_plan_ablation(&plan, ppn, method, req_agg, pipeline);
+                assert_eq!(
+                    bytes, want,
+                    "seed {seed} ppn {ppn} {method} req_agg={req_agg} \
+                     pipeline={pipeline}: file bytes diverged: {plan:?}"
+                );
+                assert_eq!(
+                    readback, want_readback,
+                    "seed {seed} ppn {ppn} {method} req_agg={req_agg} \
+                     pipeline={pipeline}: read-back diverged: {plan:?}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn all_write_stacks_agree_under_random_topologies() {
     // Differential suite for the node-aware paths: for each seeded plan
