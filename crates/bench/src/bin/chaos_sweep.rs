@@ -5,7 +5,7 @@
 //!
 //!   cargo run --release --bin chaos_sweep -- \
 //!       --procs 8 --len 65536 --points 5 [--plan plans/mixed.toml] \
-//!       [--crash-rank 0] [--crash-at 0.002]
+//!       [--crash-rank 0] [--crash-at 0.002] [--json out.json]
 //!
 //! Without `--plan` a built-in mixed plan is used (OST brownout + outage,
 //! message delay, one straggler rank, elevated request overhead).
@@ -17,7 +17,7 @@
 //! recovery and reports `"completed": false`. Pass `--crash-rank -1` to
 //! skip the crash sweep.
 
-use bench::{runner, Args, Calib};
+use bench::{runner, Args, Calib, Json};
 use chaos::{Fault, FaultPlan};
 use workloads::synthetic::Method;
 
@@ -56,16 +56,8 @@ fn builtin_plan() -> FaultPlan {
         })
 }
 
-fn json_f(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Run the intensity sweep for one plan and return the JSON points array
-/// (indented for embedding). `label` prefixes the progress lines.
+/// Run the intensity sweep for one plan and return the points array.
+/// `label` prefixes the progress lines.
 #[allow(clippy::too_many_arguments)]
 fn sweep(
     plan: &FaultPlan,
@@ -75,17 +67,17 @@ fn sweep(
     len: usize,
     size_access: usize,
     points: usize,
-) -> String {
+) -> Json {
     let methods = [(Method::Tcio, "tcio"), (Method::Ocio, "ocio")];
     let mut baselines = [0.0f64; 2];
-    let mut out = String::new();
+    let mut out = Vec::new();
     for p in 0..points {
         let k = p as f64 / (points - 1) as f64;
         let engine = plan.scaled(k).build().unwrap_or_else(|e| {
             eprintln!("fault plan rejected at intensity {k}: {e}");
             std::process::exit(2);
         });
-        let mut cells = Vec::new();
+        let mut point = Json::obj().with("intensity", Json::num(k));
         for (m, (method, name)) in methods.iter().enumerate() {
             let r = runner::run_synth_chaos(
                 calib,
@@ -113,29 +105,23 @@ fn sweep(
                 r.segments_recovered,
                 if r.completed { "" } else { " [ABORTED]" },
             );
-            cells.push(format!(
-                "\"{name}\": {{\"completed\": {}, \"write_s\": {}, \"read_s\": {}, \
-                 \"slowdown\": {}, \"io_retries\": {}, \"chaos_stalls\": {}, \
-                 \"transient_errors\": {}, \"rank_crashes\": {}, \"segments_recovered\": {}}}",
-                r.completed,
-                json_f(r.write_s),
-                json_f(r.read_s),
-                json_f(slowdown),
-                r.io_retries,
-                r.chaos_stalls,
-                r.transient_errors,
-                r.rank_crashes,
-                r.segments_recovered
-            ));
+            point.set(
+                name,
+                Json::obj()
+                    .with("completed", Json::Bool(r.completed))
+                    .with("write_s", Json::num(r.write_s))
+                    .with("read_s", Json::num(r.read_s))
+                    .with("slowdown", Json::num(slowdown))
+                    .with("io_retries", Json::num(r.io_retries as f64))
+                    .with("chaos_stalls", Json::num(r.chaos_stalls as f64))
+                    .with("transient_errors", Json::num(r.transient_errors as f64))
+                    .with("rank_crashes", Json::num(r.rank_crashes as f64))
+                    .with("segments_recovered", Json::num(r.segments_recovered as f64)),
+            );
         }
-        out.push_str(&format!(
-            "    {{\"intensity\": {}, {}}}{}\n",
-            json_f(k),
-            cells.join(", "),
-            if p + 1 < points { "," } else { "" }
-        ));
+        out.push(point);
     }
-    out
+    Json::Arr(out)
 }
 
 fn main() {
@@ -164,9 +150,10 @@ fn main() {
         }
     };
 
-    let mut out = String::from("{\n  \"points\": [\n");
-    out.push_str(&sweep(&plan, "", &calib, nprocs, len, size_access, points));
-    out.push_str("  ]");
+    let mut doc = Json::obj().with(
+        "points",
+        sweep(&plan, "", &calib, nprocs, len, size_access, points),
+    );
 
     // Crash sweep: the same plan with one rank crash-stopped mid-dump.
     // TCIO recovers (durability epochs); OCIO aborts. Rank 0 is the
@@ -184,27 +171,25 @@ fn main() {
             std::process::exit(2);
         }
         let crash_plan = plan.clone().with(Fault::RankCrash { rank, at });
-        out.push_str(&format!(
-            ",\n  \"crash\": {{\"rank\": {rank}, \"at\": {}, \"points\": [\n",
-            json_f(at)
-        ));
-        out.push_str(&sweep(
-            &crash_plan,
-            "crash ",
-            &calib,
-            nprocs,
-            len,
-            size_access,
-            points,
-        ));
-        out.push_str("  ]}");
+        doc.set(
+            "crash",
+            Json::obj()
+                .with("rank", Json::num(rank as f64))
+                .with("at", Json::num(at))
+                .with(
+                    "points",
+                    sweep(
+                        &crash_plan,
+                        "crash ",
+                        &calib,
+                        nprocs,
+                        len,
+                        size_access,
+                        points,
+                    ),
+                ),
+        );
     }
-    out.push_str("\n}\n");
-    print!("{out}");
-    if let Some(path) = args.get("json") {
-        bench::write_json_text(path, &out).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-    }
+    println!("{}", doc.render());
+    bench::emit_json(&args, &doc);
 }

@@ -15,6 +15,7 @@
 //! | `topo_sweep` | node topology sweep: ppn × {TCIO, OCIO, OCIO+intra-agg}, intra/inter byte split |
 //! | `ablation_sweep` | pipelining/request-aggregation ablation: {flat, +req-agg, +pipeline, +both} × {tcio, ocio}, makespans + overlap fraction |
 //! | `tenant_sweep` | multi-tenant facility: offered rate × QoS mode → aggregate + per-tenant p50/p95/p99 |
+//! | `resilience_sweep` | gray-failure defense: fault intensity × {defended, undefended} → latency percentiles + defense counters |
 //!
 //! Microbenches for hot paths live in `benches/micro.rs` (`cargo bench -p bench`).
 
@@ -22,6 +23,7 @@ pub mod ablation;
 pub mod calib;
 pub mod perfgate;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod tenant;
 pub mod topo;

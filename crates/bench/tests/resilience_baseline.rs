@@ -1,0 +1,156 @@
+//! Regression guard for the gray-failure defense: re-run the committed
+//! `bench_results/resilience_sweep.json` grid and diff it against the
+//! committed document through the perfgate tolerance policy, then assert
+//! the headline claims directly on the baseline — the defended stack
+//! bounds p99 under the flaky-OST plan where the undefended stack does
+//! not, and the post-run rebuild drains every relocated extent.
+//!
+//! The sweep always runs on the serial event core, so the re-run is
+//! bit-identical to the committed baseline on any machine. After an
+//! intentional cost-model or defense change, regenerate with:
+//!
+//!   cargo run --release -p bench --bin resilience_sweep -- \
+//!       --plan plans/flaky_ost.toml --json bench_results/resilience_sweep.json
+
+use bench::resilience::{sweep_calib, sweep_to_json};
+use bench::{perfgate, Json};
+use chaos::FaultPlan;
+
+/// Must match the defaults of the `resilience_sweep` binary.
+const PROCS: usize = 4;
+const LEN: usize = 1 << 21;
+const SIZE_ACCESS: usize = 1;
+const POINTS: usize = 4;
+const SCALE: u64 = 1024;
+
+fn baseline() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_results/resilience_sweep.json"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("unparseable baseline {path}: {e}"))
+}
+
+fn committed_plan() -> FaultPlan {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../plans/flaky_ost.toml");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed plan {path}: {e}"));
+    FaultPlan::parse(&text).unwrap_or_else(|e| panic!("bad committed plan {path}: {e}"))
+}
+
+#[test]
+fn sweep_matches_the_committed_baseline_within_perfgate_tolerances() {
+    let baseline = baseline();
+    let candidate = sweep_to_json(
+        &committed_plan(),
+        &sweep_calib(SCALE),
+        PROCS,
+        LEN,
+        SIZE_ACCESS,
+        POINTS,
+    );
+    let rep = perfgate::diff(&baseline, &candidate);
+    assert!(
+        rep.passed(),
+        "resilience sweep regressed against bench_results/resilience_sweep.json:\n{}\
+         If a cost-model or defense change is intentional, regenerate the \
+         baseline with the resilience_sweep binary.",
+        rep.render()
+    );
+}
+
+/// The headline acceptance claim, asserted on the committed document:
+/// at full fault intensity the defended stack's p99 stays within 2x of
+/// its own fault-free p99 while the undefended stack exceeds 2x — the
+/// gray-failure plan is strong enough to hurt, and the defenses bound
+/// the damage.
+#[test]
+fn baseline_pins_defended_p99_within_2x_where_undefended_blows_past() {
+    let baseline = baseline();
+    let points = baseline.get("points").and_then(|p| p.as_arr()).unwrap();
+    assert_eq!(points.len(), POINTS);
+    let full = points.last().unwrap();
+    assert_eq!(full.get("intensity").and_then(Json::as_f64), Some(1.0));
+    let slowdown = |arm: &str| {
+        full.get(arm)
+            .and_then(|c| c.get("p99_slowdown"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("baseline missing {arm} p99_slowdown"))
+    };
+    let defended = slowdown("defended");
+    let undefended = slowdown("undefended");
+    assert!(
+        defended <= 2.0,
+        "defended p99 slowdown {defended:.2}x exceeds the 2x bound"
+    );
+    assert!(
+        undefended > 2.0,
+        "undefended p99 slowdown {undefended:.2}x no longer exceeds 2x — \
+         the committed plan is too gentle to demonstrate the defense"
+    );
+    // And the defense actually acted: breaker tripped, writes relocated,
+    // hedges fired, rebuild drained the relocation map.
+    let defense = full
+        .get("defended")
+        .and_then(|c| c.get("defense"))
+        .expect("defended cell carries defense counters");
+    let leaf = |k: &str| defense.get(k).and_then(Json::as_f64).unwrap();
+    assert!(leaf("breaker_opens") >= 1.0);
+    assert!(leaf("degraded_writes") >= 1.0);
+    assert!(leaf("hedges_issued") >= 1.0);
+    assert_eq!(
+        leaf("relocated_after_rebuild"),
+        0.0,
+        "rebuild must converge"
+    );
+    assert_eq!(
+        leaf("rebuilt_bytes"),
+        leaf("degraded_bytes"),
+        "every degraded byte must migrate home"
+    );
+}
+
+/// Intensity 0 is the inert plan: both arms must agree exactly (the
+/// defense layer is attached but idle — the zero-cost-off contract), and
+/// every defense counter must be zero.
+#[test]
+fn baseline_intensity_zero_arms_are_identical_and_quiet() {
+    let baseline = baseline();
+    let points = baseline.get("points").and_then(|p| p.as_arr()).unwrap();
+    let quiet = &points[0];
+    assert_eq!(quiet.get("intensity").and_then(Json::as_f64), Some(0.0));
+    for leaf in ["write_s", "read_s", "p50_us", "p99_us", "p999_us"] {
+        let v = |arm: &str| {
+            quiet
+                .get(arm)
+                .and_then(|c| c.get(leaf))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(
+            v("defended"),
+            v("undefended"),
+            "inert-plan {leaf} differs between arms: the defense layer is \
+             not zero-cost when idle"
+        );
+    }
+    let defense = quiet
+        .get("defended")
+        .and_then(|c| c.get("defense"))
+        .unwrap();
+    for counter in [
+        "hedges_issued",
+        "breaker_opens",
+        "probes",
+        "degraded_writes",
+        "rebuilt_extents",
+    ] {
+        assert_eq!(
+            defense.get(counter).and_then(Json::as_f64),
+            Some(0.0),
+            "inert-plan run must leave {counter} at zero"
+        );
+    }
+}

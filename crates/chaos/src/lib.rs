@@ -98,6 +98,34 @@ pub enum Fault {
     /// The stored bytes then disagree with the stored checksum — exactly
     /// the failure end-to-end verification exists to catch.
     SilentCorruption { rate: f64, from: f64, until: f64 },
+    /// Gray failure: OST `ost` is *flaky* inside the window — it cycles
+    /// between healthy service and `factor`× tail-latency spikes. Each
+    /// `period`-second cycle contains one spike covering a `duty` fraction
+    /// of the cycle, with the spike's phase within the cycle drawn
+    /// deterministically per cycle from the plan seed. Unlike
+    /// [`Fault::OstSlowdown`] the degradation is intermittent, which is
+    /// what defeats naive threshold detectors and motivates EWMA health
+    /// tracking + hedging.
+    FlakyOst {
+        ost: usize,
+        factor: f64,
+        period: f64,
+        duty: f64,
+        from: f64,
+        until: f64,
+    },
+    /// Gray failure: the fabric path from node `src` to node `dst` loses
+    /// bandwidth inside the window — transfers in that direction take
+    /// `factor`× longer. Asymmetric by design (the reverse path is
+    /// unaffected unless a second fault names it), modeling a degraded
+    /// link lane / failing optic.
+    LinkDegrade {
+        src: usize,
+        dst: usize,
+        factor: f64,
+        from: f64,
+        until: f64,
+    },
 }
 
 impl Fault {
@@ -182,6 +210,33 @@ impl Fault {
                     return Err(format!("corruption rate {rate} must be in [0, 1]"));
                 }
                 Ok(())
+            }
+            Fault::FlakyOst {
+                factor,
+                period,
+                duty,
+                from,
+                until,
+                ..
+            } => {
+                check_window(from, until)?;
+                check_factor(factor)?;
+                if !period.is_finite() || period <= 0.0 {
+                    return Err(format!("flaky period {period} must be > 0"));
+                }
+                if !duty.is_finite() || !(0.0..=1.0).contains(&duty) {
+                    return Err(format!("flaky duty {duty} must be in [0, 1]"));
+                }
+                Ok(())
+            }
+            Fault::LinkDegrade {
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                check_window(from, until)?;
+                check_factor(factor)
             }
         }
     }
@@ -270,6 +325,40 @@ impl Fault {
                 let (from, until) = w(from, until);
                 Fault::SilentCorruption {
                     rate: rate * k,
+                    from,
+                    until,
+                }
+            }
+            Fault::FlakyOst {
+                ost,
+                factor,
+                period,
+                duty,
+                from,
+                until,
+            } => {
+                let (from, until) = w(from, until);
+                Fault::FlakyOst {
+                    ost,
+                    factor: f(factor),
+                    period,
+                    duty: duty * k,
+                    from,
+                    until,
+                }
+            }
+            Fault::LinkDegrade {
+                src,
+                dst,
+                factor,
+                from,
+                until,
+            } => {
+                let (from, until) = w(from, until);
+                Fault::LinkDegrade {
+                    src,
+                    dst,
+                    factor: f(factor),
                     from,
                     until,
                 }
@@ -414,7 +503,9 @@ impl ChaosEngine {
             .faults
             .iter()
             .filter_map(|f| match f {
-                Fault::OstSlowdown { ost, .. } | Fault::OstOutage { ost, .. } => Some(*ost),
+                Fault::OstSlowdown { ost, .. }
+                | Fault::OstOutage { ost, .. }
+                | Fault::FlakyOst { ost, .. } => Some(*ost),
                 _ => None,
             })
             .max();
@@ -456,6 +547,19 @@ impl ChaosEngine {
         self.plan.faults.iter().all(|f| match *f {
             Fault::ConnFlush { .. } | Fault::RankCrash { .. } => false,
             Fault::SilentCorruption { rate, from, until } => until <= from || rate <= 0.0,
+            Fault::FlakyOst {
+                factor,
+                duty,
+                from,
+                until,
+                ..
+            } => until <= from || duty <= 0.0 || factor <= 1.0,
+            Fault::LinkDegrade {
+                factor,
+                from,
+                until,
+                ..
+            } => until <= from || factor <= 1.0,
             Fault::OstSlowdown { from, until, .. }
             | Fault::OstOutage { from, until, .. }
             | Fault::RequestOverhead { from, until, .. }
@@ -487,22 +591,57 @@ impl ChaosEngine {
     // ---- pfs-facing queries ----
 
     /// Multiplicative service-time factor for `ost` at instant `t`.
+    /// Folds both steady [`Fault::OstSlowdown`] windows and the spike
+    /// phases of [`Fault::FlakyOst`] cycles, so consumers need a single
+    /// call site for all service-degradation families.
     pub fn ost_factor(&self, ost: usize, t: f64) -> f64 {
         let mut f = 1.0;
         for fault in &self.plan.faults {
-            if let Fault::OstSlowdown {
-                ost: o,
-                factor,
-                from,
-                until,
-            } = *fault
-            {
-                if o == ost && from <= t && t < until {
+            match *fault {
+                Fault::OstSlowdown {
+                    ost: o,
+                    factor,
+                    from,
+                    until,
+                } if o == ost && from <= t && t < until => {
                     f *= factor;
                 }
+                Fault::FlakyOst {
+                    ost: o,
+                    factor,
+                    period,
+                    duty,
+                    from,
+                    until,
+                } if o == ost
+                    && from <= t
+                    && t < until
+                    && self.flaky_spike(o, period, duty, from, t) =>
+                {
+                    f *= factor;
+                }
+                _ => {}
             }
         }
         f
+    }
+
+    /// Is the flaky spike of the cycle containing `t` active? Each cycle
+    /// `c = ⌊(t − from)/period⌋` holds one spike of length `duty × period`
+    /// whose start phase is drawn deterministically from
+    /// `unit_hash(site(ost, c))` — intermittence without shared state.
+    fn flaky_spike(&self, ost: usize, period: f64, duty: f64, from: f64, t: f64) -> bool {
+        if duty <= 0.0 {
+            return false;
+        }
+        if duty >= 1.0 {
+            return true;
+        }
+        let cycle = ((t - from) / period).floor();
+        let frac = (t - from) / period - cycle;
+        let site = 0x464c_414b_594f_0000u64 ^ ((ost as u64) << 24) ^ (cycle as u64);
+        let start = self.unit_hash(site) * (1.0 - duty);
+        frac >= start && frac < start + duty
     }
 
     /// If `ost` is in outage at `t`, the instant the outage lifts.
@@ -568,6 +707,37 @@ impl ChaosEngine {
                 _ => 0.0,
             })
             .sum()
+    }
+
+    /// Multiplicative transfer-duration factor for a fabric message from
+    /// node `src` to node `dst` transmitted at `t`. Asymmetric: only
+    /// faults naming exactly this ordered pair apply. `1.0` when healthy.
+    pub fn link_factor(&self, src: usize, dst: usize, t: f64) -> f64 {
+        let mut f = 1.0;
+        for fault in &self.plan.faults {
+            if let Fault::LinkDegrade {
+                src: s,
+                dst: d,
+                factor,
+                from,
+                until,
+            } = *fault
+            {
+                if s == src && d == dst && from <= t && t < until {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Does the plan contain any [`Fault::LinkDegrade`] at all? Fast-path
+    /// gate so the fabric skips the per-transfer query on healthy plans.
+    pub fn any_link_degrade(&self) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::LinkDegrade { .. }))
     }
 
     /// Number of connection-cache flush instants at or before `t`. A source
@@ -1054,6 +1224,181 @@ mod tests {
             .with(Fault::ClientLockStorm {
                 lo: 5,
                 hi: 4,
+                from: 0.0,
+                until: 1.0,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn flaky_ost_spikes_within_duty_cycle() {
+        let e = FaultPlan::new(3)
+            .with(Fault::FlakyOst {
+                ost: 1,
+                factor: 16.0,
+                period: 0.1,
+                duty: 0.4,
+                from: 0.0,
+                until: 10.0,
+            })
+            .build()
+            .unwrap();
+        assert!(!e.is_inert());
+        assert_eq!(e.max_ost(), Some(1));
+        // Other OSTs and out-of-window instants are healthy.
+        assert_eq!(e.ost_factor(0, 1.0), 1.0);
+        assert_eq!(e.ost_factor(1, 10.0), 1.0);
+        // Sampling one cycle densely: the spike covers ~duty of it, at
+        // factor 16, and the query is a pure function of time.
+        let mut spiked = 0;
+        let n = 1000;
+        for i in 0..n {
+            let t = 0.2 + 0.1 * i as f64 / n as f64;
+            let f = e.ost_factor(1, t);
+            assert!(f == 1.0 || f == 16.0);
+            assert_eq!(f, e.ost_factor(1, t), "pure function of t");
+            if f == 16.0 {
+                spiked += 1;
+            }
+        }
+        let frac = spiked as f64 / n as f64;
+        assert!(
+            (frac - 0.4).abs() < 0.05,
+            "spike fraction {frac} should track duty 0.4"
+        );
+        // duty = 1 degenerates to a steady slowdown; duty = 0 is inert.
+        let solid = FaultPlan::new(3)
+            .with(Fault::FlakyOst {
+                ost: 0,
+                factor: 2.0,
+                period: 1.0,
+                duty: 1.0,
+                from: 0.0,
+                until: 5.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(solid.ost_factor(0, 2.5), 2.0);
+        let idle = FaultPlan::new(3)
+            .with(Fault::FlakyOst {
+                ost: 0,
+                factor: 2.0,
+                period: 1.0,
+                duty: 0.0,
+                from: 0.0,
+                until: 5.0,
+            })
+            .build()
+            .unwrap();
+        assert!(idle.is_inert());
+        assert_eq!(idle.ost_factor(0, 2.5), 1.0);
+    }
+
+    #[test]
+    fn flaky_ost_scales_and_validates() {
+        let plan = FaultPlan::new(3).with(Fault::FlakyOst {
+            ost: 0,
+            factor: 9.0,
+            period: 0.5,
+            duty: 0.8,
+            from: 0.0,
+            until: 4.0,
+        });
+        let zero = plan.scaled(0.0).build().unwrap();
+        assert!(zero.is_inert());
+        let half = plan.scaled(0.5).build().unwrap();
+        match half.plan().faults[0] {
+            Fault::FlakyOst {
+                factor,
+                duty,
+                until,
+                ..
+            } => {
+                assert_eq!(factor, 5.0);
+                assert_eq!(duty, 0.4);
+                assert_eq!(until, 2.0);
+            }
+            _ => unreachable!(),
+        }
+        for bad in [
+            Fault::FlakyOst {
+                ost: 0,
+                factor: 0.5,
+                period: 1.0,
+                duty: 0.5,
+                from: 0.0,
+                until: 1.0,
+            },
+            Fault::FlakyOst {
+                ost: 0,
+                factor: 2.0,
+                period: 0.0,
+                duty: 0.5,
+                from: 0.0,
+                until: 1.0,
+            },
+            Fault::FlakyOst {
+                ost: 0,
+                factor: 2.0,
+                period: 1.0,
+                duty: 1.5,
+                from: 0.0,
+                until: 1.0,
+            },
+        ] {
+            assert!(FaultPlan::new(0).with(bad).build().is_err());
+        }
+    }
+
+    #[test]
+    fn link_degrade_is_asymmetric_and_windowed() {
+        let e = FaultPlan::new(5)
+            .with(Fault::LinkDegrade {
+                src: 0,
+                dst: 2,
+                factor: 3.0,
+                from: 1.0,
+                until: 2.0,
+            })
+            .with(Fault::LinkDegrade {
+                src: 0,
+                dst: 2,
+                factor: 2.0,
+                from: 1.5,
+                until: 2.5,
+            })
+            .build()
+            .unwrap();
+        assert!(!e.is_inert());
+        assert!(e.any_link_degrade());
+        assert_eq!(e.link_factor(0, 2, 0.5), 1.0, "before the window");
+        assert_eq!(e.link_factor(0, 2, 1.2), 3.0);
+        assert_eq!(e.link_factor(0, 2, 1.7), 6.0, "overlaps compose");
+        assert_eq!(e.link_factor(0, 2, 2.2), 2.0);
+        assert_eq!(e.link_factor(2, 0, 1.2), 1.0, "reverse path healthy");
+        assert_eq!(e.link_factor(1, 2, 1.2), 1.0, "other pairs healthy");
+        assert!(!ChaosEngine::none().any_link_degrade());
+        // Scaling shrinks both factor and window.
+        let half = FaultPlan::new(5)
+            .with(Fault::LinkDegrade {
+                src: 0,
+                dst: 2,
+                factor: 3.0,
+                from: 1.0,
+                until: 2.0,
+            })
+            .scaled(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(half.link_factor(0, 2, 1.25), 2.0);
+        assert_eq!(half.link_factor(0, 2, 1.75), 1.0);
+        // factor < 1 rejected.
+        assert!(FaultPlan::new(0)
+            .with(Fault::LinkDegrade {
+                src: 0,
+                dst: 1,
+                factor: 0.9,
                 from: 0.0,
                 until: 1.0,
             })

@@ -33,8 +33,81 @@
 //! | `rank_slowdown`    | `rank`, `factor`, `from`, `until`     |
 //! | `rank_crash`       | `rank`, `at`                          |
 //! | `silent_corruption`| `rate`, `from`, `until`               |
+//! | `flaky_ost`        | `ost`, `factor`, `period`, `duty`, `from`, `until` |
+//! | `link_degrade`     | `src`, `dst`, `factor`, `from`, `until` |
+//!
+//! Unknown sections, kinds, and keys are rejected with a line-numbered
+//! error that names the nearest valid spelling (edit distance), so a
+//! typo'd plan fails loudly instead of silently injecting nothing.
 
 use crate::{Fault, FaultPlan, RetryPolicy};
+
+/// Every fault kind with its full key set (`kind` included) — the
+/// suggestion tables behind unknown-key / unknown-kind diagnostics.
+const KIND_KEYS: &[(&str, &[&str])] = &[
+    ("ost_slowdown", &["kind", "ost", "factor", "from", "until"]),
+    ("ost_outage", &["kind", "ost", "from", "until"]),
+    ("request_overhead", &["kind", "extra", "from", "until"]),
+    ("lock_storm", &["kind", "from", "until"]),
+    (
+        "client_lock_storm",
+        &["kind", "client_lo", "client_hi", "from", "until"],
+    ),
+    ("message_delay", &["kind", "delay", "from", "until"]),
+    ("conn_flush", &["kind", "at"]),
+    ("rank_stall", &["kind", "rank", "from", "until"]),
+    (
+        "rank_slowdown",
+        &["kind", "rank", "factor", "from", "until"],
+    ),
+    ("rank_crash", &["kind", "rank", "at"]),
+    ("silent_corruption", &["kind", "rate", "from", "until"]),
+    (
+        "flaky_ost",
+        &["kind", "ost", "factor", "period", "duty", "from", "until"],
+    ),
+    (
+        "link_degrade",
+        &["kind", "src", "dst", "factor", "from", "until"],
+    ),
+];
+
+const RETRY_KEYS: &[&str] = &["max_attempts", "base_backoff", "max_backoff"];
+
+fn keys_for_kind(kind: &str) -> Option<&'static [&'static str]> {
+    KIND_KEYS
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, keys)| *keys)
+}
+
+/// Classic dynamic-programming edit distance, O(|a|·|b|); plan keys are
+/// tiny so no banding needed.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `unknown` by edit distance (first wins ties),
+/// rendered as a diagnostic suffix. Always names *some* neighbor — a
+/// rejected key should tell the user what the section does accept.
+fn nearest(unknown: &str, candidates: &[&str]) -> String {
+    candidates
+        .iter()
+        .min_by_key(|c| levenshtein(unknown, c))
+        .map(|c| format!(" (nearest valid: `{c}`)"))
+        .unwrap_or_default()
+}
 
 /// Why a plan failed to parse or validate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,11 +198,16 @@ impl Section {
         v.as_usize(key, line)
     }
 
-    fn finish(self) -> Result<(), PlanError> {
+    fn finish(self, valid: &[&str]) -> Result<(), PlanError> {
         if let Some(e) = self.entries.first() {
             return Err(PlanError::Syntax {
                 line: e.line,
-                msg: format!("unknown key `{}` in section `{}`", e.key, self.name),
+                msg: format!(
+                    "unknown key `{}` in section `{}`{}",
+                    e.key,
+                    self.name,
+                    nearest(&e.key, valid)
+                ),
             });
         }
         Ok(())
@@ -239,14 +317,30 @@ fn fault_from_section(mut s: Section) -> Result<Fault, PlanError> {
             from: s.require_f64("from")?,
             until: s.require_f64("until")?,
         },
+        "flaky_ost" => Fault::FlakyOst {
+            ost: s.require_usize("ost")?,
+            factor: s.require_f64("factor")?,
+            period: s.require_f64("period")?,
+            duty: s.require_f64("duty")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
+        "link_degrade" => Fault::LinkDegrade {
+            src: s.require_usize("src")?,
+            dst: s.require_usize("dst")?,
+            factor: s.require_f64("factor")?,
+            from: s.require_f64("from")?,
+            until: s.require_f64("until")?,
+        },
         other => {
+            let kinds: Vec<&str> = KIND_KEYS.iter().map(|(k, _)| *k).collect();
             return Err(PlanError::Syntax {
                 line: kind_line,
-                msg: format!("unknown fault kind `{other}`"),
-            })
+                msg: format!("unknown fault kind `{other}`{}", nearest(other, &kinds)),
+            });
         }
     };
-    s.finish()?;
+    s.finish(keys_for_kind(&kind).expect("every accepted kind is in KIND_KEYS"))?;
     Ok(fault)
 }
 
@@ -268,7 +362,7 @@ fn retry_from_section(mut s: Section) -> Result<RetryPolicy, PlanError> {
     if let Some((v, line)) = s.take("max_backoff") {
         retry.max_backoff = v.as_f64("max_backoff", line)?;
     }
-    s.finish()?;
+    s.finish(RETRY_KEYS)?;
     if !(retry.base_backoff.is_finite()
         && retry.base_backoff >= 0.0
         && retry.max_backoff.is_finite()
@@ -359,7 +453,10 @@ impl FaultPlan {
                         other => {
                             return Err(PlanError::Syntax {
                                 line: line_no,
-                                msg: format!("unknown top-level key `{other}`"),
+                                msg: format!(
+                                    "unknown top-level key `{other}`{}",
+                                    nearest(other, &["seed"])
+                                ),
                             })
                         }
                     },
@@ -537,5 +634,133 @@ mod tests {
         assert!(FaultPlan::parse("[[nope]]").is_err());
         assert!(FaultPlan::parse("what = 1").is_err());
         assert!(FaultPlan::parse("[retry]\nwhat = 1").is_err());
+    }
+
+    #[test]
+    fn gray_failure_kinds_parse() {
+        let plan = FaultPlan::parse(
+            r#"
+            [[fault]]
+            kind = "flaky_ost"
+            ost = 2
+            factor = 50.0
+            period = 0.01
+            duty = 0.8
+            from = 0.0
+            until = 1.0
+
+            [[fault]]
+            kind = "link_degrade"
+            src = 0
+            dst = 3
+            factor = 4.0
+            from = 0.1
+            until = 0.9
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::FlakyOst {
+                    ost: 2,
+                    factor: 50.0,
+                    period: 0.01,
+                    duty: 0.8,
+                    from: 0.0,
+                    until: 1.0,
+                },
+                Fault::LinkDegrade {
+                    src: 0,
+                    dst: 3,
+                    factor: 4.0,
+                    from: 0.1,
+                    until: 0.9,
+                },
+            ]
+        );
+        plan.build().unwrap();
+    }
+
+    /// A minimal valid section body (sans `kind`) for every fault family,
+    /// used to probe unknown-key diagnostics one family at a time.
+    fn minimal_body(kind: &str) -> &'static str {
+        match kind {
+            "ost_slowdown" => "ost = 0\nfactor = 2.0\nfrom = 0.0\nuntil = 1.0",
+            "ost_outage" => "ost = 0\nfrom = 0.0\nuntil = 1.0",
+            "request_overhead" => "extra = 1e-4\nfrom = 0.0\nuntil = 1.0",
+            "lock_storm" => "from = 0.0\nuntil = 1.0",
+            "client_lock_storm" => "client_lo = 0\nclient_hi = 1\nfrom = 0.0\nuntil = 1.0",
+            "message_delay" => "delay = 1e-4\nfrom = 0.0\nuntil = 1.0",
+            "conn_flush" => "at = 0.5",
+            "rank_stall" => "rank = 0\nfrom = 0.0\nuntil = 1.0",
+            "rank_slowdown" => "rank = 0\nfactor = 2.0\nfrom = 0.0\nuntil = 1.0",
+            "rank_crash" => "rank = 0\nat = 0.5",
+            "silent_corruption" => "rate = 0.5\nfrom = 0.0\nuntil = 1.0",
+            "flaky_ost" => {
+                "ost = 0\nfactor = 2.0\nperiod = 0.1\nduty = 0.5\nfrom = 0.0\nuntil = 1.0"
+            }
+            "link_degrade" => "src = 0\ndst = 1\nfactor = 2.0\nfrom = 0.0\nuntil = 1.0",
+            other => panic!("no minimal body for {other}"),
+        }
+    }
+
+    #[test]
+    fn every_family_rejects_unknown_keys_naming_the_nearest() {
+        // One probe per fault family: a typo'd copy of a real key must be
+        // rejected with the line number and the intended spelling.
+        for (kind, keys) in KIND_KEYS {
+            let victim = keys.iter().find(|k| **k != "kind").unwrap();
+            let typo = format!("{victim}z");
+            let text = format!(
+                "[[fault]]\nkind = \"{kind}\"\n{}\n{typo} = 1.0",
+                minimal_body(kind)
+            );
+            let err = FaultPlan::parse(&text).unwrap_err();
+            match err {
+                PlanError::Syntax { line, msg } => {
+                    assert_eq!(
+                        line,
+                        3 + minimal_body(kind).lines().count(),
+                        "{kind}: line must point at the typo"
+                    );
+                    assert!(
+                        msg.contains(&format!("unknown key `{typo}`")),
+                        "{kind}: {msg}"
+                    );
+                    assert!(
+                        msg.contains(&format!("(nearest valid: `{victim}`)")),
+                        "{kind}: {msg}"
+                    );
+                }
+                other => panic!("{kind}: expected syntax error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_retry_key_name_the_nearest() {
+        let err = FaultPlan::parse("[[fault]]\nkind = \"flakey_ost\"").unwrap_err();
+        match err {
+            PlanError::Syntax { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("(nearest valid: `flaky_ost`)"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = FaultPlan::parse("[retry]\nmax_attemps = 3").unwrap_err();
+        match err {
+            PlanError::Syntax { msg, .. } => {
+                assert!(msg.contains("(nearest valid: `max_attempts`)"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = FaultPlan::parse("sede = 3").unwrap_err();
+        match err {
+            PlanError::Syntax { msg, .. } => {
+                assert!(msg.contains("(nearest valid: `seed`)"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -48,6 +48,11 @@ pub struct JobSpec {
     pub access: u64,
     /// Read the rank's own blocks back after the write and verify them.
     pub read_back: bool,
+    /// Serve read-back through [`Pfs::read_at_hedged`]: with the
+    /// facility's health layer attached, tail-latency reads race a
+    /// speculative duplicate at a healthy OST. Without a health layer
+    /// the hedged entry point is bit-identical to the plain one.
+    pub hedged_reads: bool,
 }
 
 /// Communicator a job runs in: the tenant's subgroup, or the whole
@@ -143,9 +148,15 @@ fn read_span(
     id: FileId,
     offset: u64,
     buf: &mut [u8],
+    hedged: bool,
 ) -> Result<(), FacilityError> {
+    // Burst-buffer reads serve staged bytes at the buffer's own speed, so
+    // only direct file-system reads can hedge.
     let t = match bb {
         Some(bb) => pfs_retry(rank, |rk| bb.read(fs, id, rk.rank(), offset, buf, rk.now()))?,
+        None if hedged => pfs_retry(rank, |rk| {
+            fs.read_at_hedged(id, rk.rank(), offset, buf, rk.now())
+        })?,
         None => pfs_retry(rank, |rk| fs.read_at(id, rk.rank(), offset, buf, rk.now()))?,
     };
     rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
@@ -213,11 +224,16 @@ pub fn run_job(
     comm.barrier(rank)?;
 
     if spec.read_back {
+        if spec.hedged_reads {
+            // The hedge token bucket is per read phase, mirroring the
+            // per-collective reset the mpiio read paths perform.
+            fs.hedge_scope_begin(rank.rank());
+        }
         let mut block = vec![0u8; spec.access as usize];
         for b in 0..nblocks {
             let i = (b * g + gr) as u64;
             let off = i * spec.access;
-            read_span(rank, fs, bb, id, off, &mut block)?;
+            read_span(rank, fs, bb, id, off, &mut block, spec.hedged_reads)?;
             for (k, &byte) in block.iter().enumerate() {
                 let want = pattern_byte(tenant, job, off + k as u64);
                 if byte != want {

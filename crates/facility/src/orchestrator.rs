@@ -103,6 +103,12 @@ pub struct FacilityConfig {
     pub chaos: Option<Arc<chaos::ChaosEngine>>,
     /// Collect per-rank metric histograms and build a [`Registry`].
     pub metrics: bool,
+    /// Attach the gray-failure defense layer to the shared file system
+    /// (per-OST health tracking, circuit breakers, degraded-mode write
+    /// relocation) and serve job read-back through hedged reads. `None`
+    /// (the default) leaves the facility bit-identical to a defenseless
+    /// run.
+    pub health: Option<pfs::HealthConfig>,
 }
 
 impl Default for FacilityConfig {
@@ -117,6 +123,7 @@ impl Default for FacilityConfig {
             fair_allowance: QosConfig::default().fair_allowance,
             chaos: None,
             metrics: false,
+            health: None,
         }
     }
 }
@@ -231,6 +238,9 @@ pub struct FacilityReport {
     pub stats: RankStats,
     /// Metrics registry (present when `FacilityConfig::metrics`).
     pub registry: Option<Registry>,
+    /// Gray-failure defense counters (present when
+    /// `FacilityConfig::health` attached the layer).
+    pub health: Option<pfs::HealthSnapshot>,
     /// The shared file system the run wrote to, for post-hoc inspection
     /// (byte-identity and cross-tenant bleed checks in `tests/`).
     pub fs: Arc<Pfs>,
@@ -287,6 +297,9 @@ pub fn run_facility(cfg: &FacilityConfig) -> Result<FacilityReport, FacilityErro
             fs.enable_qos(qcfg, tenant_of_client.clone())?;
         }
     }
+    if let Some(hcfg) = &cfg.health {
+        fs.enable_health(hcfg.clone())?;
+    }
 
     let arrivals: Arc<Vec<Vec<f64>>> = Arc::new(
         cfg.tenants
@@ -317,6 +330,7 @@ pub fn run_facility(cfg: &FacilityConfig) -> Result<FacilityReport, FacilityErro
     };
     let fs_body = Arc::clone(&fs);
     let buffers_body = Arc::clone(&buffers);
+    let defended = cfg.health.is_some();
     let rep = mpisim::run(nranks, sim, move |rank: &mut Rank| {
         let log = rank.shared_state(|| Mutex::new(Vec::<JobRecord>::new()))?;
         let t = tenant_of_rank[rank.rank()] as usize;
@@ -339,6 +353,7 @@ pub fn run_facility(cfg: &FacilityConfig) -> Result<FacilityReport, FacilityErro
                 bytes_per_rank: spec.bytes_per_rank,
                 access: spec.access,
                 read_back: spec.read_back,
+                hedged_reads: defended,
             };
             job::run_job(rank, &comm, &fs_body, bb, t as u32, j as u32, &jspec)
                 .map_err(FacilityError::into_mpi)?;
@@ -435,6 +450,7 @@ pub fn run_facility(cfg: &FacilityConfig) -> Result<FacilityReport, FacilityErro
         jobs,
         stats: rep.aggregate_stats(),
         registry,
+        health: fs.health_report(),
         fs,
     })
 }

@@ -63,6 +63,14 @@ pub struct CollectiveConfig {
     /// submission); only the clock attribution changes. Combine with
     /// `cb_buffer` — a single unchunked round has nothing to overlap.
     pub pipeline: bool,
+    /// Adaptive hedged reads: aggregators route window reads through
+    /// [`pfs::Pfs::read_at_hedged`], with the per-collective hedge budget
+    /// reset at each read phase via [`pfs::Pfs::hedge_scope_begin`]. A
+    /// no-op unless the PFS has a health layer attached (and bit-identical
+    /// to the plain path until the healthy-latency histograms warm up or a
+    /// breaker opens), so the default `false` only matters for
+    /// unconfigured stacks.
+    pub hedged_reads: bool,
 }
 
 /// Pipeline depth of the round loop: double buffering, matching the two
@@ -507,13 +515,20 @@ pub fn read_all_at(
                         let io_start = rank.now();
                         let mut read = 0u64;
                         let mut done = rank.now();
+                        if cfg.hedged_reads {
+                            file.pfs().hedge_scope_begin(rank.rank());
+                        }
                         for &(off, len) in wanted.runs() {
                             let at = (off - ws) as usize;
                             let pfs = file.pfs().clone();
                             let fid = file.file_id();
                             let dst = &mut wbuf[at..at + len as usize];
                             let t = crate::retry::pfs_retry(rank, |rk| {
-                                pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                                if cfg.hedged_reads {
+                                    pfs.read_at_hedged(fid, rk.rank(), off, dst, rk.now())
+                                } else {
+                                    pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                                }
                             })?;
                             done = done.max(t);
                             read += len;
@@ -580,13 +595,20 @@ pub fn read_all_at(
                     let io_start = rank.now();
                     let mut read = 0u64;
                     let mut done = rank.now();
+                    if cfg.hedged_reads {
+                        file.pfs().hedge_scope_begin(rank.rank());
+                    }
                     for &(off, len) in wanted.runs() {
                         let at = (off - ws) as usize;
                         let pfs = file.pfs().clone();
                         let fid = file.file_id();
                         let dst = &mut wbuf[at..at + len as usize];
                         let t = crate::retry::pfs_retry(rank, |rk| {
-                            pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                            if cfg.hedged_reads {
+                                pfs.read_at_hedged(fid, rk.rank(), off, dst, rk.now())
+                            } else {
+                                pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                            }
                         })?;
                         done = done.max(t);
                         read += len;

@@ -279,11 +279,18 @@ pub fn read_all_view_based(
                     let fid = file.file_id();
                     let mut wbuf = vec![0u8; win_len];
                     let mut done = rank.now();
+                    if cfg.hedged_reads {
+                        pfs.hedge_scope_begin(rank.rank());
+                    }
                     for &(off, len) in wanted.runs() {
                         let at = (off - ws) as usize;
                         let dst = &mut wbuf[at..at + len as usize];
                         let t = crate::retry::pfs_retry(rank, |rk| {
-                            pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                            if cfg.hedged_reads {
+                                pfs.read_at_hedged(fid, rk.rank(), off, dst, rk.now())
+                            } else {
+                                pfs.read_at(fid, rk.rank(), off, dst, rk.now())
+                            }
                         })?;
                         done = done.max(t);
                         rank.stats.io_reads += 1;

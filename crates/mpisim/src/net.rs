@@ -420,7 +420,22 @@ impl Fabric {
                 .congested_transfers
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let dur = base_dur * factor;
+        let mut dur = base_dur * factor;
+
+        // Gray failure: a degraded link lane between these two nodes
+        // stretches the transfer. Evaluated at `ready` (the instant the
+        // transfer could start) so the factor does not depend on the port
+        // reservation it is about to influence. Without a topology every
+        // rank is its own node, so the plan's node indices are rank indices.
+        if let Some(engine) = &self.chaos {
+            if engine.any_link_degrade() {
+                let (sn, dn) = match &self.topology {
+                    Some(t) => (t.node_of(src), t.node_of(dst)),
+                    None => (src, dst),
+                };
+                dur *= engine.link_factor(sn, dn, ready);
+            }
+        }
 
         let tx_start = reserve(self.tx_port(src), ready, dur);
         // Injected in-network delay: evaluated at the transmit instant, paid
@@ -574,6 +589,42 @@ mod tests {
         let lone = f.transfer(40, 41, bytes, 1000.0);
         let lone_cost = lone.arrival - 1000.0 - cfg.conn_setup;
         assert!(congested > lone_cost, "{congested} <= {lone_cost}");
+    }
+
+    #[test]
+    fn link_degrade_stretches_only_the_named_direction() {
+        let plan = chaos::FaultPlan::new(1).with(chaos::Fault::LinkDegrade {
+            src: 0,
+            dst: 1,
+            factor: 4.0,
+            from: 0.0,
+            until: 1e9,
+        });
+        let f = Fabric::new_with_chaos(4, NetConfig::default(), Some(plan.build().unwrap()));
+        let h = fabric(4);
+        let bytes = 1 << 20;
+        // Warm connections on both fabrics so setup doesn't pollute timing.
+        for fab in [&f, &h] {
+            fab.transfer(0, 1, 1, 0.0);
+            fab.transfer(1, 0, 1, 0.0);
+            fab.transfer(2, 3, 1, 0.0);
+        }
+        let degraded = f.transfer(0, 1, bytes, 1.0);
+        let healthy = h.transfer(0, 1, bytes, 1.0);
+        let wire = bytes as f64 * f.config().byte_time;
+        let slow = degraded.arrival - healthy.arrival;
+        assert!(
+            (slow - 3.0 * wire).abs() < 1e-9,
+            "factor 4 adds 3 wire times, got {slow} vs {}",
+            3.0 * wire
+        );
+        // The reverse direction and unrelated pairs are unaffected.
+        let rev_f = f.transfer(1, 0, bytes, 100.0);
+        let rev_h = h.transfer(1, 0, bytes, 100.0);
+        assert!((rev_f.arrival - rev_h.arrival).abs() < 1e-12, "asymmetric");
+        let oth_f = f.transfer(2, 3, bytes, 200.0);
+        let oth_h = h.transfer(2, 3, bytes, 200.0);
+        assert!((oth_f.arrival - oth_h.arrival).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! # health — per-OST gray-failure tracking, circuit breakers, and hedging
+//!
+//! Crash-stop recovery (PR 4) handles OSTs that *die*; this module handles
+//! OSTs that *lie* — the fail-slow server that still answers, just 50×
+//! late, poisoning every collective round striped across it. Three
+//! mechanisms, all driven by observations the cost model already makes:
+//!
+//! * **EWMA health tracking** — every serviced piece reports its *service
+//!   ratio* (actual service time ÷ healthy service time for that piece
+//!   size; exactly what a real client computes from its own latency
+//!   measurements) plus its client-perceived latency, folded into a
+//!   per-OST EWMA and a per-OST log2 latency histogram.
+//! * **Three-state circuit breaker** per OST
+//!   (`Closed → Open → HalfOpen → …`): the breaker opens when the EWMA
+//!   ratio exceeds [`HealthConfig::open_factor`] (after a minimum sample
+//!   count) or when transient errors burst within
+//!   [`HealthConfig::err_window`]. While `Open`, *new writes route around*
+//!   the quarantined OST via a relocation map (degraded-mode striping).
+//!   After [`HealthConfig::open_secs`] the breaker half-opens: the next
+//!   request through is the probe, and its observed ratio decides
+//!   `Closed` (healthy again) or re-`Open`.
+//! * **Adaptive hedged reads** — a read piece whose projected wait exceeds
+//!   the live [`HealthConfig::hedge_quantile`] of the *healthy-OST*
+//!   latency histograms (sick OSTs are excluded so their inflated tails
+//!   cannot stretch the deadline; an `Open`/`HalfOpen` home hedges
+//!   immediately) fires a speculative duplicate at a closed-breaker buddy
+//!   OST. First service to finish wins; the loser's in-flight service is
+//!   sunk cost but its response is never streamed (loser cancellation).
+//!   A per-client token bucket ([`HealthConfig::hedge_budget`] earned per
+//!   piece, reset to [`HealthConfig::hedge_burst`] at each collective via
+//!   [`crate::Pfs::hedge_scope_begin`]) bounds hedge volume, and a hedge
+//!   is never aimed at an OST whose breaker is not `Closed` — hedges
+//!   cannot storm an already-sick server.
+//!
+//! Everything here is bookkeeping over deterministic virtual-time
+//! observations made under the event core's single-runner invariant, so
+//! runs are bit-identical across repeats and backends. When no health
+//! layer is attached every hook in the cost model is one `None` check —
+//! the zero-cost-off contract shared with chaos and QoS.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mpisim::metrics::{Hist, HIST_BUCKETS};
+use parking_lot::Mutex;
+
+/// Tuning knobs for the gray-failure defense layer. The defaults are
+/// sized for the simulated testbed's sub-millisecond service times.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// EWMA smoothing for the per-OST service ratio (weight of the newest
+    /// sample).
+    pub ewma_alpha: f64,
+    /// Samples an OST must accumulate before its EWMA can open the
+    /// breaker (cold-start guard).
+    pub min_samples: u64,
+    /// EWMA service ratio at which the breaker opens. A healthy OST's
+    /// ratio is exactly 1.0, so any value > 1 keeps fault-free runs
+    /// breaker-quiet.
+    pub open_factor: f64,
+    /// Transient errors within [`HealthConfig::err_window`] that open the
+    /// breaker.
+    pub err_threshold: u64,
+    /// Sliding window (virtual seconds) for the error burst detector.
+    pub err_window: f64,
+    /// Quarantine length: an `Open` breaker half-opens this many virtual
+    /// seconds after it tripped.
+    pub open_secs: f64,
+    /// Latency quantile of the healthy-OST histograms used as the hedge
+    /// deadline.
+    pub hedge_quantile: f64,
+    /// Healthy-histogram depth required before deadline hedging arms
+    /// (an `Open`/`HalfOpen` home still hedges immediately).
+    pub hedge_min_samples: u64,
+    /// Hedge-budget tokens earned per hedge-eligible read piece.
+    pub hedge_budget: f64,
+    /// Token-bucket cap, and the per-collective allowance restored by
+    /// [`crate::Pfs::hedge_scope_begin`].
+    pub hedge_burst: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ewma_alpha: 0.25,
+            min_samples: 8,
+            open_factor: 4.0,
+            err_threshold: 3,
+            err_window: 0.05,
+            open_secs: 0.02,
+            hedge_quantile: 0.95,
+            hedge_min_samples: 32,
+            hedge_budget: 0.25,
+            hedge_burst: 8.0,
+        }
+    }
+}
+
+impl HealthConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ewma_alpha.is_finite() && self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(format!("ewma_alpha {} must be in (0, 1]", self.ewma_alpha));
+        }
+        if !(self.open_factor.is_finite() && self.open_factor > 1.0) {
+            return Err(format!("open_factor {} must be > 1", self.open_factor));
+        }
+        if self.err_threshold == 0 {
+            return Err("err_threshold must be ≥ 1".into());
+        }
+        if !(self.err_window.is_finite() && self.err_window > 0.0) {
+            return Err(format!("err_window {} must be > 0", self.err_window));
+        }
+        if !(self.open_secs.is_finite() && self.open_secs > 0.0) {
+            return Err(format!("open_secs {} must be > 0", self.open_secs));
+        }
+        if !(self.hedge_quantile > 0.0 && self.hedge_quantile < 1.0) {
+            return Err(format!(
+                "hedge_quantile {} must be in (0, 1)",
+                self.hedge_quantile
+            ));
+        }
+        if !(self.hedge_budget.is_finite() && self.hedge_budget >= 0.0) {
+            return Err(format!("hedge_budget {} must be ≥ 0", self.hedge_budget));
+        }
+        if !(self.hedge_burst.is_finite() && self.hedge_burst >= 0.0) {
+            return Err(format!("hedge_burst {} must be ≥ 0", self.hedge_burst));
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker state of one OST.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Breaker {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Quarantined until the stored instant: new writes route around, the
+    /// home is a hedge-immediately read target, and it cannot be a hedge
+    /// buddy.
+    Open { until: f64 },
+    /// Quarantine expired: the next request through is the probe whose
+    /// observed ratio decides `Closed` or re-`Open`.
+    HalfOpen,
+}
+
+impl Breaker {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Breaker::Closed => "closed",
+            Breaker::Open { .. } => "open",
+            Breaker::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Mutable tracking state of one OST.
+#[derive(Debug)]
+struct OstHealth {
+    state: Breaker,
+    /// EWMA of the service ratio (actual ÷ healthy service time).
+    ewma: f64,
+    samples: u64,
+    /// Recent transient-error instants inside the sliding window.
+    err_times: Vec<f64>,
+    /// Times this OST's breaker tripped open.
+    opens: u64,
+    /// Client-perceived piece latency histogram (ns, log2 buckets).
+    lat_raw: [u64; HIST_BUCKETS],
+    lat_count: u64,
+    lat_sum_ns: u64,
+}
+
+impl OstHealth {
+    fn new() -> OstHealth {
+        OstHealth {
+            state: Breaker::Closed,
+            ewma: 1.0,
+            samples: 0,
+            err_times: Vec::new(),
+            opens: 0,
+            lat_raw: [0; HIST_BUCKETS],
+            lat_count: 0,
+            lat_sum_ns: 0,
+        }
+    }
+
+    fn observe_latency(&mut self, secs: f64) {
+        let ns = (secs.max(0.0) * 1e9) as u64;
+        self.lat_raw[Hist::bucket_index(ns)] += 1;
+        self.lat_count += 1;
+        self.lat_sum_ns += ns;
+    }
+
+    fn hist(&self) -> Hist {
+        Hist::from_raw(self.lat_raw, self.lat_count, self.lat_sum_ns)
+    }
+}
+
+/// One row of [`HealthSnapshot::osts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OstHealthRow {
+    pub ost: usize,
+    pub state: Breaker,
+    pub ewma: f64,
+    pub samples: u64,
+    pub opens: u64,
+    pub errors: u64,
+}
+
+/// Monotonic counters + per-OST rows, for metrics export and the benches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthSnapshot {
+    pub hedges_issued: u64,
+    pub hedge_wins: u64,
+    pub hedge_waste: u64,
+    pub breaker_opens: u64,
+    pub probes: u64,
+    pub degraded_writes: u64,
+    pub degraded_bytes: u64,
+    pub rebuilt_extents: u64,
+    pub rebuilt_bytes: u64,
+    /// Relocation-map entries currently live (awaiting rebuild).
+    pub relocated_live: u64,
+    pub osts: Vec<OstHealthRow>,
+}
+
+/// Outcome of one [`crate::Pfs::rebuild`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RebuildReport {
+    /// Relocation entries examined.
+    pub scanned: u64,
+    /// Extents migrated home (their breakers were closed).
+    pub rebuilt_extents: u64,
+    pub rebuilt_bytes: u64,
+    /// Entries left in place (home breaker still not closed).
+    pub remaining: u64,
+    /// Virtual completion time of the last migration (`now` if none ran).
+    pub completed_at: f64,
+}
+
+/// A hedge decision handed back to the cost model: book a duplicate
+/// service on `buddy`, fired at `fire` (virtual seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct HedgeQuote {
+    pub buddy: usize,
+    pub fire: f64,
+}
+
+/// The attached gray-failure defense layer of one [`crate::Pfs`].
+#[derive(Debug)]
+pub struct Health {
+    cfg: HealthConfig,
+    osts: Vec<Mutex<OstHealth>>,
+    /// Degraded-mode striping: `(file, stripe) → holder OST` for extents
+    /// written while their home OST's breaker was open. Cost-plane only —
+    /// file bytes live in one authoritative buffer, which is what makes
+    /// post-rebuild read-back bit-identical by construction.
+    reloc: Mutex<HashMap<(u32, u64), usize>>,
+    /// Per-client hedge token buckets.
+    budgets: Mutex<HashMap<usize, f64>>,
+    hedges_issued: AtomicU64,
+    hedge_wins: AtomicU64,
+    hedge_waste: AtomicU64,
+    breaker_opens: AtomicU64,
+    probes: AtomicU64,
+    degraded_writes: AtomicU64,
+    degraded_bytes: AtomicU64,
+    rebuilt_extents: AtomicU64,
+    rebuilt_bytes: AtomicU64,
+}
+
+impl Health {
+    pub fn new(cfg: HealthConfig, num_osts: usize) -> Result<Health, String> {
+        cfg.validate()?;
+        Ok(Health {
+            cfg,
+            osts: (0..num_osts)
+                .map(|_| Mutex::new(OstHealth::new()))
+                .collect(),
+            reloc: Mutex::new(HashMap::new()),
+            budgets: Mutex::new(HashMap::new()),
+            hedges_issued: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            hedge_waste: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            degraded_writes: AtomicU64::new(0),
+            degraded_bytes: AtomicU64::new(0),
+            rebuilt_extents: AtomicU64::new(0),
+            rebuilt_bytes: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Lazily advance `Open → HalfOpen` when the quarantine has expired,
+    /// then report the state. All state transitions are driven by request
+    /// arrivals, never by wall clock — pure virtual time.
+    pub fn breaker(&self, ost: usize, now: f64) -> Breaker {
+        let mut h = self.osts[ost].lock();
+        if let Breaker::Open { until } = h.state {
+            if now >= until {
+                h.state = Breaker::HalfOpen;
+            }
+        }
+        h.state
+    }
+
+    fn trip(&self, h: &mut OstHealth, now: f64) {
+        h.state = Breaker::Open {
+            until: now + self.cfg.open_secs,
+        };
+        h.opens += 1;
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one serviced piece into the OST's health: `ratio` is the
+    /// measured service ratio (1.0 = healthy), `latency` the
+    /// client-perceived piece latency. Drives all breaker transitions that
+    /// depend on observations.
+    pub fn observe(&self, ost: usize, ratio: f64, latency: f64, now: f64) {
+        let mut h = self.osts[ost].lock();
+        h.ewma += self.cfg.ewma_alpha * (ratio - h.ewma);
+        h.samples += 1;
+        h.observe_latency(latency);
+        match h.state {
+            Breaker::Closed => {
+                if h.samples >= self.cfg.min_samples && h.ewma > self.cfg.open_factor {
+                    self.trip(&mut h, now);
+                }
+            }
+            Breaker::HalfOpen => {
+                // This observation is the probe result.
+                self.probes.fetch_add(1, Ordering::Relaxed);
+                if ratio <= self.cfg.open_factor {
+                    h.state = Breaker::Closed;
+                    // Restart the EWMA from the probe so stale sickness
+                    // does not instantly re-trip on the next sample.
+                    h.ewma = ratio;
+                    h.err_times.clear();
+                } else {
+                    self.trip(&mut h, now);
+                }
+            }
+            Breaker::Open { .. } => {
+                // Residual traffic (reads of unrelocated extents) keeps
+                // feeding the EWMA but cannot transition an open breaker;
+                // reopening happens via the half-open probe.
+            }
+        }
+    }
+
+    /// Record a transient error (injected outage) on `ost`. A burst inside
+    /// the sliding window trips a closed breaker; a half-open breaker
+    /// re-opens on a single error (the probe failed).
+    pub fn observe_error(&self, ost: usize, now: f64) {
+        let mut h = self.osts[ost].lock();
+        if let Breaker::Open { until } = h.state {
+            if now >= until {
+                h.state = Breaker::HalfOpen;
+            }
+        }
+        h.err_times.retain(|&t| now - t < self.cfg.err_window);
+        h.err_times.push(now);
+        match h.state {
+            Breaker::Closed => {
+                if h.err_times.len() as u64 >= self.cfg.err_threshold {
+                    self.trip(&mut h, now);
+                }
+            }
+            Breaker::HalfOpen => self.trip(&mut h, now),
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    /// Where does a *read* of `(file, stripe)` go? The relocation holder
+    /// if the extent was written degraded, else its home OST.
+    pub fn route_read(&self, file: u32, stripe: u64, home: usize) -> usize {
+        *self.reloc.lock().get(&(file, stripe)).unwrap_or(&home)
+    }
+
+    /// Where does a *write* of `(file, stripe)` go? Relocated extents
+    /// stick to their holder (that is where their cost-plane locality
+    /// lives until rebuild). Otherwise an `Open` home quarantines the
+    /// write onto the nearest closed-breaker OST and records the
+    /// relocation; a `HalfOpen` home lets the write through as the probe.
+    pub fn route_write(&self, file: u32, stripe: u64, home: usize, bytes: u64, now: f64) -> usize {
+        if let Some(&holder) = self.reloc.lock().get(&(file, stripe)) {
+            return holder;
+        }
+        match self.breaker(home, now) {
+            Breaker::Closed | Breaker::HalfOpen => home,
+            Breaker::Open { .. } => {
+                let n = self.osts.len();
+                let target = (1..n)
+                    .map(|d| (home + d) % n)
+                    .find(|&o| matches!(self.breaker(o, now), Breaker::Closed))
+                    .unwrap_or(home);
+                if target != home {
+                    self.reloc.lock().insert((file, stripe), target);
+                    self.degraded_writes.fetch_add(1, Ordering::Relaxed);
+                    self.degraded_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+                target
+            }
+        }
+    }
+
+    /// Restore `client`'s hedge allowance; the I/O layers call this (via
+    /// [`crate::Pfs::hedge_scope_begin`]) at each collective-read entry,
+    /// making the budget per-collective.
+    pub fn scope_begin(&self, client: usize) {
+        self.budgets.lock().insert(client, self.cfg.hedge_burst);
+    }
+
+    /// Decide whether to hedge a read piece served by `home`, whose
+    /// primary service is projected to finish at `primary_fin`, for a
+    /// client that started waiting at `wait_start`.
+    ///
+    /// Deadline math: a `Closed` home uses the
+    /// [`HealthConfig::hedge_quantile`] of the merged latency histograms
+    /// of all closed-breaker OSTs (the healthy population — a sick home
+    /// must not stretch its own deadline); an `Open`/`HalfOpen` home is
+    /// known-sick and hedges immediately (deadline 0). No hedge fires if
+    /// the primary beats the deadline, if no closed-breaker buddy exists,
+    /// or if the client's token bucket is dry.
+    pub(crate) fn hedge_quote(
+        &self,
+        home: usize,
+        client: usize,
+        wait_start: f64,
+        primary_fin: f64,
+    ) -> Option<HedgeQuote> {
+        let home_state = self.breaker(home, wait_start);
+        let deadline = match home_state {
+            Breaker::Open { .. } | Breaker::HalfOpen => 0.0,
+            Breaker::Closed => {
+                let mut merged = Hist::default();
+                for (i, slot) in self.osts.iter().enumerate() {
+                    if i == home {
+                        continue;
+                    }
+                    let h = slot.lock();
+                    if matches!(h.state, Breaker::Closed) {
+                        merged.merge(&h.hist());
+                    }
+                }
+                // Include the home's own history too: pre-sickness samples
+                // are healthy evidence, and excluding them would leave a
+                // single-OST system deadline-less.
+                merged.merge(&self.osts[home].lock().hist());
+                if merged.count() < self.cfg.hedge_min_samples {
+                    return None;
+                }
+                merged.quantile(self.cfg.hedge_quantile) as f64 / 1e9
+            }
+        };
+        // Earn per-piece budget, capped at the burst allowance.
+        {
+            let mut budgets = self.budgets.lock();
+            let b = budgets.entry(client).or_insert(self.cfg.hedge_burst);
+            *b = (*b + self.cfg.hedge_budget).min(self.cfg.hedge_burst);
+        }
+        let fire = wait_start + deadline;
+        if primary_fin <= fire {
+            // The primary response will beat the deadline: the duplicate
+            // is never sent (virtual-time omniscience stands in for the
+            // cancel-on-response a real client performs).
+            return None;
+        }
+        // A hedge must aim at a healthy OST — never storm a sick one.
+        let n = self.osts.len();
+        let buddy = (1..n)
+            .map(|d| (home + d) % n)
+            .find(|&o| matches!(self.breaker(o, wait_start), Breaker::Closed))?;
+        {
+            let mut budgets = self.budgets.lock();
+            let b = budgets.entry(client).or_insert(self.cfg.hedge_burst);
+            if *b < 1.0 {
+                return None;
+            }
+            *b -= 1.0;
+        }
+        self.hedges_issued.fetch_add(1, Ordering::Relaxed);
+        Some(HedgeQuote { buddy, fire })
+    }
+
+    /// Report which service won the race after a hedge was booked.
+    pub(crate) fn hedge_outcome(&self, win: bool) {
+        if win {
+            self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hedge_waste.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Relocation entries in deterministic (file, stripe) order.
+    pub(crate) fn reloc_entries(&self) -> Vec<(u32, u64, usize)> {
+        let mut v: Vec<(u32, u64, usize)> = self
+            .reloc
+            .lock()
+            .iter()
+            .map(|(&(f, s), &o)| (f, s, o))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop a relocation entry after its extent migrated home.
+    pub(crate) fn reloc_clear(&self, file: u32, stripe: u64, bytes: u64) {
+        self.reloc.lock().remove(&(file, stripe));
+        self.rebuilt_extents.fetch_add(1, Ordering::Relaxed);
+        self.rebuilt_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of live relocation entries (0 = fully rebuilt).
+    pub fn relocated_live(&self) -> u64 {
+        self.reloc.lock().len() as u64
+    }
+
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            hedges_issued: self.hedges_issued.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            hedge_waste: self.hedge_waste.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            degraded_writes: self.degraded_writes.load(Ordering::Relaxed),
+            degraded_bytes: self.degraded_bytes.load(Ordering::Relaxed),
+            rebuilt_extents: self.rebuilt_extents.load(Ordering::Relaxed),
+            rebuilt_bytes: self.rebuilt_bytes.load(Ordering::Relaxed),
+            relocated_live: self.relocated_live(),
+            osts: self
+                .osts
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let h = slot.lock();
+                    OstHealthRow {
+                        ost: i,
+                        state: h.state,
+                        ewma: h.ewma,
+                        samples: h.samples,
+                        opens: h.opens,
+                        errors: h.err_times.len() as u64,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(n: usize) -> Health {
+        Health::new(HealthConfig::default(), n).unwrap()
+    }
+
+    #[test]
+    fn healthy_observations_never_trip() {
+        let h = health(4);
+        for i in 0..1000 {
+            h.observe(1, 1.0, 500e-6, i as f64 * 1e-3);
+        }
+        assert_eq!(h.breaker(1, 1.0), Breaker::Closed);
+        assert_eq!(h.snapshot().breaker_opens, 0);
+        assert_eq!(h.route_write(0, 7, 1, 100, 1.0), 1, "routes home");
+        assert_eq!(h.route_read(0, 7, 1), 1);
+    }
+
+    #[test]
+    fn ewma_trips_after_min_samples_and_probe_closes() {
+        let cfg = HealthConfig::default();
+        let h = health(4);
+        let mut t = 0.0;
+        // Sick ratios: the breaker must not trip before min_samples.
+        for i in 0..cfg.min_samples * 2 {
+            h.observe(2, 50.0, 5e-3, t);
+            if i + 1 < cfg.min_samples {
+                assert_eq!(h.breaker(2, t), Breaker::Closed, "sample {i}");
+            }
+            t += 1e-3;
+        }
+        let state = h.breaker(2, t);
+        assert!(matches!(state, Breaker::Open { .. }), "{state:?}");
+        assert_eq!(h.snapshot().breaker_opens, 1);
+        // Quarantine expires → half-open; a healthy probe closes it.
+        t += cfg.open_secs;
+        assert_eq!(h.breaker(2, t), Breaker::HalfOpen);
+        h.observe(2, 1.0, 500e-6, t);
+        assert_eq!(h.breaker(2, t), Breaker::Closed);
+        assert_eq!(h.snapshot().probes, 1);
+        // A sick probe re-opens instead.
+        for _ in 0..cfg.min_samples * 2 {
+            h.observe(2, 50.0, 5e-3, t);
+            t += 1e-3;
+        }
+        assert!(matches!(h.breaker(2, t), Breaker::Open { .. }));
+        t += cfg.open_secs;
+        assert_eq!(h.breaker(2, t), Breaker::HalfOpen);
+        h.observe(2, 50.0, 5e-3, t);
+        assert!(matches!(h.breaker(2, t), Breaker::Open { .. }));
+        assert_eq!(h.snapshot().breaker_opens, 3);
+    }
+
+    #[test]
+    fn error_burst_trips_immediately() {
+        let h = health(4);
+        h.observe_error(0, 0.010);
+        h.observe_error(0, 0.020);
+        assert_eq!(h.breaker(0, 0.020), Breaker::Closed, "below threshold");
+        h.observe_error(0, 0.030);
+        assert!(matches!(h.breaker(0, 0.030), Breaker::Open { .. }));
+        // Spread-out errors never accumulate past the window.
+        let h2 = health(4);
+        for i in 0..10 {
+            h2.observe_error(1, i as f64); // 1 s apart >> 50 ms window
+        }
+        assert_eq!(h2.breaker(1, 10.0), Breaker::Closed);
+    }
+
+    #[test]
+    fn open_breaker_relocates_writes_and_rebuild_clears() {
+        let h = health(4);
+        let mut t = 0.0;
+        for _ in 0..20 {
+            h.observe(1, 50.0, 5e-3, t);
+            t += 1e-3;
+        }
+        assert!(matches!(h.breaker(1, t), Breaker::Open { .. }));
+        // New write to a stripe homed on OST 1 → relocated to OST 2.
+        assert_eq!(h.route_write(5, 9, 1, 4096, t), 2);
+        assert_eq!(h.route_read(5, 9, 1), 2, "reads follow the holder");
+        // The same stripe stays on its holder even after more writes.
+        assert_eq!(h.route_write(5, 9, 1, 4096, t), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.degraded_writes, 1, "relocation recorded once");
+        assert_eq!(snap.degraded_bytes, 4096);
+        assert_eq!(snap.relocated_live, 1);
+        assert_eq!(h.reloc_entries(), vec![(5, 9, 2)]);
+        h.reloc_clear(5, 9, 4096);
+        assert_eq!(h.route_read(5, 9, 1), 1, "home again after rebuild");
+        let snap = h.snapshot();
+        assert_eq!(snap.rebuilt_extents, 1);
+        assert_eq!(snap.relocated_live, 0);
+    }
+
+    #[test]
+    fn hedge_quote_respects_deadline_buddies_and_budget() {
+        let cfg = HealthConfig {
+            hedge_min_samples: 4,
+            hedge_burst: 2.0,
+            hedge_budget: 0.0,
+            ..HealthConfig::default()
+        };
+        let h = Health::new(cfg, 4).unwrap();
+        // Seed all OSTs with 1 ms latencies → p95 deadline ≈ the 1–2 ms
+        // bucket bound.
+        for ost in 0..4 {
+            for i in 0..50 {
+                h.observe(ost, 1.0, 1e-3, i as f64 * 1e-3);
+            }
+        }
+        // Primary projected to finish well inside the deadline: no hedge.
+        assert_eq!(h.hedge_quote(0, 0, 10.0, 10.0 + 1e-3), None);
+        // Primary projected far past the deadline: hedge at the quantile.
+        let q = h.hedge_quote(0, 0, 10.0, 10.0 + 1.0).expect("should hedge");
+        assert_eq!(q.buddy, 1, "nearest closed-breaker buddy");
+        assert!(q.fire > 10.0 && q.fire < 10.0 + 0.1, "fire {}", q.fire);
+        // Budget: burst of 2 with no refill → third hedge is refused.
+        assert!(h.hedge_quote(0, 0, 20.0, 21.0).is_some());
+        assert_eq!(h.hedge_quote(0, 0, 30.0, 31.0), None, "budget dry");
+        assert_eq!(h.snapshot().hedges_issued, 2);
+        // A new collective scope restores the allowance.
+        h.scope_begin(0);
+        assert!(h.hedge_quote(0, 0, 40.0, 41.0).is_some());
+        h.hedge_outcome(true);
+        h.hedge_outcome(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.hedge_wins, 1);
+        assert_eq!(snap.hedge_waste, 1);
+    }
+
+    #[test]
+    fn hedge_never_targets_a_sick_buddy() {
+        let cfg = HealthConfig {
+            hedge_min_samples: 1,
+            ..HealthConfig::default()
+        };
+        let h = Health::new(cfg, 3).unwrap();
+        let mut t = 0.0;
+        for ost in 0..3 {
+            for _ in 0..4 {
+                h.observe(ost, 1.0, 1e-3, t);
+                t += 1e-3;
+            }
+        }
+        // Sicken OST 1 (the would-be nearest buddy of OST 0).
+        for _ in 0..20 {
+            h.observe(1, 50.0, 5e-3, t);
+            t += 1e-3;
+        }
+        assert!(matches!(h.breaker(1, t), Breaker::Open { .. }));
+        let q = h.hedge_quote(0, 0, t, t + 1.0).expect("should hedge");
+        assert_eq!(q.buddy, 2, "skips the open-breaker OST");
+        // With every other OST sick there is no buddy → no hedge.
+        for _ in 0..20 {
+            h.observe(2, 50.0, 5e-3, t);
+            t += 1e-3;
+        }
+        assert!(matches!(h.breaker(2, t), Breaker::Open { .. }));
+        assert_eq!(h.hedge_quote(0, 0, t, t + 1.0), None);
+    }
+
+    #[test]
+    fn open_home_hedges_immediately() {
+        let cfg = HealthConfig {
+            hedge_min_samples: u64::MAX, // deadline hedging can never arm
+            ..HealthConfig::default()
+        };
+        let h = Health::new(cfg, 3).unwrap();
+        let mut t = 0.0;
+        for _ in 0..20 {
+            h.observe(0, 50.0, 5e-3, t);
+            t += 1e-3;
+        }
+        assert!(matches!(h.breaker(0, t), Breaker::Open { .. }));
+        // Even with no histogram depth, a sick home fires at deadline 0.
+        let q = h.hedge_quote(0, 0, t, t + 1.0).expect("sick home hedges");
+        assert_eq!(q.fire, t);
+        assert_eq!(q.buddy, 1);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        for bad in [
+            HealthConfig {
+                ewma_alpha: 0.0,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                open_factor: 1.0,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                err_threshold: 0,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                open_secs: 0.0,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                hedge_quantile: 1.0,
+                ..HealthConfig::default()
+            },
+        ] {
+            assert!(Health::new(bad, 2).is_err());
+        }
+    }
+}

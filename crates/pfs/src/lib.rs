@@ -21,10 +21,12 @@
 //!   aligns its level-2 segments with the stripe size (§IV.A).
 
 pub mod config;
+pub mod health;
 pub mod locks;
 pub mod qos;
 
 pub use config::PfsConfig;
+pub use health::{Breaker, HealthConfig, HealthSnapshot, OstHealthRow, RebuildReport};
 pub use locks::{LockManager, LockMode};
 pub use qos::{Discipline, QosConfig, TenantUsage};
 
@@ -302,6 +304,12 @@ pub struct Pfs {
     /// discipline). `None` = single-tenant direct path, zero cost: the
     /// cost-model arithmetic is bit-identical with and without the hooks.
     qos: RwLock<Option<Arc<qos::Qos>>>,
+    /// Gray-failure defense layer (EWMA health tracking, per-OST circuit
+    /// breakers, degraded-mode relocation, hedged reads). `None` = no
+    /// tracking, zero cost — and even when attached, a healthy cluster's
+    /// cost arithmetic is bit-identical because every observed service
+    /// ratio is exactly 1.0 and no breaker can open.
+    health: RwLock<Option<Arc<health::Health>>>,
     pub stats: PfsStats,
     /// Per-RPC service-latency histogram; see [`Pfs::enable_latency_metrics`].
     latency: LatencyHist,
@@ -364,6 +372,7 @@ impl Pfs {
             next_ost_base: Mutex::new(0),
             chaos: Mutex::new(None),
             qos: RwLock::new(None),
+            health: RwLock::new(None),
             stats: PfsStats::default(),
             latency: LatencyHist::default(),
             cfg,
@@ -408,6 +417,36 @@ impl Pfs {
     /// The attached QoS layer, if any.
     pub fn qos(&self) -> Option<Arc<qos::Qos>> {
         self.qos.read().clone()
+    }
+
+    /// Attach the gray-failure defense layer: per-OST EWMA health
+    /// tracking, three-state circuit breakers, degraded-mode write
+    /// relocation, and (for callers that opt in via
+    /// [`Pfs::read_at_hedged`]) adaptive hedged reads. Without this call
+    /// every health hook in the cost model is a single `None` check.
+    pub fn enable_health(&self, cfg: health::HealthConfig) -> Result<()> {
+        let h = health::Health::new(cfg, self.cfg.num_osts).map_err(PfsError::Config)?;
+        *self.health.write() = Some(Arc::new(h));
+        Ok(())
+    }
+
+    /// The attached health layer, if any.
+    pub fn health(&self) -> Option<Arc<health::Health>> {
+        self.health.read().clone()
+    }
+
+    /// Health counters + per-OST breaker rows; `None` when no health
+    /// layer is attached.
+    pub fn health_report(&self) -> Option<health::HealthSnapshot> {
+        self.health.read().as_ref().map(|h| h.snapshot())
+    }
+
+    /// Restore `client`'s hedge allowance for a new collective; see
+    /// [`health::Health::scope_begin`]. No-op without a health layer.
+    pub fn hedge_scope_begin(&self, client: usize) {
+        if let Some(h) = self.health.read().as_ref() {
+            h.scope_begin(client);
+        }
     }
 
     /// Per-tenant usage/intervention rows, ascending tenant order. Empty
@@ -565,14 +604,41 @@ impl Pfs {
 
     /// If any OST under `[offset, offset+len)` is in an injected outage at
     /// `now`, fail with [`PfsError::Transient`] carrying the lift time.
-    fn outage_check(&self, file: &FileState, offset: u64, len: u64, now: f64) -> Result<()> {
+    ///
+    /// Health-aware: relocated extents are checked at their *holder* OST,
+    /// each outage hit feeds the breaker's error-burst detector, and a
+    /// `write` whose target breaker is already `Open` passes — the cost
+    /// model will route it around the quarantined OST, which is the whole
+    /// point of degraded-mode striping (reads must still fail: their
+    /// bytes' cost locality is on the sick OST).
+    fn outage_check(
+        &self,
+        file: &FileState,
+        id: FileId,
+        offset: u64,
+        len: u64,
+        now: f64,
+        write: bool,
+    ) -> Result<()> {
         let guard = self.chaos.lock();
         let Some(engine) = guard.as_ref() else {
             return Ok(());
         };
+        let health = self.health.read().clone();
         for (pos, _) in self.rpc_pieces(offset, len) {
-            let ost = self.ost_for(file, pos / self.cfg.stripe_size);
+            let stripe = pos / self.cfg.stripe_size;
+            let home = self.ost_for(file, stripe);
+            let ost = match &health {
+                Some(h) => h.route_read(id.0, stripe, home),
+                None => home,
+            };
             if let Some(until) = engine.ost_outage_until(ost, now) {
+                if let Some(h) = &health {
+                    h.observe_error(ost, now);
+                    if write && matches!(h.breaker(ost, now), health::Breaker::Open { .. }) {
+                        continue;
+                    }
+                }
                 self.stats.transient_errors.fetch_add(1, Ordering::Relaxed);
                 return Err(PfsError::Transient {
                     ost,
@@ -637,7 +703,7 @@ impl Pfs {
         let file = self.file(id)?;
         // Fail before touching any bytes: a refused write must leave the
         // file exactly as it was so the caller can retry wholesale.
-        self.outage_check(&file, offset, data.len() as u64, now)?;
+        self.outage_check(&file, id, offset, data.len() as u64, now, true)?;
         // Apply the bytes (correctness path), then seal the touched
         // stripes' checksums under the same lock.
         {
@@ -781,6 +847,94 @@ impl Pfs {
         report
     }
 
+    /// Background rebuild pass: migrate every relocated extent back to its
+    /// home OST. Each migration charges one read at the holder plus one
+    /// write at the home on the real OST timelines (no client link leg —
+    /// rebuild is server-side traffic). A `HalfOpen` home is migrated too:
+    /// the rebuild write *is* the probe, and its observed service ratio
+    /// decides whether the breaker re-closes or re-trips. Extents whose
+    /// home is still `Open` stay relocated, and extents whose stored
+    /// bytes fail their checksum are left for [`Pfs::scrub`] to repair
+    /// first. Returns how far the pass got; callers loop until
+    /// `remaining == 0`.
+    pub fn rebuild(&self, now: f64) -> Result<RebuildReport> {
+        let Some(h) = self.health.read().clone() else {
+            return Err(PfsError::Config(
+                "rebuild requires an attached health layer (enable_health)".into(),
+            ));
+        };
+        let engine = self.chaos.lock().clone();
+        let mut report = RebuildReport {
+            completed_at: now,
+            ..RebuildReport::default()
+        };
+        for (file_no, stripe, holder) in h.reloc_entries() {
+            report.scanned += 1;
+            let file = self.file(FileId(file_no))?;
+            let home = self.ost_for(&file, stripe);
+            if matches!(h.breaker(home, now), health::Breaker::Open { .. }) {
+                report.remaining += 1;
+                continue;
+            }
+            let lo = stripe * self.cfg.stripe_size;
+            let len = {
+                let c = file.data.lock();
+                let flen = c.bytes.len() as u64;
+                if lo >= flen {
+                    // Nothing stored under this stripe any more; drop the
+                    // mapping without moving bytes.
+                    0
+                } else {
+                    let len = self.cfg.stripe_size.min(flen - lo);
+                    // Integrity first: migrating a corrupt extent would
+                    // spread the damage. Leave it for scrub's replica
+                    // repair and retry on the next pass.
+                    if self.verify_stripes(&file, &c, lo, len).is_err() {
+                        report.remaining += 1;
+                        continue;
+                    }
+                    len
+                }
+            };
+            if len > 0 {
+                // Read the extent off its holder...
+                let r_slow = self.slowdown_at(holder, now, engine.as_deref());
+                let r_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * r_slow;
+                let r_start = reserve(&self.ost_busy[holder], now, r_dur);
+                let r_fin = r_start + r_dur;
+                {
+                    let mut m = self.ost_metrics[holder].lock();
+                    m.requests += 1;
+                    m.bytes_read += len;
+                    m.busy += r_dur;
+                    m.queue_wait += (r_start - now).max(0.0);
+                }
+                h.observe(holder, r_slow, r_fin - now, r_fin);
+                // ...and write it home. For a half-open home this write is
+                // the probe: the observation below re-closes or re-trips
+                // the breaker.
+                let w_arrive = r_fin;
+                let w_slow = self.slowdown_at(home, w_arrive, engine.as_deref());
+                let w_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw) * w_slow;
+                let w_start = reserve(&self.ost_busy[home], w_arrive, w_dur);
+                let w_fin = w_start + w_dur;
+                {
+                    let mut m = self.ost_metrics[home].lock();
+                    m.requests += 1;
+                    m.bytes_written += len;
+                    m.busy += w_dur;
+                    m.queue_wait += (w_start - w_arrive).max(0.0);
+                }
+                h.observe(home, w_slow, w_fin - w_arrive, w_fin);
+                report.completed_at = report.completed_at.max(w_fin);
+            }
+            h.reloc_clear(file_no, stripe, len);
+            report.rebuilt_extents += 1;
+            report.rebuilt_bytes += len;
+        }
+        Ok(report)
+    }
+
     /// Atomic read-modify-write of `[offset, offset+len)`: the span is
     /// presented to `patch` under the file's data lock, so concurrent
     /// writers cannot interleave between the read and the write-back. This
@@ -800,7 +954,7 @@ impl Pfs {
             return Ok(now);
         }
         let file = self.file(id)?;
-        self.outage_check(&file, offset, len, now)?;
+        self.outage_check(&file, id, offset, len, now, true)?;
         let readable;
         {
             let mut c = file.data.lock();
@@ -820,7 +974,7 @@ impl Pfs {
             patch(&mut c.bytes[offset as usize..end]);
             self.seal_stripes(&mut c, id, offset, len, now);
         }
-        let t = self.read_cost(&file, id, client, offset, readable, now);
+        let t = self.read_cost(&file, id, client, offset, readable, now, false);
         Ok(self.write_cost(&file, id, client, offset, len, t))
     }
 
@@ -836,6 +990,7 @@ impl Pfs {
     ) -> f64 {
         let engine = self.chaos.lock().clone();
         let qos = self.qos.read().clone();
+        let health = self.health.read().clone();
         let mut done = now;
         // Token-bucket admission: a metered tenant's request waits at the
         // gateway until its bucket covers the payload.
@@ -886,10 +1041,16 @@ impl Pfs {
             // OST services the piece (degraded OSTs run slower). Under a
             // fair-share discipline a contended tenant's piece becomes
             // eligible only at its paced slot; the gap it leaves is
-            // backfilled by competing tenants via the timeline.
-            let ost = self.ost_for(file, stripe);
-            let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw)
-                * self.slowdown_at(ost, arrive, engine.as_deref());
+            // backfilled by competing tenants via the timeline. With a
+            // health layer, an open breaker quarantines the home OST and
+            // the piece lands on its relocation target instead.
+            let ost = match &health {
+                Some(h) => h.route_write(id.0, stripe, self.ost_for(file, stripe), len, arrive),
+                None => self.ost_for(file, stripe),
+            };
+            let slowdown = self.slowdown_at(ost, arrive, engine.as_deref());
+            let service_dur =
+                (self.cfg.ost_service + len as f64 / self.cfg.ost_write_bw) * slowdown;
             let eligible = match &qos {
                 Some(q) => q.ost_eligible(ost, client, arrive, service_dur),
                 None => arrive,
@@ -904,6 +1065,12 @@ impl Pfs {
                 m.lock_transfers += transfer as u64;
             }
             let piece_done = svc_start + service_dur;
+            if let Some(h) = &health {
+                // The service ratio (actual ÷ healthy service time) is
+                // exactly the compound slowdown factor — what a real
+                // client measures against its calibrated expectation.
+                h.observe(ost, slowdown, piece_done - client_t, piece_done);
+            }
             self.latency.observe(piece_done - client_t);
             done = done.max(piece_done);
             // The client can pipeline the next piece once its link is free.
@@ -927,7 +1094,7 @@ impl Pfs {
             return Ok(now);
         }
         let file = self.file(id)?;
-        self.outage_check(&file, offset, buf.len() as u64, now)?;
+        self.outage_check(&file, id, offset, buf.len() as u64, now, false)?;
         {
             let c = file.data.lock();
             let end = offset as usize + buf.len();
@@ -941,7 +1108,40 @@ impl Pfs {
             self.verify_stripes(&file, &c, offset, buf.len() as u64)?;
             buf.copy_from_slice(&c.bytes[offset as usize..end]);
         }
-        Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now))
+        Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now, false))
+    }
+
+    /// Like [`Pfs::read_at`], but with adaptive hedging enabled when a
+    /// health layer is attached (see [`Pfs::enable_health`]). Without a
+    /// health layer this is bit-identical to `read_at`. Callers opt in per
+    /// read so the default path stays byte-for-byte unchanged.
+    pub fn read_at_hedged(
+        &self,
+        id: FileId,
+        client: usize,
+        offset: u64,
+        buf: &mut [u8],
+        now: f64,
+    ) -> Result<f64> {
+        if buf.is_empty() {
+            return Ok(now);
+        }
+        let file = self.file(id)?;
+        self.outage_check(&file, id, offset, buf.len() as u64, now, false)?;
+        {
+            let c = file.data.lock();
+            let end = offset as usize + buf.len();
+            if end > c.bytes.len() {
+                return Err(PfsError::ReadPastEof {
+                    offset,
+                    len: buf.len() as u64,
+                    file_len: c.bytes.len() as u64,
+                });
+            }
+            self.verify_stripes(&file, &c, offset, buf.len() as u64)?;
+            buf.copy_from_slice(&c.bytes[offset as usize..end]);
+        }
+        Ok(self.read_cost(&file, id, client, offset, buf.len() as u64, now, true))
     }
 
     /// Copy `[offset, offset+len)` into `buf` with **no virtual-time
@@ -969,6 +1169,15 @@ impl Pfs {
     }
 
     /// Virtual-time cost of reading `[offset, offset+len)` (no data moved).
+    ///
+    /// With `hedge` set and a health layer attached, each piece may fire a
+    /// speculative duplicate at a closed-breaker buddy OST once its
+    /// projected wait exceeds the adaptive deadline (see
+    /// [`health::Health::hedge_quote`]). First service to finish wins and
+    /// is the one whose response streams back over the client link; the
+    /// loser's in-flight OST service is sunk cost but its response is
+    /// never streamed (loser cancellation).
+    #[allow(clippy::too_many_arguments)]
     fn read_cost(
         &self,
         file: &FileState,
@@ -977,9 +1186,11 @@ impl Pfs {
         offset: u64,
         len: u64,
         now: f64,
+        hedge: bool,
     ) -> f64 {
         let engine = self.chaos.lock().clone();
         let qos = self.qos.read().clone();
+        let health = self.health.read().clone();
         let mut done = now;
         let mut client_t = match &qos {
             Some(q) => q.admit(client, len, now),
@@ -1014,12 +1225,17 @@ impl Pfs {
                 None => self.cfg.request_overhead,
             };
             let req_sent = client_t + base_overhead + extra_overhead;
-            let ost = self.ost_for(file, stripe);
-            let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw)
-                * self.slowdown_at(ost, req_sent + lock_cost, engine.as_deref());
+            let wait_start = req_sent + lock_cost;
+            // Reads of relocated extents are served by their holder OST.
+            let ost = match &health {
+                Some(h) => h.route_read(id.0, stripe, self.ost_for(file, stripe)),
+                None => self.ost_for(file, stripe),
+            };
+            let slowdown = self.slowdown_at(ost, wait_start, engine.as_deref());
+            let service_dur = (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * slowdown;
             let eligible = match &qos {
-                Some(q) => q.ost_eligible(ost, client, req_sent + lock_cost, service_dur),
-                None => req_sent + lock_cost,
+                Some(q) => q.ost_eligible(ost, client, wait_start, service_dur),
+                None => wait_start,
             };
             let svc_start = reserve(&self.ost_busy[ost], eligible, service_dur);
             {
@@ -1027,18 +1243,54 @@ impl Pfs {
                 m.requests += 1;
                 m.bytes_read += len;
                 m.busy += service_dur;
-                m.queue_wait += (svc_start - (req_sent + lock_cost)).max(0.0);
+                m.queue_wait += (svc_start - wait_start).max(0.0);
                 m.lock_transfers += transfer as u64;
             }
-            // Response streams back over the client link.
+            let primary_fin = svc_start + service_dur;
+            if let Some(h) = &health {
+                h.observe(ost, slowdown, primary_fin - wait_start, primary_fin);
+            }
+            let mut svc_fin = primary_fin;
+            if hedge {
+                if let Some(h) = &health {
+                    if let Some(q) = h.hedge_quote(ost, client, wait_start, primary_fin) {
+                        let b_slow = self.slowdown_at(q.buddy, q.fire, engine.as_deref());
+                        let b_dur =
+                            (self.cfg.ost_service + len as f64 / self.cfg.ost_read_bw) * b_slow;
+                        let b_start = reserve(&self.ost_busy[q.buddy], q.fire, b_dur);
+                        let b_fin = b_start + b_dur;
+                        {
+                            let mut m = self.ost_metrics[q.buddy].lock();
+                            m.requests += 1;
+                            m.bytes_read += len;
+                            m.busy += b_dur;
+                            m.queue_wait += (b_start - q.fire).max(0.0);
+                        }
+                        h.observe(q.buddy, b_slow, b_fin - wait_start, b_fin);
+                        let win = b_fin < primary_fin;
+                        h.hedge_outcome(win);
+                        if win {
+                            svc_fin = b_fin;
+                        }
+                    }
+                }
+            }
+            // The winning response streams back over the client link.
             let link_dur = len as f64 * self.cfg.client_byte_time;
-            let resp_start = reserve(&self.client_busy[client], svc_start + service_dur, link_dur);
+            let resp_start = reserve(&self.client_busy[client], svc_fin, link_dur);
             let piece_done = resp_start + link_dur;
             self.latency.observe(piece_done - client_t);
             done = done.max(piece_done);
             client_t = req_sent;
         }
         done
+    }
+
+    /// Current contents of the per-RPC latency histogram (empty unless
+    /// [`Pfs::enable_latency_metrics`] was called): the percentile source
+    /// for the resilience benches.
+    pub fn latency_snapshot(&self) -> mpisim::metrics::Hist {
+        self.latency.snapshot()
     }
 
     /// Turn on the per-RPC service-latency histogram. Off (the default)
@@ -1071,6 +1323,21 @@ impl Pfs {
                 &format!("{p}_fair_delay_ns_total"),
                 (u.fair_delay.max(0.0) * 1e9) as u64,
             );
+        }
+        // Gray-failure defense counters, only when a health layer is
+        // attached — no health, no keys, so metrics exports stay
+        // bit-identical for unconfigured runs.
+        if let Some(s) = self.health_report() {
+            reg.add_counter("pfs_hedges_issued_total", s.hedges_issued);
+            reg.add_counter("pfs_hedge_wins_total", s.hedge_wins);
+            reg.add_counter("pfs_hedge_waste_total", s.hedge_waste);
+            reg.add_counter("pfs_breaker_opens_total", s.breaker_opens);
+            reg.add_counter("pfs_breaker_probes_total", s.probes);
+            reg.add_counter("pfs_degraded_writes_total", s.degraded_writes);
+            reg.add_counter("pfs_degraded_bytes_total", s.degraded_bytes);
+            reg.add_counter("pfs_rebuilt_extents_total", s.rebuilt_extents);
+            reg.add_counter("pfs_rebuilt_bytes_total", s.rebuilt_bytes);
+            reg.add_counter("pfs_relocated_live", s.relocated_live);
         }
     }
 
@@ -1948,5 +2215,219 @@ mod qos_integration {
             p.read_bytes(id, 0, &mut long),
             Err(PfsError::ReadPastEof { .. })
         ));
+    }
+
+    /// OST `ost` runs `factor`× slow continuously until `until`.
+    fn flaky_engine(ost: usize, factor: f64, until: f64) -> Arc<chaos::ChaosEngine> {
+        chaos::FaultPlan::new(7)
+            .with(chaos::Fault::FlakyOst {
+                ost,
+                factor,
+                period: 0.01,
+                duty: 1.0,
+                from: 0.0,
+                until,
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn gray_cfg() -> PfsConfig {
+        PfsConfig {
+            stripe_size: 128,
+            stripe_count: 4,
+            num_osts: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sustained_slowdown_trips_breaker_and_writes_route_around() {
+        let p = Pfs::new(1, gray_cfg()).unwrap();
+        p.attach_chaos(flaky_engine(0, 10.0, 100.0)).unwrap();
+        p.enable_health(HealthConfig {
+            min_samples: 4,
+            open_secs: 50.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let id = p.create("/f").unwrap();
+        let data = [7u8; 128];
+        let mut t = 0.0;
+        for _ in 0..8 {
+            // Stripe 0 lives on OST 0, the flaky one.
+            t = p.write_at(id, 0, 0, &data, t).unwrap();
+        }
+        let s = p.health_report().unwrap();
+        assert!(
+            s.breaker_opens >= 1,
+            "a sustained 10x slowdown must trip the breaker: {s:?}"
+        );
+        assert!(matches!(s.osts[0].state, Breaker::Open { .. }));
+        assert!(s.degraded_writes >= 1 && s.degraded_bytes >= 128);
+        assert_eq!(s.relocated_live, 1, "stripe 0 must be relocated");
+        // Reads of the relocated extent are served by its holder and still
+        // return the authoritative bytes.
+        let mut buf = [0u8; 128];
+        p.read_at(id, 0, 0, &mut buf, t).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn rebuild_migrates_relocated_extents_home_bit_identical() {
+        let p = Pfs::new(1, gray_cfg()).unwrap();
+        p.attach_chaos(flaky_engine(0, 10.0, 0.5)).unwrap();
+        p.enable_health(HealthConfig {
+            min_samples: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        // Fault-free twin: same writes, no chaos, no health.
+        let q = Pfs::new(1, gray_cfg()).unwrap();
+        let id = p.create("/f").unwrap();
+        let qid = q.create("/f").unwrap();
+        // Checkpoint-style rounds across 8 stripes (stripes 0 and 4 live on
+        // the flaky OST 0) until the breaker trips and relocates them.
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 239) as u8 + 1).collect();
+        let mut t = 0.0;
+        for _ in 0..8 {
+            t = p.write_at(id, 0, 0, &data, t).unwrap();
+            q.write_at(qid, 0, 0, &data, t).unwrap();
+        }
+        let s = p.health_report().unwrap();
+        assert!(s.relocated_live >= 1, "flaky stripes must relocate: {s:?}");
+        // The fault window has closed; a write to a fresh OST-0 stripe is
+        // the half-open probe that re-closes the breaker.
+        let probe_t = 1.0_f64.max(t);
+        let tail = [9u8; 128];
+        p.write_at(id, 0, 1024, &tail, probe_t).unwrap();
+        q.write_at(qid, 0, 1024, &tail, probe_t).unwrap();
+        assert!(matches!(
+            p.health_report().unwrap().osts[0].state,
+            Breaker::Closed
+        ));
+        // Rebuild drains the relocation map in one pass.
+        let rep = p.rebuild(probe_t + 1.0).unwrap();
+        assert_eq!(rep.remaining, 0, "closed home must accept every extent");
+        assert!(rep.rebuilt_extents >= 1);
+        assert!(rep.completed_at > probe_t + 1.0, "migration costs time");
+        let s = p.health_report().unwrap();
+        assert_eq!(s.relocated_live, 0);
+        assert_eq!(s.rebuilt_extents, rep.rebuilt_extents);
+        // Post-rebuild content is bit-identical to the fault-free twin.
+        assert_eq!(p.snapshot_file(id).unwrap(), q.snapshot_file(qid).unwrap());
+        let mut buf = vec![0u8; 1152];
+        p.read_at(id, 0, 0, &mut buf, probe_t + 2.0).unwrap();
+        assert_eq!(&buf[..1024], &data[..]);
+        assert_eq!(&buf[1024..], &tail[..]);
+    }
+
+    #[test]
+    fn hedged_read_beats_plain_read_when_home_is_quarantined() {
+        // Twin instances with identical chaos + health + write history; one
+        // reads plain, the other hedged.
+        let mk = || {
+            let p = Pfs::new(1, gray_cfg()).unwrap();
+            p.attach_chaos(flaky_engine(0, 10.0, 100.0)).unwrap();
+            p.enable_health(HealthConfig {
+                min_samples: 4,
+                open_secs: 50.0,
+                ..Default::default()
+            })
+            .unwrap();
+            let id = p.create("/f").unwrap();
+            // Stripe 0 is written once, pre-trip, and stays home on OST 0.
+            let mut t = p.write_at(id, 0, 0, &[1u8; 128], 0.0).unwrap();
+            // Writes to stripe 4 (also OST 0) trip the breaker; stripe 0
+            // itself stays un-relocated so reads still target the sick home.
+            for _ in 0..8 {
+                t = p.write_at(id, 0, 512, &[2u8; 128], t).unwrap();
+            }
+            assert!(matches!(
+                p.health_report().unwrap().osts[0].state,
+                Breaker::Open { .. }
+            ));
+            (p, id, t)
+        };
+        let (plain, pid, t0) = mk();
+        let (hedged, hid, t1) = mk();
+        assert_eq!(t0, t1, "twins must share history");
+        let mut a = [0u8; 128];
+        let mut b = [0u8; 128];
+        hedged.hedge_scope_begin(0);
+        let t_plain = plain.read_at(pid, 0, 0, &mut a, t0).unwrap();
+        let t_hedged = hedged.read_at_hedged(hid, 0, 0, &mut b, t0).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            t_hedged < t_plain,
+            "hedge at a healthy buddy must beat the 10x-slow home: {t_hedged} vs {t_plain}"
+        );
+        let s = hedged.health_report().unwrap();
+        assert_eq!(s.hedges_issued, 1);
+        assert_eq!(s.hedge_wins, 1);
+        assert_eq!(s.hedge_waste, 0);
+        assert_eq!(plain.health_report().unwrap().hedges_issued, 0);
+    }
+
+    #[test]
+    fn health_attached_but_healthy_is_bit_identical_to_health_off() {
+        let run = |health: bool| {
+            let p = Pfs::new(2, gray_cfg()).unwrap();
+            if health {
+                p.enable_health(HealthConfig::default()).unwrap();
+                p.hedge_scope_begin(0);
+            }
+            let id = p.create("/f").unwrap();
+            let data: Vec<u8> = (0..2048u32).map(|i| (i * 31 % 251) as u8).collect();
+            let t = p.write_at(id, 0, 0, &data, 0.0).unwrap();
+            let mut buf = vec![0u8; 2048];
+            // Hedged entry point too: below hedge_min_samples it must be a
+            // pure pass-through.
+            let t = if health {
+                p.read_at_hedged(id, 1, 0, &mut buf, t).unwrap()
+            } else {
+                p.read_at(id, 1, 0, &mut buf, t).unwrap()
+            };
+            let t = p.write_rmw(id, 0, 512, 64, &mut |b| b.fill(3), t).unwrap();
+            (t, buf, p.snapshot_file(id).unwrap(), p)
+        };
+        let (t_off, buf_off, snap_off, _) = run(false);
+        let (t_on, buf_on, snap_on, p_on) = run(true);
+        assert_eq!(
+            t_off.to_bits(),
+            t_on.to_bits(),
+            "virtual times must match exactly"
+        );
+        assert_eq!(buf_off, buf_on);
+        assert_eq!(snap_off, snap_on);
+        let s = p_on.health_report().unwrap();
+        assert_eq!(s.breaker_opens, 0);
+        assert_eq!(s.hedges_issued, 0);
+        assert_eq!(s.degraded_writes, 0);
+        assert!(s.osts.iter().all(|o| matches!(o.state, Breaker::Closed)));
+    }
+
+    #[test]
+    fn rebuild_defers_while_home_breaker_is_open() {
+        let p = Pfs::new(1, gray_cfg()).unwrap();
+        p.attach_chaos(flaky_engine(0, 10.0, 100.0)).unwrap();
+        p.enable_health(HealthConfig {
+            min_samples: 4,
+            open_secs: 50.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let id = p.create("/f").unwrap();
+        let mut t = 0.0;
+        for _ in 0..8 {
+            t = p.write_at(id, 0, 0, &[5u8; 128], t).unwrap();
+        }
+        assert!(p.health_report().unwrap().relocated_live >= 1);
+        let rep = p.rebuild(t).unwrap();
+        assert_eq!(rep.rebuilt_extents, 0, "open home must defer rebuild");
+        assert_eq!(rep.remaining, p.health_report().unwrap().relocated_live);
+        // Without a health layer, rebuild is a typed error.
+        let bare = Pfs::new(1, gray_cfg()).unwrap();
+        assert!(matches!(bare.rebuild(0.0), Err(PfsError::Config(_))));
     }
 }

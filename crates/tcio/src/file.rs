@@ -721,10 +721,18 @@ impl<'a> TcioFile<'a> {
             let fid = self.fid;
             let opened_at = self.opened_at;
             let mut first = true;
+            let hedged = self.cfg.hedged_reads;
+            if hedged {
+                pfs.hedge_scope_begin(rank.rank());
+            }
             let t = mpiio::pfs_retry(rank, |rk| {
                 let at = if first { opened_at } else { rk.now() };
                 first = false;
-                pfs.read_at(fid, rk.rank(), file_off, &mut tmp, at)
+                if hedged {
+                    pfs.read_at_hedged(fid, rk.rank(), file_off, &mut tmp, at)
+                } else {
+                    pfs.read_at(fid, rk.rank(), file_off, &mut tmp, at)
+                }
             })?;
             rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
             rank.stats.io_reads += 1;
@@ -774,10 +782,18 @@ impl<'a> TcioFile<'a> {
                 // First attempt keeps the open-time pricing; retries must
                 // re-issue at the backed-off clock or the outage never lifts.
                 let mut first = true;
+                let hedged = self.cfg.hedged_reads;
+                if hedged {
+                    pfs.hedge_scope_begin(owner);
+                }
                 let t = mpiio::pfs_retry(rank, |rk| {
                     let at = if first { opened_at } else { rk.now() };
                     first = false;
-                    pfs.read_at(fid, owner, file_off, &mut tmp, at)
+                    if hedged {
+                        pfs.read_at_hedged(fid, owner, file_off, &mut tmp, at)
+                    } else {
+                        pfs.read_at(fid, owner, file_off, &mut tmp, at)
+                    }
                 })?;
                 rank.with_phase(Phase::Io, |rk| rk.sync_to(t));
                 rank.trace_mark("tcio_load", Phase::Io, t0, len);

@@ -348,3 +348,97 @@ fn rank_panic_surfaces_as_typed_error_on_both_backends() {
         "error text diverged across backends"
     );
 }
+
+/// The gray-failure defended cell: a flaky OST trips its circuit breaker
+/// mid-run, so writes relocate to healthy OSTs, reads hedge, and a
+/// post-run rebuild migrates the displaced extents home. Every stage of
+/// that machinery books virtual time, so the whole defended run — plus
+/// the defense counters themselves — must be bit-identical across
+/// backends.
+fn run_degraded(backend: Backend) -> (Fingerprint, pfs::HealthSnapshot) {
+    let nprocs = 8;
+    let horizon = 0.05;
+    let plan = chaos::FaultPlan::new(41).with(chaos::Fault::FlakyOst {
+        ost: 0,
+        factor: 16.0,
+        period: 1e-3,
+        duty: 0.7,
+        from: 0.0,
+        until: horizon,
+    });
+    let engine = plan.build().unwrap();
+    // Small stripes so the ~48 KiB synthetic file spreads across all four
+    // OSTs and the flaky one sees enough traffic to trip its breaker.
+    let pcfg = pfs::PfsConfig {
+        num_osts: 4,
+        stripe_count: 4,
+        stripe_size: 4 << 10,
+        ..Default::default()
+    };
+    let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+    fs.attach_chaos(Arc::clone(&engine)).unwrap();
+    fs.enable_health(pfs::HealthConfig {
+        min_samples: 2,
+        hedge_min_samples: 8,
+        open_secs: 2e-3,
+        ..Default::default()
+    })
+    .unwrap();
+    let sim = mpisim::SimConfig {
+        backend,
+        trace: true,
+        metrics: true,
+        chaos: Some(engine),
+        topology: Some(mpisim::Topology::blocked(nprocs, 4)),
+        ..Default::default()
+    };
+    let params = SynthParams::with_types("i,d", 512, 2).unwrap();
+    let fs2 = Arc::clone(&fs);
+    let rep = mpisim::run(nprocs, sim, move |rk| {
+        let mut cfg = tcio::TcioConfig::for_file_size_with_segment(
+            params.file_size(rk.nprocs()),
+            rk.nprocs(),
+            4 << 10,
+        );
+        cfg.hedged_reads = true;
+        let w = synthetic::write_tcio(rk, &fs2, &params, "/gf", Some(cfg.clone()))
+            .map_err(WlError::into_mpi)?;
+        let r =
+            synthetic::read_tcio(rk, &fs2, &params, "/gf", Some(cfg)).map_err(WlError::into_mpi)?;
+        Ok((w.bytes, w.elapsed.to_bits(), r.elapsed.to_bits()))
+    })
+    .unwrap();
+    // Rebuild after the fault horizon so the probe writes land on a
+    // healthy OST and the relocation map drains.
+    let mut now = rep.makespan.max(horizon);
+    for _ in 0..8 {
+        if fs.health_report().is_none_or(|s| s.relocated_live == 0) {
+            break;
+        }
+        let r = fs.rebuild(now).unwrap();
+        now = r.completed_at.max(now) + 2e-3;
+        if r.remaining == 0 {
+            break;
+        }
+    }
+    let fp = fingerprint(&rep, &fs, &["/gf"]);
+    (fp, fs.health_report().unwrap())
+}
+
+#[test]
+fn degraded_mode_defense_is_bit_identical_across_backends() {
+    let (thread, th) = run_degraded(Backend::Thread);
+    let (event, eh) = run_degraded(Backend::Event);
+    assert_fp_eq(&thread, &event, "degraded-mode defended run");
+    assert_eq!(th, eh, "defense counters diverged across backends");
+    // The cell is only a guard if the defenses actually fired.
+    assert!(
+        th.breaker_opens >= 1,
+        "flaky OST never tripped its breaker: {th:?}"
+    );
+    assert!(
+        th.degraded_writes >= 1,
+        "no write was relocated around the open breaker: {th:?}"
+    );
+    assert_eq!(th.relocated_live, 0, "rebuild must converge: {th:?}");
+}

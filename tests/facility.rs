@@ -66,6 +66,7 @@ fn qos_off_single_tenant_is_bit_identical_to_a_direct_run() {
                 bytes_per_rank: BPR,
                 access: ACCESS,
                 read_back: true,
+                hedged_reads: false,
             };
             job::run_job(rk, &comm, &fs2, None, 0, j as u32, &spec)
                 .map_err(FacilityError::into_mpi)?;
@@ -317,4 +318,101 @@ fn the_standard_eight_tenant_fleet_runs_clean() {
             "missing registry row for tenant {t}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Gray-failure defense integration
+// ---------------------------------------------------------------------
+
+#[test]
+fn health_layer_attached_but_healthy_facility_is_bit_identical() {
+    // The defense stack obeys the same zero-cost-off contract as QoS:
+    // attaching it to a healthy facility (no chaos) must not move the
+    // makespan, any stat counter, or any job record — and every defense
+    // counter must stay at zero.
+    let bare = run_facility(&small_mixed_cfg(7)).unwrap();
+    let defended = run_facility(&FacilityConfig {
+        health: Some(pfs::HealthConfig::default()),
+        ..small_mixed_cfg(7)
+    })
+    .unwrap();
+    assert_eq!(
+        bare.makespan.to_bits(),
+        defended.makespan.to_bits(),
+        "healthy defense layer perturbed the facility makespan"
+    );
+    assert_eq!(bare.stats, defended.stats, "stat counters diverged");
+    assert_eq!(bare.jobs, defended.jobs, "job records diverged");
+    assert!(bare.health.is_none(), "bare run must carry no snapshot");
+    let h = defended.health.expect("defended run carries a snapshot");
+    assert_eq!(
+        (
+            h.hedges_issued,
+            h.breaker_opens,
+            h.degraded_writes,
+            h.probes
+        ),
+        (0, 0, 0, 0),
+        "healthy facility must leave every defense counter at zero: {h:?}"
+    );
+}
+
+#[test]
+fn defended_facility_survives_a_flaky_ost_with_verified_read_back() {
+    // A flaky OST inside the facility: breakers open, writes relocate,
+    // and every tenant's read-back still verifies byte-for-byte (the
+    // pattern check lives inside run_job, so a wrong byte fails the
+    // run). The per-tenant makespan damage stays bounded relative to
+    // the undefended facility under the same plan.
+    let plan = chaos::FaultPlan::new(47).with(chaos::Fault::FlakyOst {
+        ost: 0,
+        factor: 20.0,
+        period: 2e-3,
+        duty: 0.8,
+        from: 0.0,
+        until: 10.0,
+    });
+    let cfg_for = |health: Option<pfs::HealthConfig>| {
+        let mut t = TenantSpec::new("solo", 4);
+        t.jobs = 2;
+        t.bytes_per_rank = 256 << 10;
+        t.access = 16 << 10;
+        t.read_back = true;
+        FacilityConfig {
+            tenants: vec![t],
+            qos: QosMode::Off,
+            pfs: pfs::PfsConfig {
+                num_osts: 4,
+                stripe_count: 4,
+                stripe_size: 16 << 10,
+                ..Default::default()
+            },
+            chaos: Some(plan.clone().build().unwrap()),
+            health,
+            ..FacilityConfig::default()
+        }
+    };
+    let undefended = run_facility(&cfg_for(None)).unwrap();
+    let defended = run_facility(&cfg_for(Some(pfs::HealthConfig {
+        min_samples: 4,
+        hedge_min_samples: 16,
+        ..Default::default()
+    })))
+    .unwrap();
+    let h = defended.health.expect("defended run carries a snapshot");
+    assert!(
+        h.breaker_opens >= 1,
+        "a 20x flaky OST must trip its breaker: {h:?}"
+    );
+    assert!(
+        h.degraded_writes >= 1,
+        "writes must relocate around the open breaker: {h:?}"
+    );
+    assert!(
+        defended.makespan < undefended.makespan,
+        "defenses must beat the undefended facility under the flaky OST: \
+         defended {} vs undefended {}",
+        defended.makespan,
+        undefended.makespan
+    );
 }

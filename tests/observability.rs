@@ -633,3 +633,117 @@ fn metrics_off_is_bit_identical_and_collects_nothing() {
         "stats-derived counters must not depend on the metrics gate"
     );
 }
+
+#[test]
+fn health_layer_attached_but_healthy_is_bit_identical_and_quiet() {
+    // Zero-cost-off for the gray-failure defenses: attaching the health
+    // layer (breakers + degraded routing + hedged reads) to a *healthy*
+    // system must not move a single virtual timestamp — same clocks,
+    // makespan, file bytes, and Chrome trace as the bare run. The only
+    // permitted delta is the defense counter keys in the metrics export,
+    // and every one of them must read zero.
+    fn run(defended: bool) -> (Vec<f64>, f64, Vec<u8>, String, mpisim::Registry) {
+        fn to_mpi<E: std::fmt::Display>(e: E) -> mpisim::MpiError {
+            mpisim::MpiError::InvalidDatatype(e.to_string())
+        }
+        let nprocs = 4;
+        let seg: u64 = 1 << 12;
+        let pcfg = pfs::PfsConfig {
+            stripe_size: seg,
+            stripe_count: 4,
+            num_osts: 4,
+            ..Default::default()
+        };
+        let fs = pfs::Pfs::new(nprocs, pcfg).unwrap();
+        if defended {
+            fs.enable_health(pfs::HealthConfig::default()).unwrap();
+        }
+        let sim = mpisim::SimConfig {
+            trace: true,
+            ..Default::default()
+        };
+        let fs2 = Arc::clone(&fs);
+        let rep = mpisim::run(nprocs, sim, move |rk| {
+            let cfg = tcio::TcioConfig {
+                segment_size: seg,
+                num_segments: 1,
+                hedged_reads: defended,
+                ..Default::default()
+            };
+            let data = vec![rk.rank() as u8 + 1; seg as usize];
+            {
+                let mut f =
+                    tcio::TcioFile::open(rk, &fs2, "/hz", tcio::TcioMode::Write, cfg.clone())
+                        .map_err(to_mpi)?;
+                f.write_at(rk, rk.rank() as u64 * seg, &data)
+                    .map_err(to_mpi)?;
+                f.close(rk).map_err(to_mpi)?;
+            }
+            let mut f =
+                tcio::TcioFile::open(rk, &fs2, "/hz", tcio::TcioMode::Read, cfg).map_err(to_mpi)?;
+            let mut buf = vec![0u8; seg as usize];
+            f.read_at(rk, rk.rank() as u64 * seg, &mut buf)
+                .map_err(to_mpi)?;
+            f.fetch(rk).map_err(to_mpi)?;
+            f.close(rk).map_err(to_mpi)?;
+            if buf != data {
+                return Err(to_mpi("read-back mismatch"));
+            }
+            Ok(())
+        })
+        .unwrap();
+        let fid = fs.open("/hz").unwrap();
+        let bytes = fs.snapshot_file(fid).unwrap();
+        let mut reg = mpisim::Registry::new();
+        reg.export_sim_report(&rep);
+        fs.export_metrics(&mut reg);
+        (
+            rep.clocks,
+            rep.makespan,
+            bytes,
+            mpisim::chrome_trace_json(&rep.traces),
+            reg,
+        )
+    }
+
+    let (c0, m0, b0, t0, reg_off) = run(false);
+    let (c1, m1, b1, t1, reg_on) = run(true);
+    assert_eq!(c0, c1, "healthy defense layer perturbed virtual clocks");
+    assert_eq!(m0, m1, "healthy defense layer perturbed the makespan");
+    assert_eq!(b0, b1, "healthy defense layer perturbed file bytes");
+    assert_eq!(t0, t1, "healthy defense layer perturbed the Chrome trace");
+    // The defense keys exist only on the defended run, and all read zero.
+    let defense_keys = [
+        "pfs_hedges_issued_total",
+        "pfs_hedge_wins_total",
+        "pfs_hedge_waste_total",
+        "pfs_breaker_opens_total",
+        "pfs_breaker_probes_total",
+        "pfs_degraded_writes_total",
+        "pfs_degraded_bytes_total",
+        "pfs_rebuilt_extents_total",
+        "pfs_rebuilt_bytes_total",
+        "pfs_relocated_live",
+    ];
+    type Counters = Vec<(String, u64)>;
+    let split = |reg: &mpisim::Registry| -> (Counters, Counters) {
+        reg.counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .partition(|(k, _)| defense_keys.contains(&k.as_str()))
+    };
+    let (def_off, rest_off) = split(&reg_off);
+    let (def_on, rest_on) = split(&reg_on);
+    assert!(def_off.is_empty(), "bare run must not export defense keys");
+    assert_eq!(
+        def_on.len(),
+        defense_keys.len(),
+        "defended run exports every defense counter"
+    );
+    for (k, v) in &def_on {
+        assert_eq!(*v, 0, "healthy run must leave {k} at zero");
+    }
+    assert_eq!(
+        rest_off, rest_on,
+        "non-defense metrics must not depend on the health layer"
+    );
+}

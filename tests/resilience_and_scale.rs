@@ -314,3 +314,58 @@ fn memory_budget_interacts_with_sieving() {
         }
     ));
 }
+
+/// Nightly-only (see .github/workflows): the gray-failure soak. A
+/// 20x flaky OST harasses a 1024-rank TCIO dump-then-restart; the
+/// defense stack (breakers + degraded-mode relocation + hedged reads +
+/// post-run rebuild) must keep the run complete, the tail bounded
+/// relative to the fault-free defended run, and the relocation map fully
+/// drained. Run with `cargo test --release -- --ignored gray_failure_soak`.
+#[test]
+#[ignore = "1024-rank gray-failure soak: minutes in debug — nightly CI runs it in release"]
+fn gray_failure_soak_bounds_the_tail_and_rebuilds_at_1024_ranks() {
+    use bench::resilience::{plan_horizon, run_cell, sweep_calib};
+    let calib = sweep_calib(1024);
+    let plan = chaos::FaultPlan::new(23).with(chaos::Fault::FlakyOst {
+        ost: 0,
+        factor: 20.0,
+        period: 0.005,
+        duty: 0.8,
+        from: 0.0,
+        until: 30.0,
+    });
+    let engine = plan.clone().build().unwrap();
+    let quiet = run_cell(&calib, 1024, 1 << 21, 1, None, true, 0.0);
+    let loud = run_cell(
+        &calib,
+        1024,
+        1 << 21,
+        1,
+        Some(engine),
+        true,
+        plan_horizon(&plan),
+    );
+    assert!(quiet.completed && loud.completed, "soak must finish");
+    let h = loud
+        .health
+        .as_ref()
+        .expect("defended arm carries a snapshot");
+    assert!(
+        h.breaker_opens >= 1 && h.degraded_writes >= 1,
+        "the soak must actually provoke the defenses: {h:?}"
+    );
+    assert_eq!(
+        loud.relocated_after_rebuild, 0,
+        "rebuild must fully drain the relocation map: {h:?}"
+    );
+    let makespan_ratio = (loud.write_s + loud.read_s) / (quiet.write_s + quiet.read_s);
+    assert!(
+        makespan_ratio <= 3.0,
+        "defended makespan blew up {makespan_ratio:.2}x under the flaky OST"
+    );
+    let p999_ratio = loud.p999_ns / quiet.p999_ns;
+    assert!(
+        p999_ratio <= 4.0,
+        "defended p999 blew up {p999_ratio:.2}x under the flaky OST"
+    );
+}
